@@ -1,0 +1,54 @@
+// Complexity bench (google-benchmark) — the [6] general-arrivals
+// baseline: the split-monotone O(n^2) DP vs the assumption-free O(n^3)
+// DP. This is the algorithm class the paper's O(n) delay-guaranteed
+// result improves upon (Section 1.1).
+#include <benchmark/benchmark.h>
+
+#include "merging/optimal_general.h"
+#include "sim/arrivals.h"
+
+namespace {
+
+using smerge::Index;
+
+std::vector<double> trace(Index n) {
+  // n arrivals inside one media length, so every tree window is feasible
+  // and the DPs face their full asymptotic work (a trace spanning many
+  // media lengths would cap the feasible window and hide the exponent).
+  std::vector<double> t(static_cast<std::size_t>(n));
+  for (Index i = 0; i < n; ++i) {
+    t[static_cast<std::size_t>(i)] =
+        0.9 * static_cast<double>(i) / static_cast<double>(n);
+  }
+  return t;
+}
+
+void BM_GeneralOptQuadratic(benchmark::State& state) {
+  const std::vector<double> arrivals = trace(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(smerge::merging::optimal_general_cost(arrivals, 1.0));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_GeneralOptQuadratic)->RangeMultiplier(2)->Range(64, 1024)->Complexity();
+
+void BM_GeneralOptCubic(benchmark::State& state) {
+  const std::vector<double> arrivals = trace(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        smerge::merging::optimal_general_cost_cubic(arrivals, 1.0));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_GeneralOptCubic)->RangeMultiplier(2)->Range(64, 512)->Complexity();
+
+void BM_GeneralOptForestReconstruction(benchmark::State& state) {
+  const std::vector<double> arrivals = trace(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        smerge::merging::optimal_general_forest(arrivals, 1.0));
+  }
+}
+BENCHMARK(BM_GeneralOptForestReconstruction)->Arg(256)->Arg(1024);
+
+}  // namespace

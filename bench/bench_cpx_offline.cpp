@@ -1,0 +1,64 @@
+// Complexity bench (google-benchmark) — the off-line algorithms.
+//
+// Theorem 7's claim in wall-clock form: the closed-form/r-table pipeline
+// computes optimal merge costs and trees in O(n) while the Eq.-5 dynamic
+// program the paper improves upon is O(n^2). BigO fitting over the range
+// makes the asymptotic visible; the forest planner (Theorem 12 + Theorem
+// 10) is also timed.
+#include <benchmark/benchmark.h>
+
+#include "core/full_cost.h"
+#include "core/tree_builder.h"
+
+namespace {
+
+using smerge::Index;
+
+void BM_MergeCostDpQuadratic(benchmark::State& state) {
+  const Index n = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(smerge::merge_cost_table_dp(n));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_MergeCostDpQuadratic)->RangeMultiplier(2)->Range(64, 2048)->Complexity();
+
+void BM_MergeCostClosedForm(benchmark::State& state) {
+  const Index n = state.range(0);
+  for (auto _ : state) {
+    // The full table via the closed form, for an apples-to-apples O(n).
+    smerge::Cost sum = 0;
+    for (Index i = 1; i <= n; ++i) sum += smerge::merge_cost(i);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_MergeCostClosedForm)->RangeMultiplier(2)->Range(64, 2048)->Complexity();
+
+void BM_LastMergeTable(benchmark::State& state) {
+  const Index n = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(smerge::last_merge_table(n));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_LastMergeTable)->RangeMultiplier(4)->Range(1 << 10, 1 << 20)->Complexity();
+
+void BM_OptimalTreeBuild(benchmark::State& state) {
+  const Index n = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(smerge::optimal_merge_tree(n));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_OptimalTreeBuild)->RangeMultiplier(4)->Range(1 << 10, 1 << 20)->Complexity();
+
+void BM_OptimalForestPlan(benchmark::State& state) {
+  const Index n = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(smerge::optimal_stream_count(987, n));
+  }
+}
+BENCHMARK(BM_OptimalForestPlan)->RangeMultiplier(10)->Range(1000, 10'000'000);
+
+}  // namespace

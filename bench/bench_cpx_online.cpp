@@ -1,0 +1,69 @@
+// Complexity bench (google-benchmark) — per-arrival work of the on-line
+// algorithms (the Section-4.2 simplicity argument).
+//
+// The Delay Guaranteed server answers each arrival from a precomputed
+// table (O(1), no decisions); the dyadic server must maintain its stack
+// and compute a dyadic subinterval per arrival (O(1) amortized but with
+// real work: log/pow and window popping).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "merging/dyadic.h"
+#include "online/delay_guaranteed.h"
+#include "sim/arrivals.h"
+
+namespace {
+
+using smerge::Index;
+
+void BM_DelayGuaranteedPerArrival(benchmark::State& state) {
+  const smerge::DelayGuaranteedOnline dg(100);
+  const Index horizon = 100'000;
+  Index t = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dg.stream_length(t, horizon));
+    t = (t + 1) % horizon;
+  }
+}
+BENCHMARK(BM_DelayGuaranteedPerArrival);
+
+void BM_DyadicPerArrival(benchmark::State& state) {
+  const std::vector<double> arrivals =
+      smerge::sim::poisson_arrivals(0.005, 200.0, 1);
+  std::size_t i = 0;
+  smerge::merging::DyadicMerger merger(1.0, {});
+  for (auto _ : state) {
+    if (i == arrivals.size()) {
+      // Restart with a fresh merger once the trace is exhausted (pause the
+      // timer so the reset is not billed to the per-arrival figure).
+      state.PauseTiming();
+      merger = smerge::merging::DyadicMerger(1.0, {});
+      i = 0;
+      state.ResumeTiming();
+    }
+    benchmark::DoNotOptimize(merger.arrive(arrivals[i++]));
+  }
+}
+BENCHMARK(BM_DyadicPerArrival);
+
+void BM_DelayGuaranteedSetup(benchmark::State& state) {
+  const Index L = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(smerge::DelayGuaranteedOnline(L));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(L));
+}
+BENCHMARK(BM_DelayGuaranteedSetup)->RangeMultiplier(4)->Range(64, 65536)->Complexity();
+
+void BM_OnlineCostQuery(benchmark::State& state) {
+  const smerge::DelayGuaranteedOnline dg(1000);
+  Index n = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dg.cost(n));
+    n = n % 10'000'000 + 1;
+  }
+}
+BENCHMARK(BM_OnlineCostQuery);
+
+}  // namespace

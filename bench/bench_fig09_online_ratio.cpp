@@ -1,0 +1,37 @@
+// Fig. 9 — ratio of the on-line Delay Guaranteed bandwidth to the optimal
+// off-line bandwidth as the time horizon grows.
+//
+// The paper's empirical point: the ratio tends to 1 (Theorem 22 gives the
+// guarantee 1 + 2L/n). We sweep several media lengths; each row prints
+// the exact on-line cost A(L,n), the optimum F(L,n), their ratio and the
+// Theorem-22 bound where it applies.
+#include <iostream>
+
+#include "core/full_cost.h"
+#include "online/delay_guaranteed.h"
+#include "util/table.h"
+
+int main() {
+  using namespace smerge;
+
+  std::cout << "Fig. 9: on-line / off-line total bandwidth vs horizon\n\n";
+  for (const Index L : {15, 50, 100}) {
+    const DelayGuaranteedOnline dg(L);
+    util::TextTable table({"n (slots)", "A(L,n)", "F(L,n)", "ratio", "1+2L/n bound"});
+    for (const Index n :
+         {L, 4 * L, 16 * L, 64 * L, 256 * L, 1024 * L, 4096 * L}) {
+      const Cost a = dg.cost(n);
+      const Cost f = full_cost(L, n);
+      const double ratio = static_cast<double>(a) / static_cast<double>(f);
+      const bool bound_applies = L >= 7 && n > L * L + 2;
+      table.add_row(n, a, f, util::format_fixed(ratio, 6),
+                    bound_applies
+                        ? util::TextTable::cell(
+                              DelayGuaranteedOnline::theorem22_bound(L, n))
+                        : std::string("n/a"));
+    }
+    std::cout << "L = " << L << " slots (block size F_h = " << dg.block_size()
+              << ")\n" << table.to_string() << '\n';
+  }
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Section 3.1 / 3.4 in-text tables — M(n) and Mw(n) for n = 1..16.
+//
+// Columns: the Eq.-5/Eq.-19 dynamic program, the Fibonacci/power-of-two
+// closed forms (Eq. 6 / Eq. 20), and the cost of the constructed optimal
+// tree. The paper's rows are reproduced exactly:
+//   M(n):  0 1 3 6 9 13 17 21 26 31 36 41 46 52 58 64
+//   Mw(n): 0 1 3 5 8 11 14 17 21 25 29 33 37 41 45 49
+#include <iostream>
+
+#include "core/tree_builder.h"
+#include "util/table.h"
+
+int main() {
+  using namespace smerge;
+
+  const Index n_max = 16;
+  const auto dp_two = merge_cost_table_dp(n_max, Model::kReceiveTwo);
+  const auto dp_all = merge_cost_table_dp(n_max, Model::kReceiveAll);
+
+  std::cout << "Section 3.1 and 3.4 tables: optimal merge costs, n = 1..16\n\n";
+  util::TextTable table({"n", "M(n) DP", "M(n) Eq.6", "M(n) tree", "Mw(n) DP",
+                         "Mw(n) Eq.20", "Mw(n) tree"});
+  bool ok = true;
+  for (Index n = 1; n <= n_max; ++n) {
+    const Cost m_dp = dp_two[static_cast<std::size_t>(n)];
+    const Cost m_cf = merge_cost(n);
+    const Cost m_tree = optimal_merge_tree(n).merge_cost();
+    const Cost w_dp = dp_all[static_cast<std::size_t>(n)];
+    const Cost w_cf = merge_cost_receive_all(n);
+    const Cost w_tree =
+        optimal_merge_tree(n, Model::kReceiveAll).merge_cost(Model::kReceiveAll);
+    ok = ok && m_dp == m_cf && m_cf == m_tree && w_dp == w_cf && w_cf == w_tree;
+    table.add_row(n, m_dp, m_cf, m_tree, w_dp, w_cf, w_tree);
+  }
+  std::cout << table.to_string() << "\nall columns agree: " << (ok ? "yes" : "NO")
+            << '\n';
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,38 @@
+// Section 3.2 worked examples — optimal full costs and stream counts.
+//
+// The paper's numbers:
+//   F(15, 8)  = 36 with s = 1        (Fig. 3 instance)
+//   F(15, 14) = 64 with s = 2        (30 + 17 + 17)
+//   L=4, n=16: s0=4, s1=5, F(4,16,4)=40, F(4,16,5)=38, F(4,16,6)=38
+// plus the Theorem-12 machinery (h, F_h, s1) for each instance.
+#include <iostream>
+
+#include "core/full_cost.h"
+#include "util/table.h"
+
+int main() {
+  using namespace smerge;
+
+  std::cout << "Section 3.2: optimal full costs (Theorem 12) vs exhaustive scan\n\n";
+  util::TextTable table({"L", "n", "h", "F_h", "s0", "s1", "s*", "F(L,n)",
+                         "scan", "partition DP"});
+  bool ok = true;
+  for (const auto& [L, n] : std::vector<std::pair<Index, Index>>{
+           {15, 8}, {15, 14}, {4, 16}, {2, 9}, {1, 10}, {8, 100}, {100, 1000}}) {
+    const int h = theorem12_index(L);
+    const StreamPlan plan = optimal_stream_count(L, n);
+    const Cost scan = full_cost_scan(L, n);
+    const Cost dp = full_cost_partition_dp(L, n);
+    ok = ok && plan.cost == scan && scan == dp;
+    table.add_row(L, n, h, fib::fibonacci(h), min_streams(L, n), n / fib::fibonacci(h),
+                  plan.streams, plan.cost, scan, dp);
+  }
+  std::cout << table.to_string();
+
+  std::cout << "\nThe L=4, n=16 candidate costs (paper: 40, 38, 38):\n";
+  util::TextTable cands({"s", "F(4,16,s)"});
+  for (Index s = 4; s <= 6; ++s) cands.add_row(s, full_cost_given_streams(4, 16, s));
+  std::cout << cands.to_string() << "\nformula == scan == partition DP: "
+            << (ok ? "yes" : "NO") << '\n';
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,43 @@
+// Figs. 6 and 7 — optimal merge trees.
+//
+// Fig. 6: the two optimal trees for n = 4 (both of merge cost 6).
+// Fig. 7: the unique Fibonacci merge trees for n = 3, 5, 8, 13 with merge
+// costs 3, 9, 21, 46, whose right subtree is the tree for F_{k-2} and
+// whose remainder is the tree for F_{k-1}.
+#include <iostream>
+
+#include "core/tree_builder.h"
+#include "schedule/diagram.h"
+#include "util/table.h"
+
+int main() {
+  using namespace smerge;
+
+  std::cout << "Fig. 6: optimal trees for n = 4 (cost "
+            << merge_cost(4) << ")\n";
+  Index optimal_count = 0;
+  enumerate_merge_trees(4, [&](const MergeTree& t) {
+    if (t.merge_cost() == merge_cost(4)) {
+      ++optimal_count;
+      std::cout << "  " << t.to_string() << '\n';
+    }
+  });
+  std::cout << "  (" << optimal_count << " optimal trees; paper shows two)\n\n";
+
+  std::cout << "Fig. 7: Fibonacci merge trees\n\n";
+  util::TextTable table({"k", "n = F_k", "M(n)", "optimal trees", "structure"});
+  for (const int k : {4, 5, 6, 7}) {
+    const Index n = fib::fibonacci(k);
+    Index count = 0;
+    enumerate_merge_trees(n, [&](const MergeTree& t) {
+      if (t.merge_cost() == merge_cost(n)) ++count;
+    });
+    table.add_row(k, n, merge_cost(n), count, fibonacci_merge_tree(k).to_string());
+  }
+  std::cout << table.to_string() << '\n';
+
+  std::cout << "The n = 13 Fibonacci tree (right subtree = tree for 5, rest = "
+               "tree for 8):\n"
+            << render_tree(fibonacci_merge_tree(7));
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Theorem 8 — M(n) = n log_phi(n) + Theta(n).
+//
+// The harness prints M(n) against n log_phi(n) over ten decades: the
+// normalized gap (M(n) - n log_phi n)/n must stay inside the proven
+// window [-(phi^2+1), 0] and the ratio M(n)/(n log_phi n) must tend to 1.
+#include <iostream>
+
+#include "core/merge_cost.h"
+#include "util/table.h"
+
+int main() {
+  using namespace smerge;
+
+  std::cout << "Theorem 8: M(n) = n log_phi(n) + Theta(n)\n\n";
+  util::TextTable table({"n", "M(n)", "n log_phi n", "ratio", "(M - n log)/n"});
+  bool ok = true;
+  for (Index n = 10; n <= 10'000'000'000'000; n *= 10) {
+    const double nd = static_cast<double>(n);
+    const double reference = nd * fib::log_phi(nd);
+    const double m = static_cast<double>(merge_cost(n));
+    const double gap = (m - reference) / nd;
+    ok = ok && gap <= 1e-9 && gap >= -(fib::kGoldenRatio * fib::kGoldenRatio + 1.0);
+    table.add_row(n, merge_cost(n), reference, m / reference, gap);
+  }
+  std::cout << table.to_string() << "\nnormalized gap within [-(phi^2+1), 0]: "
+            << (ok ? "yes" : "NO") << '\n';
+  return ok ? 0 : 1;
+}

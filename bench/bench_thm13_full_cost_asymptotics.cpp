@@ -1,0 +1,32 @@
+// Theorem 13 — F(L,n) = n log_phi(L) + Theta(n) for n > L.
+//
+// Rows sweep L for a fixed arrival density (n = 64 L); the per-arrival
+// cost F/n must track log_phi(L) with a bounded additive offset, and the
+// ratio must drift toward 1 as L grows.
+#include <iostream>
+
+#include "core/full_cost.h"
+#include "util/table.h"
+
+int main() {
+  using namespace smerge;
+
+  std::cout << "Theorem 13: F(L,n) = n log_phi(L) + Theta(n), with n = 64 L\n\n";
+  util::TextTable table({"L", "n", "F(L,n)", "F/n", "log_phi L", "F/(n log_phi L)"});
+  double prev_offset = -1e9;
+  bool offset_bounded = true;
+  for (const Index L : {8, 21, 55, 144, 377, 987, 2584, 6765, 17711}) {
+    const Index n = 64 * L;
+    const Cost f = full_cost(L, n);
+    const double per_arrival = static_cast<double>(f) / static_cast<double>(n);
+    const double logl = fib::log_phi(static_cast<double>(L));
+    table.add_row(L, n, f, per_arrival, logl, per_arrival / logl);
+    const double offset = per_arrival - logl;
+    offset_bounded = offset_bounded && std::abs(offset) < 3.0;
+    prev_offset = offset;
+  }
+  (void)prev_offset;
+  std::cout << table.to_string() << "\nadditive offset |F/n - log_phi L| < 3: "
+            << (offset_bounded ? "yes" : "NO") << '\n';
+  return offset_bounded ? 0 : 1;
+}

@@ -1,0 +1,35 @@
+// Theorem 14 — batching with stream merging is Theta(L / log L) better
+// than batching alone.
+//
+// Batching alone transmits a full stream per slot: cost n L. The optimal
+// merge forest costs n log_phi(L) + Theta(n), so the saving factor is
+// ~ L / log_phi(L). Rows sweep L at fixed density and print the measured
+// factor next to the predictor.
+#include <iostream>
+
+#include "core/full_cost.h"
+#include "util/table.h"
+
+int main() {
+  using namespace smerge;
+
+  std::cout << "Theorem 14: batching+merging vs batching alone (n = 32 L)\n\n";
+  util::TextTable table({"L", "batching nL", "merging F(L,n)", "saving factor",
+                         "L / log_phi L"});
+  bool ok = true;
+  for (const Index L : {8, 21, 55, 144, 377, 987, 2584}) {
+    const Index n = 32 * L;
+    const Cost batching = n * L;
+    const Cost merging = full_cost(L, n);
+    const double factor =
+        static_cast<double>(batching) / static_cast<double>(merging);
+    const double predictor =
+        static_cast<double>(L) / fib::log_phi(static_cast<double>(L));
+    ok = ok && factor > predictor / 2.5 && factor < predictor * 2.5;
+    table.add_row(L, batching, merging, factor, predictor);
+  }
+  std::cout << table.to_string()
+            << "\nfactor within 2.5x of L/log_phi(L) everywhere: "
+            << (ok ? "yes" : "NO") << '\n';
+  return ok ? 0 : 1;
+}

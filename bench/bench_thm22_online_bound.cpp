@@ -1,0 +1,35 @@
+// Theorem 22 — the on-line competitive guarantee A(L,n)/F(L,n) <= 1+2L/n
+// for L >= 7 and n > L^2 + 2.
+//
+// For each (L, n) in range the measured ratio must sit below the bound;
+// the table also shows the slack, which the proof predicts grows as the
+// bound is loose by roughly a factor 2 (the proof budgets one extra tree).
+#include <iostream>
+
+#include "core/full_cost.h"
+#include "online/delay_guaranteed.h"
+#include "util/table.h"
+
+int main() {
+  using namespace smerge;
+
+  std::cout << "Theorem 22: A/F <= 1 + 2L/n for L >= 7, n > L^2+2\n\n";
+  util::TextTable table({"L", "n", "ratio A/F", "bound", "holds"});
+  bool all_hold = true;
+  for (const Index L : {7, 10, 15, 21, 34, 55}) {
+    const DelayGuaranteedOnline dg(L);
+    for (const Index mult : {1, 4, 32}) {
+      const Index n = (L * L + 3) * mult;
+      const double ratio = static_cast<double>(dg.cost(n)) /
+                           static_cast<double>(full_cost(L, n));
+      const double bound = DelayGuaranteedOnline::theorem22_bound(L, n);
+      const bool holds = ratio <= bound;
+      all_hold = all_hold && holds;
+      table.add_row(L, n, util::format_fixed(ratio, 6), util::format_fixed(bound, 6),
+                    holds ? "yes" : "NO");
+    }
+  }
+  std::cout << table.to_string() << "\nbound holds everywhere: "
+            << (all_hold ? "yes" : "NO") << '\n';
+  return all_hold ? 0 : 1;
+}

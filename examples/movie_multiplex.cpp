@@ -1,0 +1,67 @@
+// Movie multiplex: the Section-5 multi-object server.
+//
+// A catalogue of movies with Zipf popularity shares one server. Compare
+// per-object policies by total bandwidth and by the aggregate *peak*
+// channel requirement — the quantity a provisioning engineer actually
+// cares about. The Delay Guaranteed policy trades bandwidth for a hard,
+// demand-independent peak; the dyadic policies are cheaper on average but
+// their peak grows with the offered load.
+//
+// Run: ./movie_multiplex --movies=10 --gap=0.005 --delay=0.01
+//        --horizon=50 --zipf=1.0 --seed=7
+#include <cstdlib>
+#include <iostream>
+
+#include "sim/multi_object.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace smerge;
+  using namespace smerge::sim;
+
+  util::ArgParser args("movie_multiplex: multi-object VoD server comparison");
+  args.add_int("movies", 10, "catalogue size");
+  args.add_double("gap", 0.005, "aggregate mean inter-arrival gap (media fraction)");
+  args.add_double("delay", 0.01, "per-object start-up delay (media fraction)");
+  args.add_double("horizon", 50.0, "simulated time in media lengths");
+  args.add_double("zipf", 1.0, "popularity skew exponent");
+  args.add_int("seed", 7, "RNG seed");
+  try {
+    if (!args.parse(argc, argv)) {
+      std::cout << args.help();
+      return EXIT_SUCCESS;
+    }
+    MultiObjectConfig config;
+    config.objects = args.get_int("movies");
+    config.mean_gap = args.get_double("gap");
+    config.delay = args.get_double("delay");
+    config.horizon = args.get_double("horizon");
+    config.zipf_exponent = args.get_double("zipf");
+    config.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+
+    util::TextTable table({"policy", "streams served", "peak channels"});
+    table.set_align(0, util::Align::kLeft);
+    const MultiObjectResult dg = run_multi_object(config, Policy::kDelayGuaranteed);
+    const MultiObjectResult dyi = run_multi_object(config, Policy::kDyadicImmediate);
+    const MultiObjectResult dyb = run_multi_object(config, Policy::kDyadicBatched);
+    table.add_row("delay-guaranteed", dg.streams_served, dg.peak_concurrency);
+    table.add_row("dyadic (immediate)", dyi.streams_served, dyi.peak_concurrency);
+    table.add_row("dyadic (batched)", dyb.streams_served, dyb.peak_concurrency);
+    std::cout << table.to_string() << '\n';
+
+    util::TextTable popularity({"movie", "arrivals", "DG streams", "dyadic streams"});
+    for (Index m = 0; m < config.objects; ++m) {
+      popularity.add_row(m, dg.arrivals_per_object[static_cast<std::size_t>(m)],
+                         dg.per_object[static_cast<std::size_t>(m)],
+                         dyi.per_object[static_cast<std::size_t>(m)]);
+    }
+    std::cout << popularity.to_string() << '\n'
+              << "Note: the DG peak is a function of the delay alone — the server\n"
+              << "can admit any load without exceeding it (Section 5).\n";
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return EXIT_FAILURE;
+  }
+  return EXIT_SUCCESS;
+}

@@ -1,0 +1,34 @@
+#include "core/buffer.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace smerge {
+
+Index buffer_requirement(Index offset_from_root, Index media_length) {
+  if (offset_from_root < 0 || offset_from_root > media_length - 1) {
+    throw std::invalid_argument("buffer_requirement: offset outside [0, L-1]");
+  }
+  return std::min(offset_from_root, media_length - offset_from_root);
+}
+
+Index max_buffer_requirement(const MergeTree& tree, Index media_length) {
+  if (!tree.fits(media_length)) {
+    throw std::invalid_argument("max_buffer_requirement: tree does not fit media length");
+  }
+  Index worst = 0;
+  for (Index x = 0; x < tree.size(); ++x) {
+    worst = std::max(worst, buffer_requirement(x, media_length));
+  }
+  return worst;
+}
+
+Index max_buffer_requirement(const MergeForest& forest) {
+  Index worst = 0;
+  for (Index t = 0; t < forest.num_trees(); ++t) {
+    worst = std::max(worst, max_buffer_requirement(forest.tree(t), forest.media_length()));
+  }
+  return worst;
+}
+
+}  // namespace smerge

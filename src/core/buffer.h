@@ -1,0 +1,30 @@
+// Client buffer requirements (Section 3.3, Lemma 15).
+//
+// A client arriving at global time x in a tree rooted at r buffers ahead
+// while receiving two streams; the peak occupancy is
+//   b(x) = min{ x - r, L - (x - r) }
+// so no client ever needs more than floor(L/2) slots of buffer. These
+// helpers give the analytic values; the playback simulator in
+// src/schedule measures the same quantity empirically and the tests check
+// they agree.
+#ifndef SMERGE_CORE_BUFFER_H
+#define SMERGE_CORE_BUFFER_H
+
+#include "core/merge_forest.h"
+#include "core/merge_tree.h"
+
+namespace smerge {
+
+/// Lemma 15: peak buffer occupancy of a client `offset` slots after its
+/// tree root, for media length L. Requires 0 <= offset <= L-1.
+[[nodiscard]] Index buffer_requirement(Index offset_from_root, Index media_length);
+
+/// Largest Lemma-15 requirement over all arrivals of the tree.
+[[nodiscard]] Index max_buffer_requirement(const MergeTree& tree, Index media_length);
+
+/// Largest Lemma-15 requirement over all arrivals of the forest.
+[[nodiscard]] Index max_buffer_requirement(const MergeForest& forest);
+
+}  // namespace smerge
+
+#endif  // SMERGE_CORE_BUFFER_H

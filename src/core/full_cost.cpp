@@ -1,0 +1,194 @@
+#include "core/full_cost.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "core/tree_builder.h"
+
+namespace smerge {
+
+namespace {
+
+void check_instance(Index L, Index n, const char* fn) {
+  if (L < 1 || L > kMaxHorizon) {
+    throw std::invalid_argument(std::string(fn) + ": media length outside [1, 10^15]");
+  }
+  if (n < 1 || n > kMaxHorizon) {
+    throw std::invalid_argument(std::string(fn) + ": n outside [1, 10^15]");
+  }
+}
+
+Index ceil_div(Index a, Index b) { return (a + b - 1) / b; }
+
+// Lemma 9 / Eq. 22 evaluation without feasibility checks (callers check).
+Cost lemma9(Index L, Index n, Index s, Model model) {
+  const Index p = n / s;
+  const Index r = n - p * s;
+  return s * L + r * merge_cost(p + 1, model) + (s - r) * merge_cost(p, model);
+}
+
+StreamPlan make_plan(Index L, Index n, Index s, Model model) {
+  const Index p = n / s;
+  const Index r = n - p * s;
+  return StreamPlan{s, lemma9(L, n, s, model), r, s - r, p};
+}
+
+// Generic "best s among candidates, else scan" helper used by the bounded
+// and receive-all variants. `s_min` is the feasibility floor.
+StreamPlan best_of_scan(Index L, Index n, Index s_min, Model model) {
+  Cost best = std::numeric_limits<Cost>::max();
+  Index best_s = s_min;
+  for (Index s = s_min; s <= n; ++s) {
+    const Cost c = lemma9(L, n, s, model);
+    if (c < best) {
+      best = c;
+      best_s = s;
+    }
+  }
+  return make_plan(L, n, best_s, model);
+}
+
+}  // namespace
+
+Index min_streams(Index media_length, Index n) {
+  check_instance(media_length, n, "min_streams");
+  return ceil_div(n, media_length);
+}
+
+Cost full_cost_given_streams(Index media_length, Index n, Index s, Model model) {
+  check_instance(media_length, n, "full_cost_given_streams");
+  if (s < min_streams(media_length, n) || s > n) {
+    throw std::invalid_argument("full_cost_given_streams: s outside [ceil(n/L), n]");
+  }
+  return lemma9(media_length, n, s, model);
+}
+
+int theorem12_index(Index media_length) {
+  if (media_length < 1) {
+    throw std::invalid_argument("theorem12_index: media length must be >= 1");
+  }
+  // F_{h+1} <= L+1 < F_{h+2}  <=>  h+1 = bracket_index(L+1).
+  return fib::bracket_index(media_length + 1) - 1;
+}
+
+StreamPlan optimal_stream_count(Index media_length, Index n) {
+  check_instance(media_length, n, "optimal_stream_count");
+  const Index s0 = min_streams(media_length, n);
+  const int h = theorem12_index(media_length);
+  const Index fh = fib::fibonacci(h);
+  const Index s1 = n / fh;
+
+  // Theorem 12: the minimum is at s1 or s1+1 (clamped to [s0, n]); we also
+  // keep s0 in the candidate set so the clamp logic stays self-evidently
+  // safe at the boundaries.
+  Cost best = std::numeric_limits<Cost>::max();
+  Index best_s = -1;
+  for (const Index cand : {s1, s1 + 1, s0}) {
+    const Index s = std::clamp(cand, s0, n);
+    const Cost c = lemma9(media_length, n, s, Model::kReceiveTwo);
+    if (c < best || (c == best && s < best_s)) {
+      best = c;
+      best_s = s;
+    }
+  }
+  return make_plan(media_length, n, best_s, Model::kReceiveTwo);
+}
+
+StreamPlan optimal_stream_count_receive_all(Index media_length, Index n) {
+  check_instance(media_length, n, "optimal_stream_count_receive_all");
+  return best_of_scan(media_length, n, min_streams(media_length, n), Model::kReceiveAll);
+}
+
+Cost full_cost(Index media_length, Index n, Model model) {
+  return model == Model::kReceiveTwo
+             ? optimal_stream_count(media_length, n).cost
+             : optimal_stream_count_receive_all(media_length, n).cost;
+}
+
+namespace {
+
+// Shared forest assembly for Theorem 10 / Theorem 16 / receive-all: r
+// trees of p+1 arrivals followed by s-r trees of p arrivals.
+MergeForest build_forest(Index L, const StreamPlan& plan, Model model) {
+  std::vector<MergeTree> trees;
+  trees.reserve(static_cast<std::size_t>(plan.streams));
+  if (plan.trees_of_size_p1 > 0) {
+    const MergeTree big = optimal_merge_tree(plan.p + 1, model);
+    for (Index i = 0; i < plan.trees_of_size_p1; ++i) trees.push_back(big);
+  }
+  if (plan.trees_of_size_p > 0) {
+    const MergeTree small = optimal_merge_tree(plan.p, model);
+    for (Index i = 0; i < plan.trees_of_size_p; ++i) trees.push_back(small);
+  }
+  MergeForest forest(L, std::move(trees));
+  // The optimal constructions always yield physically transmittable
+  // streams (every Lemma-1 / Lemma-17 length at most L); if this ever
+  // failed the theory (not the caller) would be wrong.
+  if (!forest.feasible(model)) {
+    throw std::logic_error("build_forest: optimal plan produced an infeasible L-tree");
+  }
+  return forest;
+}
+
+}  // namespace
+
+MergeForest optimal_merge_forest(Index media_length, Index n, Model model) {
+  const StreamPlan plan = model == Model::kReceiveTwo
+                              ? optimal_stream_count(media_length, n)
+                              : optimal_stream_count_receive_all(media_length, n);
+  return build_forest(media_length, plan, model);
+}
+
+StreamPlan optimal_stream_count_bounded(Index media_length, Index n, Index buffer_slots) {
+  check_instance(media_length, n, "optimal_stream_count_bounded");
+  if (buffer_slots < 1 || buffer_slots > media_length) {
+    throw std::invalid_argument(
+        "optimal_stream_count_bounded: buffer outside [1, L] slots");
+  }
+  const StreamPlan unconstrained = optimal_stream_count(media_length, n);
+  // Lemma 15: no client ever needs more than floor(L/2) buffer slots, so
+  // the constraint is inert for 2B >= L.
+  if (2 * buffer_slots >= media_length) return unconstrained;
+  // Otherwise trees may hold at most B arrivals (Lemma 15 forbids
+  // x - r > B), hence s >= ceil(n/B). f(s) is unimodal (Lemma 11), so the
+  // constrained optimum is the unconstrained one clamped up to the floor.
+  const Index s_floor = std::max(min_streams(media_length, n), ceil_div(n, buffer_slots));
+  if (unconstrained.streams >= s_floor) return unconstrained;
+  return make_plan(media_length, n, s_floor, Model::kReceiveTwo);
+}
+
+Cost full_cost_bounded(Index media_length, Index n, Index buffer_slots) {
+  return optimal_stream_count_bounded(media_length, n, buffer_slots).cost;
+}
+
+MergeForest optimal_merge_forest_bounded(Index media_length, Index n, Index buffer_slots) {
+  const StreamPlan plan = optimal_stream_count_bounded(media_length, n, buffer_slots);
+  return build_forest(media_length, plan, Model::kReceiveTwo);
+}
+
+Cost full_cost_scan(Index media_length, Index n, Model model) {
+  check_instance(media_length, n, "full_cost_scan");
+  return best_of_scan(media_length, n, min_streams(media_length, n), model).cost;
+}
+
+Cost full_cost_partition_dp(Index media_length, Index n, Model model) {
+  check_instance(media_length, n, "full_cost_partition_dp");
+  const Index max_tree = std::min(media_length, n);
+  const std::vector<Cost> m = merge_cost_table_dp(max_tree, model);
+  std::vector<Cost> g(static_cast<std::size_t>(n) + 1,
+                      std::numeric_limits<Cost>::max());
+  g[0] = 0;
+  for (Index i = 1; i <= n; ++i) {
+    for (Index t = 1; t <= std::min(max_tree, i); ++t) {
+      const Cost prev = g[static_cast<std::size_t>(i - t)];
+      if (prev == std::numeric_limits<Cost>::max()) continue;
+      const Cost c = prev + media_length + m[static_cast<std::size_t>(t)];
+      g[static_cast<std::size_t>(i)] = std::min(g[static_cast<std::size_t>(i)], c);
+    }
+  }
+  return g[static_cast<std::size_t>(n)];
+}
+
+}  // namespace smerge

@@ -1,0 +1,93 @@
+// Optimal full cost and optimal merge forests (Sections 3.2-3.4).
+//
+// F(L,n,s) is the minimum full cost over forests with exactly s full
+// streams. Lemma 9 shows the best such forest splits the arrivals as
+// evenly as possible: with n = p s + r (0 <= r < s),
+//   F(L,n,s) = s L + r M(p+1) + (s-r) M(p).
+// Theorem 12 locates the optimal s without scanning: with h such that
+// F_{h+1} < L+2 <= F_{h+2} and s1 = floor(n / F_h), either s1 or s1+1
+// minimizes F(L,n,s) (clamped to the feasible range [ceil(n/L), n]).
+// Theorem 10 then builds an optimal forest in O(L + n).
+//
+// Section 3.3 (Theorem 16) adapts the result to clients with buffer size
+// B <= L/2: a new full stream must start at least every B slots, i.e.
+// trees hold at most B arrivals, so s >= ceil(n/B).
+//
+// Section 3.4 repeats the program for the receive-all model (Eq. 22).
+#ifndef SMERGE_CORE_FULL_COST_H
+#define SMERGE_CORE_FULL_COST_H
+
+#include "core/merge_cost.h"
+#include "core/merge_forest.h"
+
+namespace smerge {
+
+/// Smallest feasible number of full streams: s0 = ceil(n/L) (at most L-1
+/// streams can merge into one stream of length L; Section 3.2).
+[[nodiscard]] Index min_streams(Index media_length, Index n);
+
+/// F(L,n,s) via Lemma 9 (receive-two) / Eq. 22 (receive-all). Requires
+/// 1 <= n, 1 <= L and min_streams(L,n) <= s <= n.
+[[nodiscard]] Cost full_cost_given_streams(Index media_length, Index n, Index s,
+                                           Model model = Model::kReceiveTwo);
+
+/// The index h of Theorem 12: F_{h+1} < L+2 <= F_{h+2}. Requires L >= 1.
+[[nodiscard]] int theorem12_index(Index media_length);
+
+/// Result of the optimal stream-count computation.
+struct StreamPlan {
+  Index streams;  ///< optimal s
+  Cost cost;      ///< F(L,n,s)
+  Index trees_of_size_p1;  ///< r  (trees holding p+1 arrivals)
+  Index trees_of_size_p;   ///< s-r (trees holding p arrivals)
+  Index p;        ///< floor(n/s)
+};
+
+/// Optimal s for the receive-two model by Theorem 12 (O(log) candidates,
+/// each evaluated in O(log n)). Ties prefer the smaller s.
+[[nodiscard]] StreamPlan optimal_stream_count(Index media_length, Index n);
+
+/// Optimal s for the receive-all model (linear scan over the feasible s
+/// range; the paper gives no Theorem-12 analogue). O(n).
+[[nodiscard]] StreamPlan optimal_stream_count_receive_all(Index media_length, Index n);
+
+/// Optimal full cost F(L,n) / Fw(L,n).
+[[nodiscard]] Cost full_cost(Index media_length, Index n, Model model = Model::kReceiveTwo);
+
+/// Builds an optimal merge forest (Theorem 10 / Section 3.4): r trees of
+/// p+1 arrivals followed by s-r trees of p arrivals, each an optimal merge
+/// tree. O(L + n).
+[[nodiscard]] MergeForest optimal_merge_forest(Index media_length, Index n,
+                                               Model model = Model::kReceiveTwo);
+
+/// --- Section 3.3: bounded client buffers -------------------------------
+
+/// Optimal stream plan when clients can buffer at most B slots
+/// (1 <= B <= L/2 per the paper; we accept B up to L). Trees are limited
+/// to B arrivals, so s >= ceil(n/B) (Theorem 16).
+[[nodiscard]] StreamPlan optimal_stream_count_bounded(Index media_length, Index n,
+                                                      Index buffer_slots);
+
+/// Optimal full cost with a B-slot client buffer.
+[[nodiscard]] Cost full_cost_bounded(Index media_length, Index n, Index buffer_slots);
+
+/// Optimal merge forest with a B-slot client buffer (Theorem 16),
+/// O(B + n).
+[[nodiscard]] MergeForest optimal_merge_forest_bounded(Index media_length, Index n,
+                                                       Index buffer_slots);
+
+/// --- Reference implementations (tests & benches only) ------------------
+
+/// min over the feasible s range of full_cost_given_streams. O(n).
+[[nodiscard]] Cost full_cost_scan(Index media_length, Index n,
+                                  Model model = Model::kReceiveTwo);
+
+/// O(n * min(n,L)) partition DP that does not assume Lemma 9's even-split
+/// structure: G(i) = min_{1<=t<=min(L,i)} G(i-t) + L + M(t). Ground truth
+/// for the optimal full cost.
+[[nodiscard]] Cost full_cost_partition_dp(Index media_length, Index n,
+                                          Model model = Model::kReceiveTwo);
+
+}  // namespace smerge
+
+#endif  // SMERGE_CORE_FULL_COST_H

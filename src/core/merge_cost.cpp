@@ -1,0 +1,141 @@
+#include "core/merge_cost.h"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace smerge {
+
+namespace {
+
+void check_horizon(Index n, const char* fn) {
+  if (n < 0 || n > kMaxHorizon) {
+    throw std::invalid_argument(std::string(fn) + ": n outside [0, 10^15]");
+  }
+}
+
+}  // namespace
+
+Cost merge_cost(Index n) {
+  check_horizon(n, "merge_cost");
+  if (n <= 1) return 0;
+  const fib::Bracket b = fib::decompose(n);
+  // Eq. (6): M(n) = (k-1) n - F_{k+2} + 2.
+  return static_cast<Cost>(b.k - 1) * n - fib::fibonacci(b.k + 2) + 2;
+}
+
+Cost merge_cost_receive_all(Index n) {
+  check_horizon(n, "merge_cost_receive_all");
+  if (n <= 1) return 0;
+  // Largest k with 2^k <= n.
+  const int k = static_cast<int>(std::bit_width(static_cast<std::uint64_t>(n))) - 1;
+  // Eq. (20): Mw(n) = (k+1) n - 2^{k+1} + 1.
+  return static_cast<Cost>(k + 1) * n - (Cost{1} << (k + 1)) + 1;
+}
+
+Cost merge_cost(Index n, Model model) {
+  return model == Model::kReceiveTwo ? merge_cost(n) : merge_cost_receive_all(n);
+}
+
+std::vector<Cost> merge_cost_table_dp(Index n_max, Model model) {
+  check_horizon(n_max, "merge_cost_table_dp");
+  std::vector<Cost> m(static_cast<std::size_t>(n_max) + 1, 0);
+  for (Index n = 2; n <= n_max; ++n) {
+    Cost best = std::numeric_limits<Cost>::max();
+    for (Index h = 1; h <= n - 1; ++h) {
+      const Cost sub = m[static_cast<std::size_t>(h)] + m[static_cast<std::size_t>(n - h)];
+      const Cost attach = model == Model::kReceiveTwo ? (2 * n - h - 2) : (n - 1);
+      best = std::min(best, sub + attach);
+    }
+    m[static_cast<std::size_t>(n)] = best;
+  }
+  return m;
+}
+
+Cost last_merge_cost(Index n, Index h) {
+  if (n < 2 || h < 1 || h > n - 1) {
+    throw std::invalid_argument("last_merge_cost: requires n >= 2 and 1 <= h <= n-1");
+  }
+  return merge_cost(h) + merge_cost(n - h) + 2 * n - h - 2;
+}
+
+IndexInterval last_merge_interval(Index n) {
+  if (n < 2) {
+    throw std::invalid_argument("last_merge_interval: requires n >= 2");
+  }
+  check_horizon(n, "last_merge_interval");
+  // Theorem 3 with the canonical decomposition n = F_k + m, 0 <= m < F_{k-1}:
+  //   m <= F_{k-3}:            I1 = [F_{k-1},     F_{k-1} + m]
+  //   F_{k-3} <= m <= F_{k-2}: I2 = [F_{k-2} + m, F_{k-1} + m]
+  //   F_{k-2} <= m:            I3 = [F_{k-2} + m, F_k]
+  // The cases agree on their shared boundaries, so lo/hi can be picked
+  // independently.
+  const fib::Bracket b = fib::decompose(n);
+  const std::int64_t f_k3 = b.k >= 3 ? fib::fibonacci(b.k - 3) : 0;
+  const std::int64_t f_k2 = fib::fibonacci(b.k - 2);
+  const std::int64_t f_k1 = fib::fibonacci(b.k - 1);
+  const Index lo = b.m <= f_k3 ? f_k1 : f_k2 + b.m;
+  const Index hi = b.m <= f_k2 ? f_k1 + b.m : b.fk;
+  return IndexInterval{lo, hi};
+}
+
+std::vector<IndexInterval> last_merge_intervals_dp(Index n_max) {
+  check_horizon(n_max, "last_merge_intervals_dp");
+  const std::vector<Cost> m = merge_cost_table_dp(n_max);
+  std::vector<IndexInterval> out(static_cast<std::size_t>(std::max<Index>(n_max, 1)) + 1,
+                                 IndexInterval{0, 0});
+  for (Index n = 2; n <= n_max; ++n) {
+    Cost best = std::numeric_limits<Cost>::max();
+    for (Index h = 1; h <= n - 1; ++h) {
+      best = std::min(best, m[static_cast<std::size_t>(h)] +
+                                m[static_cast<std::size_t>(n - h)] + 2 * n - h - 2);
+    }
+    Index lo = -1;
+    Index hi = -1;
+    bool in_run = false;
+    for (Index h = 1; h <= n - 1; ++h) {
+      const Cost c = m[static_cast<std::size_t>(h)] +
+                     m[static_cast<std::size_t>(n - h)] + 2 * n - h - 2;
+      if (c == best) {
+        if (!in_run) {
+          if (lo != -1) {
+            // A second run would falsify Theorem 3's interval claim.
+            throw std::logic_error("last_merge_intervals_dp: argmin set not contiguous");
+          }
+          lo = h;
+          in_run = true;
+        }
+        hi = h;
+      } else {
+        in_run = false;
+      }
+    }
+    out[static_cast<std::size_t>(n)] = IndexInterval{lo, hi};
+  }
+  return out;
+}
+
+std::vector<Index> last_merge_table(Index n_max) {
+  check_horizon(n_max, "last_merge_table");
+  std::vector<Index> r(static_cast<std::size_t>(std::max<Index>(n_max, 1)) + 1, 0);
+  if (n_max >= 2) r[2] = 1;
+  // Recurrence from the proof of Theorem 7, with F_k < i <= F_{k+1}:
+  //   r(i) = r(i-1) + 1   if F_k < i <= F_k + F_{k-2}
+  //   r(i) = r(i-1)       if F_k + F_{k-2} < i <= F_{k+1}
+  int k = 3;  // bracket for i = 3: F_3 = 2 < 3 <= F_4 = 3
+  for (Index i = 3; i <= n_max; ++i) {
+    while (i > fib::fibonacci(k + 1)) ++k;
+    const bool grows = i <= fib::fibonacci(k) + fib::fibonacci(k - 2);
+    r[static_cast<std::size_t>(i)] =
+        r[static_cast<std::size_t>(i - 1)] + (grows ? 1 : 0);
+  }
+  return r;
+}
+
+Index last_merge_root(Index n) {
+  return last_merge_interval(n).hi;
+}
+
+}  // namespace smerge

@@ -1,0 +1,84 @@
+// Optimal merge-cost functions of the paper (Section 3.1 and Section 3.4).
+//
+// The delay-guaranteed model has one arrival per slot, so a horizon of n
+// slots is the arrival sequence 0, 1, ..., n-1. M(n) is the minimum merge
+// cost (total truncated-stream bandwidth, root excluded) over all merge
+// trees for those arrivals.
+//
+// Receive-two model:
+//   Recurrence (Eq. 5):  M(n) = min_{1<=h<=n-1} { M(h) + M(n-h) + 2n-h-2 }
+//   Closed form (Eq. 6): M(n) = (k-1) n - F_{k+2} + 2   for F_k <= n <= F_{k+1}
+// Receive-all model (Section 3.4):
+//   Recurrence (Eq. 19): Mw(n) = min_h { Mw(h) + Mw(n-h) } + n - 1
+//   Closed form (Eq. 20): Mw(n) = (k+1) n - 2^{k+1} + 1  for 2^k <= n <= 2^{k+1}
+//
+// Theorem 3 additionally characterizes I(n) — the set of arrivals that can
+// be the *last* to merge with the root in an optimal tree — as an interval
+// whose endpoints are Fibonacci expressions; the O(n) tree construction of
+// Theorem 7 consumes r(i) = max I(i).
+#ifndef SMERGE_CORE_MERGE_COST_H
+#define SMERGE_CORE_MERGE_COST_H
+
+#include <vector>
+
+#include "core/model.h"
+#include "fib/fibonacci.h"
+
+namespace smerge {
+
+/// Largest horizon accepted by the closed-form cost functions. Guards the
+/// 64-bit products (k-1)*n; far beyond any in-memory instance.
+inline constexpr Index kMaxHorizon = 1'000'000'000'000'000;  // 10^15
+
+/// Optimal merge cost M(n) via the Fibonacci closed form (Eq. 6).
+/// M(0) = M(1) = 0. O(log n). Throws std::invalid_argument for n < 0 or
+/// n > kMaxHorizon.
+[[nodiscard]] Cost merge_cost(Index n);
+
+/// Optimal receive-all merge cost Mw(n) via Eq. (20). M(0) = M(1) = 0.
+[[nodiscard]] Cost merge_cost_receive_all(Index n);
+
+/// Model-dispatching convenience wrapper.
+[[nodiscard]] Cost merge_cost(Index n, Model model);
+
+/// Reference O(n_max^2) dynamic program evaluating the recurrence directly
+/// (Eq. 5 for receive-two, Eq. 19 for receive-all). Returns the table
+/// M[0..n_max]. Used by tests as ground truth and by the complexity bench
+/// as the quadratic baseline the paper improves upon.
+[[nodiscard]] std::vector<Cost> merge_cost_table_dp(Index n_max,
+                                                    Model model = Model::kReceiveTwo);
+
+/// The cost H(n,h) of making h the last arrival to merge with the root
+/// (Eq. 7): H(n,h) = M(h) + M(n-h) + 2n - h - 2. Requires 1 <= h <= n-1.
+[[nodiscard]] Cost last_merge_cost(Index n, Index h);
+
+/// A closed interval of arrival indices.
+struct IndexInterval {
+  Index lo;
+  Index hi;
+
+  [[nodiscard]] bool contains(Index x) const noexcept { return lo <= x && x <= hi; }
+  [[nodiscard]] Index width() const noexcept { return hi - lo + 1; }
+  friend bool operator==(const IndexInterval&, const IndexInterval&) = default;
+};
+
+/// I(n) — the interval of arrivals that can be the last merge with the
+/// root in an optimal merge tree for [0, n-1] (Theorem 3). Requires n >= 2.
+[[nodiscard]] IndexInterval last_merge_interval(Index n);
+
+/// I(n) computed from the DP by collecting every argmin of H(n, .).
+/// Verifies the argmin set is contiguous (it always is; Theorem 3) and
+/// returns it as an interval. O(n_max^2); test/ground-truth only.
+[[nodiscard]] std::vector<IndexInterval> last_merge_intervals_dp(Index n_max);
+
+/// r(i) = max I(i) for 1 <= i <= n_max via the linear-time recurrence in
+/// the proof of Theorem 7; r(1) = 0 is the single-arrival sentinel.
+/// Index 0 of the returned vector is unused (set to 0).
+[[nodiscard]] std::vector<Index> last_merge_table(Index n_max);
+
+/// r(n) = max I(n) in O(log n) straight from the Theorem-3 intervals.
+[[nodiscard]] Index last_merge_root(Index n);
+
+}  // namespace smerge
+
+#endif  // SMERGE_CORE_MERGE_COST_H

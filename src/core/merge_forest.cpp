@@ -1,0 +1,67 @@
+#include "core/merge_forest.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace smerge {
+
+MergeForest::MergeForest(Index media_length, std::vector<MergeTree> trees)
+    : media_length_(media_length), trees_(std::move(trees)) {
+  if (media_length_ < 1) {
+    throw std::invalid_argument("MergeForest: media length must be >= 1 slot");
+  }
+  if (trees_.empty()) {
+    throw std::invalid_argument("MergeForest: at least one tree required");
+  }
+  offsets_.reserve(trees_.size());
+  for (const MergeTree& t : trees_) {
+    if (!t.fits(media_length_)) {
+      throw std::invalid_argument(
+          "MergeForest: tree span exceeds media length (root cannot serve last arrival)");
+    }
+    offsets_.push_back(total_);
+    total_ += t.size();
+  }
+}
+
+const MergeTree& MergeForest::tree(Index t) const {
+  if (t < 0 || t >= num_trees()) throw std::out_of_range("MergeForest::tree");
+  return trees_[static_cast<std::size_t>(t)];
+}
+
+Index MergeForest::tree_offset(Index t) const {
+  if (t < 0 || t >= num_trees()) throw std::out_of_range("MergeForest::tree_offset");
+  return offsets_[static_cast<std::size_t>(t)];
+}
+
+Index MergeForest::tree_of(Index arrival) const {
+  if (arrival < 0 || arrival >= total_) throw std::out_of_range("MergeForest::tree_of");
+  const auto it = std::upper_bound(offsets_.begin(), offsets_.end(), arrival);
+  return static_cast<Index>(it - offsets_.begin()) - 1;
+}
+
+Cost MergeForest::stream_length(Index arrival, Model model) const {
+  const Index t = tree_of(arrival);
+  const Index local = arrival - offsets_[static_cast<std::size_t>(t)];
+  if (local == 0) return media_length_;  // root: a full stream
+  return trees_[static_cast<std::size_t>(t)].length(local, model);
+}
+
+Cost MergeForest::full_cost(Model model) const {
+  Cost total = num_trees() * media_length_;
+  for (const MergeTree& t : trees_) total += t.merge_cost(model);
+  return total;
+}
+
+double MergeForest::average_bandwidth(Model model) const {
+  return static_cast<double>(full_cost(model)) / static_cast<double>(total_);
+}
+
+bool MergeForest::feasible(Model model) const {
+  for (const MergeTree& t : trees_) {
+    if (!t.feasible(media_length_, model)) return false;
+  }
+  return true;
+}
+
+}  // namespace smerge

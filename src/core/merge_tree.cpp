@@ -1,0 +1,169 @@
+#include "core/merge_tree.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace smerge {
+
+namespace {
+
+std::size_t index_of(Index x) { return static_cast<std::size_t>(x); }
+
+}  // namespace
+
+MergeTree::MergeTree(std::vector<Index> parents) : parents_(std::move(parents)) {
+  const Index n = size();
+  if (n == 0) {
+    throw std::invalid_argument("MergeTree: at least one arrival required");
+  }
+  if (parents_[0] != -1) {
+    throw std::invalid_argument("MergeTree: parents[0] must be -1 (root)");
+  }
+  children_.resize(index_of(n));
+  // Validate "merge to an earlier stream" and the preorder property. The
+  // preorder property holds iff each new node's parent lies on the
+  // rightmost path of the tree built from the previous labels, which the
+  // stack tracks exactly.
+  std::vector<Index> rightmost{0};
+  for (Index i = 1; i < n; ++i) {
+    const Index p = parents_[index_of(i)];
+    if (p < 0 || p >= i) {
+      throw std::invalid_argument("MergeTree: parent label must precede node label");
+    }
+    while (!rightmost.empty() && rightmost.back() != p) rightmost.pop_back();
+    if (rightmost.empty()) {
+      throw std::invalid_argument("MergeTree: preorder traversal property violated");
+    }
+    rightmost.push_back(i);
+    children_[index_of(p)].push_back(i);  // ascending i => sorted children
+  }
+
+  // z(x) by reverse scan: all descendants of x have larger labels, so by
+  // the time x's entry is folded into its parent, z(x) is final.
+  last_descendant_.resize(index_of(n));
+  for (Index i = 0; i < n; ++i) last_descendant_[index_of(i)] = i;
+  for (Index i = n - 1; i >= 1; --i) {
+    const Index p = parents_[index_of(i)];
+    auto& zp = last_descendant_[index_of(p)];
+    zp = std::max(zp, last_descendant_[index_of(i)]);
+  }
+}
+
+MergeTree MergeTree::single() {
+  return MergeTree(std::vector<Index>{-1});
+}
+
+MergeTree MergeTree::chain(Index n) {
+  if (n < 1) throw std::invalid_argument("MergeTree::chain: n >= 1 required");
+  std::vector<Index> parents(index_of(n));
+  parents[0] = -1;
+  for (Index i = 1; i < n; ++i) parents[index_of(i)] = i - 1;
+  return MergeTree(std::move(parents));
+}
+
+MergeTree MergeTree::star(Index n) {
+  if (n < 1) throw std::invalid_argument("MergeTree::star: n >= 1 required");
+  std::vector<Index> parents(index_of(n), 0);
+  parents[0] = -1;
+  return MergeTree(std::move(parents));
+}
+
+Index MergeTree::parent(Index x) const {
+  if (x < 0 || x >= size()) throw std::out_of_range("MergeTree::parent");
+  return parents_[index_of(x)];
+}
+
+const std::vector<Index>& MergeTree::children(Index x) const {
+  if (x < 0 || x >= size()) throw std::out_of_range("MergeTree::children");
+  return children_[index_of(x)];
+}
+
+Index MergeTree::last_descendant(Index x) const {
+  if (x < 0 || x >= size()) throw std::out_of_range("MergeTree::last_descendant");
+  return last_descendant_[index_of(x)];
+}
+
+Index MergeTree::depth(Index x) const {
+  Index d = 0;
+  for (Index v = x; parent(v) != -1; v = parent(v)) ++d;
+  return d;
+}
+
+std::vector<Index> MergeTree::path_from_root(Index x) const {
+  std::vector<Index> path;
+  for (Index v = x; v != -1; v = parent(v)) path.push_back(v);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+Cost MergeTree::length(Index x, Model model) const {
+  const Index p = parent(x);
+  if (p == -1) {
+    throw std::invalid_argument("MergeTree::length: the root stream has length L");
+  }
+  const Index z = last_descendant(x);
+  return model == Model::kReceiveTwo ? (2 * z - x - p)  // Lemma 1
+                                     : (z - p);         // Lemma 17
+}
+
+Cost MergeTree::merge_cost(Model model) const {
+  Cost total = 0;
+  for (Index x = 1; x < size(); ++x) total += length(x, model);
+  return total;
+}
+
+MergeTree MergeTree::prefix(Index count) const {
+  if (count < 1 || count > size()) {
+    throw std::invalid_argument("MergeTree::prefix: count outside [1, size()]");
+  }
+  std::vector<Index> parents(parents_.begin(), parents_.begin() + static_cast<std::ptrdiff_t>(count));
+  return MergeTree(std::move(parents));
+}
+
+bool MergeTree::feasible(Index media_length, Model model) const {
+  if (!fits(media_length)) return false;
+  for (Index x = 1; x < size(); ++x) {
+    if (length(x, model) > media_length) return false;
+  }
+  return true;
+}
+
+MergeTree MergeTree::subtree(Index x) const {
+  if (x < 0 || x >= size()) throw std::out_of_range("MergeTree::subtree");
+  const Index z = last_descendant(x);
+  std::vector<Index> parents(index_of(z - x + 1));
+  parents[0] = -1;
+  for (Index i = x + 1; i <= z; ++i) {
+    parents[index_of(i - x)] = parents_[index_of(i)] - x;
+  }
+  return MergeTree(std::move(parents));
+}
+
+std::string MergeTree::to_string() const {
+  std::ostringstream os;
+  // Iterative preorder rendering with explicit close-parens.
+  struct Frame {
+    Index node;
+    std::size_t next_child;
+  };
+  std::vector<Frame> stack{{0, 0}};
+  os << 0;
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    const auto& kids = children_[index_of(top.node)];
+    if (top.next_child == 0 && !kids.empty()) os << '(';
+    if (top.next_child < kids.size()) {
+      if (top.next_child > 0) os << ' ';
+      const Index child = kids[top.next_child++];
+      os << child;
+      stack.push_back(Frame{child, 0});
+    } else {
+      if (!kids.empty()) os << ')';
+      stack.pop_back();
+    }
+  }
+  return os.str();
+}
+
+}  // namespace smerge

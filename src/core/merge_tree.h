@@ -1,0 +1,116 @@
+// Merge trees (Section 2 of the paper).
+//
+// A merge tree for the arrivals 0, 1, ..., n-1 is an ordered labeled tree
+// whose root is 0, in which every non-root node merges to an earlier
+// arrival (parent label < node label) and which satisfies the *preorder
+// traversal property*: a preorder walk visits the labels in increasing
+// order. Every optimal tree has this property ([6], cited in Section 2),
+// so the class enforces it as an invariant — the subtree of any node x is
+// exactly the label interval [x, z(x)].
+//
+// Stream lengths are dictated by the reception model:
+//   receive-two (Lemma 1):  l(x) = 2 z(x) - x - p(x)
+//   receive-all (Lemma 17): w(x) = z(x) - p(x)
+// where p(x) is the parent label and z(x) the last arrival in x's subtree.
+// The merge cost of the tree is the sum of lengths over non-root nodes.
+#ifndef SMERGE_CORE_MERGE_TREE_H
+#define SMERGE_CORE_MERGE_TREE_H
+
+#include <string>
+#include <vector>
+
+#include "core/model.h"
+#include "fib/fibonacci.h"
+
+namespace smerge {
+
+/// An immutable merge tree over the local arrivals 0..size()-1.
+///
+/// Labels inside the tree are always 0-based; when the tree is placed in a
+/// merge forest at slot offset t0, global arrival times are t0 + label.
+/// All length/cost formulas depend only on label differences, so the
+/// offset never enters this class.
+class MergeTree {
+ public:
+  /// Builds a tree from a parent vector: parents[0] must be -1 (root) and
+  /// for every i > 0, 0 <= parents[i] < i. Validates the preorder
+  /// traversal property; throws std::invalid_argument on any violation.
+  explicit MergeTree(std::vector<Index> parents);
+
+  /// The one-arrival tree (a single root).
+  [[nodiscard]] static MergeTree single();
+  /// The path 0 -> 1 -> ... -> n-1 (each arrival merges to its
+  /// predecessor). Requires n >= 1.
+  [[nodiscard]] static MergeTree chain(Index n);
+  /// The star: every arrival 1..n-1 merges directly to the root.
+  [[nodiscard]] static MergeTree star(Index n);
+
+  /// Number of arrivals (nodes).
+  [[nodiscard]] Index size() const noexcept { return static_cast<Index>(parents_.size()); }
+  /// Parent label of x; -1 for the root. Throws std::out_of_range.
+  [[nodiscard]] Index parent(Index x) const;
+  /// Children of x in increasing label order.
+  [[nodiscard]] const std::vector<Index>& children(Index x) const;
+  /// z(x): the last (largest) arrival in the subtree rooted at x. By the
+  /// preorder property the subtree of x is exactly [x, z(x)].
+  [[nodiscard]] Index last_descendant(Index x) const;
+  /// Number of edges from the root to x.
+  [[nodiscard]] Index depth(Index x) const;
+  /// The receiving-program path x0=0 < x1 < ... < xk = x (Section 2).
+  [[nodiscard]] std::vector<Index> path_from_root(Index x) const;
+
+  /// Stream length of non-root x under `model` (Lemma 1 / Lemma 17).
+  /// Throws std::invalid_argument for the root (its length is the full
+  /// media length L, which the tree does not know).
+  [[nodiscard]] Cost length(Index x, Model model = Model::kReceiveTwo) const;
+
+  /// Sum of `length(x)` over all non-root x (Mcost / Mcost_w).
+  [[nodiscard]] Cost merge_cost(Model model = Model::kReceiveTwo) const;
+
+  /// z(root) - root: how many slots after the root the last arrival lands.
+  [[nodiscard]] Index span() const noexcept { return size() - 1; }
+
+  /// True iff a root stream of length L serves the whole tree; the paper
+  /// requires z - r <= L - 1 (Section 2, "Length of streams").
+  [[nodiscard]] bool fits(Index media_length) const noexcept {
+    return span() <= media_length - 1;
+  }
+
+  /// Full "L-tree" feasibility (the assumption in Lemma 15's proof):
+  /// fits(L) *and* every non-root stream length under `model` is at most
+  /// L — a stream is a prefix of the media, so Lemma-1 lengths beyond L
+  /// cannot be transmitted. All optimal constructions satisfy this; a
+  /// chain over L arrivals, for example, does not.
+  [[nodiscard]] bool feasible(Index media_length,
+                              Model model = Model::kReceiveTwo) const;
+
+  /// The tree induced by the first `count` arrivals (labels 0..count-1).
+  /// Parents are unchanged; used by the on-line algorithm's final partial
+  /// block (Section 4.1). Requires 1 <= count <= size().
+  [[nodiscard]] MergeTree prefix(Index count) const;
+
+  /// The subtree rooted at x, relabeled so that x becomes 0. By the
+  /// preorder property this is the label interval [x, z(x)]. Used by the
+  /// Lemma-2 decomposition T = T' + T'' + l(x).
+  [[nodiscard]] MergeTree subtree(Index x) const;
+
+  /// Structural equality (same parent vector).
+  friend bool operator==(const MergeTree& a, const MergeTree& b) {
+    return a.parents_ == b.parents_;
+  }
+
+  /// Nested rendering, e.g. "0(1(2) 3)" for the tree 0 -> {1 -> {2}, 3}.
+  [[nodiscard]] std::string to_string() const;
+
+  /// The raw parent vector (parents()[0] == -1).
+  [[nodiscard]] const std::vector<Index>& parents() const noexcept { return parents_; }
+
+ private:
+  std::vector<Index> parents_;
+  std::vector<std::vector<Index>> children_;
+  std::vector<Index> last_descendant_;
+};
+
+}  // namespace smerge
+
+#endif  // SMERGE_CORE_MERGE_TREE_H

@@ -1,0 +1,27 @@
+// Client reception models studied by the paper.
+#ifndef SMERGE_CORE_MODEL_H
+#define SMERGE_CORE_MODEL_H
+
+namespace smerge {
+
+/// How many streams a client may receive simultaneously.
+///
+/// * `kReceiveTwo`  — the paper's main model: a client listens to at most
+///   two streams at once (its own and the one it is merging into).
+///   Stream lengths follow Lemma 1: l(x) = 2 z(x) - x - p(x).
+/// * `kReceiveAll`  — Section 3.4: a client may listen to every stream on
+///   its root path simultaneously. Lengths follow Lemma 17:
+///   w(x) = z(x) - p(x).
+enum class Model {
+  kReceiveTwo,
+  kReceiveAll,
+};
+
+/// Human-readable model name ("receive-two" / "receive-all").
+[[nodiscard]] constexpr const char* to_string(Model m) noexcept {
+  return m == Model::kReceiveTwo ? "receive-two" : "receive-all";
+}
+
+}  // namespace smerge
+
+#endif  // SMERGE_CORE_MODEL_H

@@ -1,0 +1,123 @@
+#include "core/tree_builder.h"
+
+#include <random>
+#include <stdexcept>
+
+namespace smerge {
+
+namespace {
+
+std::size_t index_of(Index x) { return static_cast<std::size_t>(x); }
+
+// Fills parents for the arrival block [lo, hi] (labels are tree-local).
+// split(len) must return the size of the left part (= the last arrival to
+// merge with the root, h) for a block of `len` arrivals.
+void build_recursive(Index lo, Index hi, const std::function<Index(Index)>& split,
+                     std::vector<Index>& parents) {
+  if (lo == hi) return;
+  const Index len = hi - lo + 1;
+  const Index h = split(len);
+  if (h < 1 || h > len - 1) {
+    throw std::logic_error("tree_builder: split size outside [1, len-1]");
+  }
+  const Index mid = lo + h;
+  // Attach the root of the right block as the last child of the left root.
+  parents[index_of(mid)] = lo;
+  build_recursive(lo, mid - 1, split, parents);
+  build_recursive(mid, hi, split, parents);
+}
+
+MergeTree build_with_split(Index n, const std::function<Index(Index)>& split) {
+  if (n < 1) throw std::invalid_argument("tree_builder: n >= 1 required");
+  std::vector<Index> parents(index_of(n), -1);
+  build_recursive(0, n - 1, split, parents);
+  return MergeTree(std::move(parents));
+}
+
+}  // namespace
+
+MergeTree optimal_merge_tree(Index n, Model model) {
+  if (model == Model::kReceiveAll) {
+    // Section 3.4: the midpoint split attains Eq. (19)'s minimum.
+    return build_with_split(n, [](Index len) { return len / 2; });
+  }
+  if (n < 1 || n > kMaxHorizon) {
+    throw std::invalid_argument("optimal_merge_tree: n outside [1, 10^15]");
+  }
+  // Theorem 7's pipeline: materialize r(i) once in O(n), then split by
+  // table lookup — O(n) total instead of the O(n log n) a per-split
+  // closed-form evaluation would give.
+  const std::vector<Index> r_table = last_merge_table(n);
+  return build_with_split(n, [&r_table](Index len) { return r_table[index_of(len)]; });
+}
+
+MergeTree optimal_merge_tree_with_table(Index n, const std::vector<Index>& r_table) {
+  if (n < 1) throw std::invalid_argument("optimal_merge_tree_with_table: n >= 1 required");
+  if (static_cast<Index>(r_table.size()) <= n) {
+    throw std::invalid_argument("optimal_merge_tree_with_table: table too short");
+  }
+  return build_with_split(n, [&r_table](Index len) { return r_table[index_of(len)]; });
+}
+
+MergeTree fibonacci_merge_tree(int k) {
+  if (k < 2 || k > fib::kMaxIndex) {
+    throw std::invalid_argument("fibonacci_merge_tree: k outside [2, 92]");
+  }
+  return optimal_merge_tree(fib::fibonacci(k));
+}
+
+void enumerate_merge_trees(Index n, const std::function<void(const MergeTree&)>& fn) {
+  if (n < 1) throw std::invalid_argument("enumerate_merge_trees: n >= 1 required");
+  std::vector<Index> parents(index_of(n), -1);
+  std::vector<Index> rightmost{0};
+
+  // Depth-first choice of a parent for node i among the rightmost path of
+  // the tree over 0..i-1 — exactly the trees accepted by MergeTree's
+  // preorder validation.
+  const std::function<void(Index)> rec = [&](Index i) {
+    if (i == n) {
+      fn(MergeTree(parents));
+      return;
+    }
+    const std::vector<Index> saved = rightmost;
+    for (std::size_t cut = saved.size(); cut >= 1; --cut) {
+      // Parent = saved[cut-1]; everything above it leaves the rightmost path.
+      parents[index_of(i)] = saved[cut - 1];
+      rightmost.assign(saved.begin(), saved.begin() + static_cast<std::ptrdiff_t>(cut));
+      rightmost.push_back(i);
+      rec(i + 1);
+    }
+    rightmost = saved;
+  };
+  rec(1);
+}
+
+MergeTree random_merge_tree(Index n, std::uint64_t seed) {
+  if (n < 1) throw std::invalid_argument("random_merge_tree: n >= 1 required");
+  std::mt19937_64 rng(seed);
+  std::vector<Index> parents(index_of(n), -1);
+  std::vector<Index> rightmost{0};
+  for (Index i = 1; i < n; ++i) {
+    std::uniform_int_distribution<std::size_t> pick(0, rightmost.size() - 1);
+    const std::size_t cut = pick(rng);
+    parents[index_of(i)] = rightmost[cut];
+    rightmost.resize(cut + 1);
+    rightmost.push_back(i);
+  }
+  return MergeTree(std::move(parents));
+}
+
+std::int64_t count_merge_trees(Index n) {
+  if (n < 1 || n > 34) {
+    throw std::invalid_argument("count_merge_trees: n outside [1, 34]");
+  }
+  // Catalan(n-1) by the product formula, exact in 64 bits for n <= 34.
+  const Index m = n - 1;
+  std::int64_t c = 1;
+  for (Index i = 0; i < m; ++i) {
+    c = c * 2 * (2 * i + 1) / (i + 2);
+  }
+  return c;
+}
+
+}  // namespace smerge

@@ -1,0 +1,57 @@
+// Construction of optimal merge trees.
+//
+// Theorem 7: with the table r(i) = max I(i) precomputed in linear time,
+// an optimal receive-two merge tree for n arrivals is built recursively —
+// split [0, n-1] at h = r(n), build optimal trees for the first h and the
+// remaining n-h arrivals, and attach the second root as the last child of
+// the first root. For the receive-all model the optimal split is the
+// midpoint (Section 3.4).
+//
+// For n equal to a Fibonacci number the optimal receive-two tree is unique
+// (the "Fibonacci merge tree"); its right subtree is the tree for F_{k-2}
+// and the rest is the tree for F_{k-1} (Fig. 7).
+//
+// `enumerate_merge_trees` walks *every* merge tree on n arrivals
+// (Catalan(n-1) of them) and is the exhaustive optimality anchor used by
+// the property tests.
+#ifndef SMERGE_CORE_TREE_BUILDER_H
+#define SMERGE_CORE_TREE_BUILDER_H
+
+#include <functional>
+
+#include "core/merge_cost.h"
+#include "core/merge_tree.h"
+
+namespace smerge {
+
+/// Optimal merge tree for n arrivals under `model`. O(n) after the O(n)
+/// r-table construction. Requires 1 <= n <= kMaxHorizon (and a table at
+/// least that long in the table-reusing overload).
+[[nodiscard]] MergeTree optimal_merge_tree(Index n, Model model = Model::kReceiveTwo);
+
+/// As above, reusing a precomputed `last_merge_table(>= n)`; receive-two
+/// only (the receive-all split needs no table).
+[[nodiscard]] MergeTree optimal_merge_tree_with_table(Index n,
+                                                      const std::vector<Index>& r_table);
+
+/// The unique optimal tree for n = F_k arrivals (Fig. 7). Requires
+/// 2 <= k <= fib::kMaxIndex.
+[[nodiscard]] MergeTree fibonacci_merge_tree(int k);
+
+/// Invokes `fn` on every merge tree over n arrivals, in lexicographic
+/// parent-vector order. There are Catalan(n-1) of them; keep n <= ~14.
+void enumerate_merge_trees(Index n, const std::function<void(const MergeTree&)>& fn);
+
+/// Catalan(n-1): the number of merge trees on n arrivals. Requires
+/// 1 <= n <= 34 (larger overflows 64 bits).
+[[nodiscard]] std::int64_t count_merge_trees(Index n);
+
+/// A uniformly-random-ish merge tree on n arrivals: each node attaches to
+/// a uniformly chosen member of the current rightmost path (the natural
+/// preorder-preserving growth process). Deterministic for a fixed seed.
+/// Used by fuzz tests to exercise non-optimal tree shapes.
+[[nodiscard]] MergeTree random_merge_tree(Index n, std::uint64_t seed);
+
+}  // namespace smerge
+
+#endif  // SMERGE_CORE_TREE_BUILDER_H

@@ -1,0 +1,64 @@
+#include "fib/fibonacci.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+namespace smerge::fib {
+
+namespace {
+
+// Precomputed table F_0..F_92; the recurrence at namespace scope keeps
+// every call O(1) and trivially overflow-safe.
+constexpr std::array<std::int64_t, kMaxIndex + 1> kTable = [] {
+  std::array<std::int64_t, kMaxIndex + 1> t{};
+  t[0] = 0;
+  t[1] = 1;
+  for (int i = 2; i <= kMaxIndex; ++i) t[static_cast<std::size_t>(i)] =
+      t[static_cast<std::size_t>(i - 1)] + t[static_cast<std::size_t>(i - 2)];
+  return t;
+}();
+
+}  // namespace
+
+std::int64_t fibonacci(int k) {
+  if (k < 0 || k > kMaxIndex) {
+    throw std::out_of_range("fibonacci: index outside [0, 92]");
+  }
+  return kTable[static_cast<std::size_t>(k)];
+}
+
+int bracket_index(std::int64_t n) {
+  if (n < 1) {
+    throw std::invalid_argument("bracket_index: n must be >= 1");
+  }
+  // Upper-bound binary search over the strictly increasing tail F_2..F_92
+  // (F_1 = F_2 = 1 makes the full table non-strict; starting at index 2
+  // guarantees the "largest k" convention picks k = 2 for n = 1).
+  const auto first = kTable.begin() + 2;
+  auto it = std::upper_bound(first, kTable.end(), n);
+  return static_cast<int>((it - kTable.begin()) - 1);
+}
+
+bool is_fibonacci(std::int64_t n) {
+  if (n < 0) return false;
+  if (n == 0 || n == 1) return true;
+  const int k = bracket_index(n);
+  return kTable[static_cast<std::size_t>(k)] == n;
+}
+
+double log_phi(double x) {
+  if (!(x > 0.0)) {
+    throw std::invalid_argument("log_phi: x must be positive");
+  }
+  return std::log(x) / std::log(kGoldenRatio);
+}
+
+Bracket decompose(std::int64_t n) {
+  const int k = bracket_index(n);
+  const std::int64_t fk = fibonacci(k);
+  return Bracket{k, fk, n - fk};
+}
+
+}  // namespace smerge::fib

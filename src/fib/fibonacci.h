@@ -1,0 +1,61 @@
+// Fibonacci-number utilities.
+//
+// The optimal merge cost of the paper is governed by Fibonacci numbers
+// (Eq. 6, Theorem 3): M(n) = (k-1)n - F_{k+2} + 2 for F_k <= n <= F_{k+1}.
+// Every core algorithm needs fast, overflow-checked access to F_k and to
+// the bracketing index k for a given n. All values are exact 64-bit
+// integers; F_92 = 7540113804746346429 is the largest representable term.
+#ifndef SMERGE_FIB_FIBONACCI_H
+#define SMERGE_FIB_FIBONACCI_H
+
+#include <cstdint>
+
+namespace smerge {
+
+/// Signed 64-bit integer type used for arrival counts, slot indices and
+/// costs throughout the library. Costs are O(n log n) so 64 bits suffice
+/// for any in-memory instance.
+using Index = std::int64_t;
+/// Bandwidth cost in slot units (one unit = one slot of one channel).
+using Cost = std::int64_t;
+
+namespace fib {
+
+/// Largest k for which F_k fits in a signed 64-bit integer.
+inline constexpr int kMaxIndex = 92;
+
+/// The golden ratio phi = (1+sqrt(5))/2, the base of the paper's logs.
+inline constexpr double kGoldenRatio = 1.6180339887498948482;
+
+/// Returns the k-th Fibonacci number with F_0 = 0, F_1 = F_2 = 1.
+/// Throws std::out_of_range unless 0 <= k <= kMaxIndex.
+[[nodiscard]] std::int64_t fibonacci(int k);
+
+/// Returns the largest index k such that F_k <= n (using the convention
+/// above; for ambiguous n = 1 this returns k = 2). Requires n >= 1,
+/// otherwise throws std::invalid_argument. This is the canonical bracket
+/// "F_k <= n <= F_{k+1}" used by Eq. (6): the result always satisfies
+/// k >= 2 and fibonacci(k) <= n < fibonacci(k+1) + (n == F_{k+1} ? 1 : 0).
+[[nodiscard]] int bracket_index(std::int64_t n);
+
+/// True iff n is a Fibonacci number (n >= 0).
+[[nodiscard]] bool is_fibonacci(std::int64_t n);
+
+/// log base phi. Requires x > 0.
+[[nodiscard]] double log_phi(double x);
+
+/// The decomposition n = F_k + m of Theorem 3, with k = bracket_index(n)
+/// and m = n - F_k in [0, F_{k-1}).
+struct Bracket {
+  int k;              ///< index with F_k <= n < F_{k+1} (k = 2 for n = 1)
+  std::int64_t fk;    ///< F_k
+  std::int64_t m;     ///< n - F_k
+};
+
+/// Computes the Theorem-3 decomposition of n >= 1.
+[[nodiscard]] Bracket decompose(std::int64_t n);
+
+}  // namespace fib
+}  // namespace smerge
+
+#endif  // SMERGE_FIB_FIBONACCI_H

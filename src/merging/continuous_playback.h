@@ -1,0 +1,74 @@
+// Continuous-time playback verification for general merge forests.
+//
+// The slotted verifier (src/schedule/playback.h) covers the
+// delay-guaranteed model; this is its continuous analogue for the
+// general-arrivals substrate (dyadic forests, batched starts, the [6]
+// optimum). A client arriving at time `a` with root path
+// x_0 < x_1 < ... < x_k = a receives media *positions* (real numbers in
+// [0, L]) instead of integer segments:
+//
+//   from x_k = a:        positions (0,                      a - x_{k-1}]
+//   from x_m (0<m<k):    positions (2a - x_{m+1} - x_m,     2a - x_m - x_{m-1}]
+//   from the root x_0:   positions (2a - x_1 - x_0,         L]   (capped)
+//
+// Position p of stream x is on the air at time x + p, the client plays it
+// at a + p, and the checks mirror the slotted invariants: the pieces
+// partition (0, L], every piece lies within its stream's transmitted
+// duration (Lemma-1 truncation suffices), reception never trails
+// playback, and at most two streams are read concurrently.
+#ifndef SMERGE_MERGING_CONTINUOUS_PLAYBACK_H
+#define SMERGE_MERGING_CONTINUOUS_PLAYBACK_H
+
+#include <string>
+#include <vector>
+
+#include "merging/general_forest.h"
+
+namespace smerge::merging {
+
+/// One contiguous media piece received from one stream.
+struct ContinuousReception {
+  Index stream = -1;   ///< source stream index in the forest
+  double from = 0.0;   ///< media position range (from, to]
+  double to = 0.0;
+
+  /// Time window during which the piece is received: [x+from, x+to].
+  [[nodiscard]] double start_time(double stream_start) const noexcept {
+    return stream_start + from;
+  }
+};
+
+/// Verification outcome for one client.
+struct ContinuousClientReport {
+  Index client = -1;        ///< stream index whose start is the arrival
+  bool ok = true;
+  std::string error;
+  Index max_concurrent = 0; ///< peak simultaneous stream reads
+  double peak_buffer = 0.0; ///< peak buffered media (time units)
+};
+
+/// Aggregate outcome over all clients of the forest.
+struct ContinuousForestReport {
+  bool ok = true;
+  std::string first_error;
+  Index clients = 0;
+  Index max_concurrent = 0;
+  double peak_buffer = 0.0;
+};
+
+/// Builds the receiving pieces of the client served by stream `client`
+/// (the client arriving exactly at that stream's start).
+[[nodiscard]] std::vector<ContinuousReception> continuous_program(
+    const GeneralMergeForest& forest, Index client);
+
+/// Verifies one client against the forest's Lemma-1 stream durations.
+[[nodiscard]] ContinuousClientReport verify_continuous_client(
+    const GeneralMergeForest& forest, Index client);
+
+/// Verifies every client of the forest.
+[[nodiscard]] ContinuousForestReport verify_continuous_forest(
+    const GeneralMergeForest& forest);
+
+}  // namespace smerge::merging
+
+#endif  // SMERGE_MERGING_CONTINUOUS_PLAYBACK_H

@@ -1,0 +1,137 @@
+#include "merging/dyadic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace smerge::merging {
+
+namespace {
+
+void check_params(double media_length, const DyadicParams& params) {
+  if (!(media_length > 0.0)) {
+    throw std::invalid_argument("dyadic: media length must be positive");
+  }
+  if (!(params.alpha > 1.0)) {
+    throw std::invalid_argument("dyadic: alpha must exceed 1");
+  }
+  if (!(params.beta > 0.0) || params.beta > 0.5) {
+    throw std::invalid_argument("dyadic: beta must lie in (0, 1/2]");
+  }
+}
+
+// The dyadic subinterval (lo, hi] of window (x, y] containing t: with
+// w = y - x and d = t - x, subinterval i satisfies w/alpha^i < d <=
+// w/alpha^{i-1}, i.e. i = floor(log_alpha(w/d)) + 1, spanning
+// (x + w/alpha^i, x + w/alpha^{i-1}].
+struct SubInterval {
+  double lo;
+  double hi;
+};
+
+SubInterval subinterval_of(double x, double y, double t, double alpha) {
+  const double w = y - x;
+  const double d = t - x;
+  double i = std::max(1.0, std::floor(std::log(w / d) / std::log(alpha)) + 1.0);
+  double hi = x + w / std::pow(alpha, i - 1.0);
+  double lo = x + w / std::pow(alpha, i);
+  // Nudge across floating-point boundary cases (t exactly on a boundary).
+  while (hi < t) {
+    i -= 1.0;
+    hi = x + w / std::pow(alpha, i - 1.0);
+    lo = x + w / std::pow(alpha, i);
+  }
+  while (lo >= t) {  // requires t > x, which callers guarantee
+    i += 1.0;
+    hi = x + w / std::pow(alpha, i - 1.0);
+    lo = x + w / std::pow(alpha, i);
+  }
+  return SubInterval{lo, std::min(hi, y)};
+}
+
+}  // namespace
+
+DyadicMerger::DyadicMerger(double media_length, DyadicParams params)
+    : media_length_(media_length), params_(params), forest_(media_length) {
+  check_params(media_length, params);
+}
+
+Index DyadicMerger::arrive(double time) {
+  // Drop finished windows from the rightmost path.
+  while (!stack_.empty() && time > stack_.back().window_end) stack_.pop_back();
+
+  if (stack_.empty()) {
+    const Index id = forest_.add_stream(time, -1);
+    stack_.push_back(Frame{id, time + params_.beta * media_length_});
+    return id;
+  }
+
+  // Arrivals coinciding with an in-flight stream simply join it.
+  if (forest_.stream(stack_.back().stream).time == time) {
+    return stack_.back().stream;
+  }
+
+  const Frame& top = stack_.back();
+  const double x = forest_.stream(top.stream).time;
+  const SubInterval sub = subinterval_of(x, top.window_end, time, params_.alpha);
+  const Index id = forest_.add_stream(time, top.stream);
+  stack_.push_back(Frame{id, sub.hi});
+  return id;
+}
+
+GeneralMergeForest dyadic_forest_recursive(double media_length,
+                                           const std::vector<double>& arrivals,
+                                           DyadicParams params) {
+  check_params(media_length, params);
+  std::vector<double> sorted = arrivals;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+
+  // Roots by greedy window covering.
+  std::vector<double> roots;
+  for (const double t : sorted) {
+    if (roots.empty() || t > roots.back() + params.beta * media_length) {
+      roots.push_back(t);
+    }
+  }
+
+  // Earliest arrival strictly inside (lo, hi].
+  const auto earliest_in = [&sorted](double lo, double hi) {
+    const auto it = std::upper_bound(sorted.begin(), sorted.end(), lo);
+    return (it != sorted.end() && *it <= hi) ? *it : std::nan("");
+  };
+
+  GeneralMergeForest forest(media_length);
+  std::vector<Index> ids(sorted.size(), -1);
+
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const double t = sorted[i];
+    // Find this arrival's root window.
+    const auto rit = std::upper_bound(roots.begin(), roots.end(), t);
+    const double root = *(rit - 1);
+    if (t == root) {
+      ids[i] = forest.add_stream(t, -1);
+      continue;
+    }
+    // Independent per-arrival descent through the dyadic subdivision: at
+    // each level, locate the subinterval of the owner's window containing
+    // t; the earliest arrival strictly inside that subinterval heads it.
+    double owner = root;
+    double win_end = root + params.beta * media_length;
+    while (true) {
+      const SubInterval sub = subinterval_of(owner, win_end, t, params.alpha);
+      const double head = earliest_in(std::max(sub.lo, owner), sub.hi);
+      if (head == t) {
+        // t itself heads this subinterval: it merges into the owner.
+        const auto oit = std::lower_bound(sorted.begin(), sorted.end(), owner);
+        ids[i] = forest.add_stream(t, ids[static_cast<std::size_t>(oit - sorted.begin())]);
+        break;
+      }
+      owner = head;
+      win_end = sub.hi;
+    }
+  }
+  return forest;
+}
+
+}  // namespace smerge::merging

@@ -1,0 +1,73 @@
+// The (alpha,beta)-dyadic stream merging algorithm of Coffman, Jelenkovic
+// and Momcilovic [9], as described in Section 4.2 and Fig. 10.
+//
+// Every root stream at time x owns the window (x, x + beta*L]. The window
+// is split into dyadic subintervals I_1, I_2, ... counted from its *end*:
+// with w = window width, I_i = (x + w/alpha^i, x + w/alpha^{i-1}]. The
+// earliest arrival inside a subinterval becomes a child of x and owns the
+// remainder of that subinterval; the rule recurses inside each child.
+// Arrivals past the window start a fresh root.
+//
+// The on-line form keeps the current rightmost path on a stack: a new
+// arrival pops finished windows, attaches below the first window that
+// still contains it, and pushes its own window — O(1) amortized.
+//
+// The original paper used alpha = 2, beta = 0.5; following Section 4.2 we
+// default to alpha = phi and make beta configurable (0.5 for Poisson
+// arrivals, F_h/L for constant-rate arrivals).
+#ifndef SMERGE_MERGING_DYADIC_H
+#define SMERGE_MERGING_DYADIC_H
+
+#include <vector>
+
+#include "merging/general_forest.h"
+
+namespace smerge::merging {
+
+/// Tunables of the (alpha,beta)-dyadic algorithm.
+struct DyadicParams {
+  double alpha = fib::kGoldenRatio;  ///< subinterval ratio, must be > 1
+  double beta = 0.5;                 ///< root window as a fraction of L, in (0, 1/2]
+};
+
+/// On-line dyadic merger. Feed nondecreasing arrival times; inspect the
+/// resulting forest at any point.
+class DyadicMerger {
+ public:
+  /// Throws std::invalid_argument on non-positive media length, alpha <= 1
+  /// or beta outside (0, 1/2] (beta > 1/2 would let merges outlive their
+  /// target stream).
+  DyadicMerger(double media_length, DyadicParams params = {});
+
+  /// Processes one arrival; returns the index of the stream it started.
+  Index arrive(double time);
+
+  /// The forest built so far.
+  [[nodiscard]] const GeneralMergeForest& forest() const noexcept { return forest_; }
+  /// Parameters in use.
+  [[nodiscard]] const DyadicParams& params() const noexcept { return params_; }
+  /// Total bandwidth consumed so far (continuous Fcost).
+  [[nodiscard]] double total_cost() const { return forest_.total_cost(); }
+
+ private:
+  struct Frame {
+    Index stream;
+    double window_end;  ///< arrivals at or before this time attach below
+  };
+
+  double media_length_;
+  DyadicParams params_;
+  GeneralMergeForest forest_;
+  std::vector<Frame> stack_;
+};
+
+/// Reference implementation: builds the dyadic forest for a full batch of
+/// arrivals by direct recursion over the Fig.-10 definition. O(n log n)-ish;
+/// used by tests to pin down the stack version.
+[[nodiscard]] GeneralMergeForest dyadic_forest_recursive(
+    double media_length, const std::vector<double>& arrivals,
+    DyadicParams params = {});
+
+}  // namespace smerge::merging
+
+#endif  // SMERGE_MERGING_DYADIC_H

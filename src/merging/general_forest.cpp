@@ -1,0 +1,121 @@
+#include "merging/general_forest.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace smerge::merging {
+
+namespace {
+
+std::size_t index_of(Index x) { return static_cast<std::size_t>(x); }
+
+}  // namespace
+
+GeneralMergeForest::GeneralMergeForest(double media_length)
+    : media_length_(media_length) {
+  if (!(media_length > 0.0)) {
+    throw std::invalid_argument("GeneralMergeForest: media length must be positive");
+  }
+}
+
+Index GeneralMergeForest::add_stream(double time, Index parent) {
+  if (!streams_.empty() && time < streams_.back().time) {
+    throw std::invalid_argument("GeneralMergeForest: arrivals must be nondecreasing");
+  }
+  if (parent != -1) {
+    if (parent < 0 || parent >= size()) {
+      throw std::invalid_argument("GeneralMergeForest: parent index out of range");
+    }
+    if (!(streams_[index_of(parent)].time < time)) {
+      throw std::invalid_argument("GeneralMergeForest: parent must start strictly earlier");
+    }
+  } else {
+    ++roots_;
+  }
+  streams_.push_back(GeneralStream{time, parent});
+  cache_valid_ = false;
+  return size() - 1;
+}
+
+const GeneralStream& GeneralMergeForest::stream(Index id) const {
+  if (id < 0 || id >= size()) throw std::out_of_range("GeneralMergeForest::stream");
+  return streams_[index_of(id)];
+}
+
+void GeneralMergeForest::refresh_cache() const {
+  if (cache_valid_) return;
+  z_cache_.resize(streams_.size());
+  for (Index i = size() - 1; i >= 0; --i) {
+    z_cache_[index_of(i)] = streams_[index_of(i)].time;
+  }
+  for (Index i = size() - 1; i >= 1; --i) {
+    const Index p = streams_[index_of(i)].parent;
+    if (p != -1) {
+      z_cache_[index_of(p)] = std::max(z_cache_[index_of(p)], z_cache_[index_of(i)]);
+    }
+  }
+  cache_valid_ = true;
+}
+
+double GeneralMergeForest::last_descendant_time(Index id) const {
+  if (id < 0 || id >= size()) {
+    throw std::out_of_range("GeneralMergeForest::last_descendant_time");
+  }
+  refresh_cache();
+  return z_cache_[index_of(id)];
+}
+
+double GeneralMergeForest::stream_duration(Index id) const {
+  const GeneralStream& s = stream(id);
+  if (s.parent == -1) return media_length_;
+  refresh_cache();
+  const double z = z_cache_[index_of(id)];
+  const double p = streams_[index_of(s.parent)].time;
+  return 2.0 * z - s.time - p;  // Lemma 1 in continuous time
+}
+
+double GeneralMergeForest::total_cost() const {
+  double total = 0.0;
+  for (Index i = 0; i < size(); ++i) total += stream_duration(i);
+  return total;
+}
+
+Index GeneralMergeForest::peak_concurrency() const {
+  std::vector<std::pair<double, int>> events;
+  events.reserve(streams_.size() * 2);
+  for (Index i = 0; i < size(); ++i) {
+    const double start = streams_[index_of(i)].time;
+    events.emplace_back(start, +1);
+    events.emplace_back(start + stream_duration(i), -1);
+  }
+  // Ends sort before starts at equal times (a zero-length overlap is not
+  // an overlap).
+  std::sort(events.begin(), events.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first < b.first;
+    return a.second < b.second;
+  });
+  Index depth = 0;
+  Index peak = 0;
+  for (const auto& [t, delta] : events) {
+    depth += delta;
+    peak = std::max(peak, depth);
+  }
+  return peak;
+}
+
+bool GeneralMergeForest::merges_complete_in_time() const {
+  refresh_cache();
+  for (Index i = 0; i < size(); ++i) {
+    const GeneralStream& s = streams_[index_of(i)];
+    if (s.parent == -1) continue;
+    const GeneralStream& par = streams_[index_of(s.parent)];
+    // The subtree of i finishes merging into the parent at 2 z(i) - p;
+    // the parent transmits until p + duration(parent).
+    const double merge_point = 2.0 * z_cache_[index_of(i)] - par.time;
+    const double parent_end = par.time + stream_duration(s.parent);
+    if (merge_point > parent_end + 1e-9) return false;
+  }
+  return true;
+}
+
+}  // namespace smerge::merging

@@ -1,0 +1,84 @@
+// Stream merging over general (continuous-time) arrivals.
+//
+// The delay-guaranteed model of src/core is the special case of one
+// arrival per slot. The on-line baselines of Section 4.2 — the dyadic
+// algorithm [9] and its batched variant — operate on arbitrary arrival
+// times instead, so this substrate re-implements merge forests over
+// real-valued times. Lemma 1 carries over verbatim: a non-root stream at
+// time x merging into p(x) and last used by z(x) transmits for
+// 2 z(x) - x - p(x) time units; roots transmit the full media length.
+#ifndef SMERGE_MERGING_GENERAL_FOREST_H
+#define SMERGE_MERGING_GENERAL_FOREST_H
+
+#include <vector>
+
+#include "fib/fibonacci.h"
+
+namespace smerge::merging {
+
+/// One stream in a general merge forest.
+struct GeneralStream {
+  double time = 0.0;   ///< start time (the arrival it serves first)
+  Index parent = -1;   ///< index of the stream it merges into; -1 = root
+};
+
+/// An append-only merge forest over nondecreasing arrival times.
+///
+/// Invariants: parents precede children (parent index < node index),
+/// parent times are strictly earlier, and sibling order follows time —
+/// i.e. the preorder property of Section 2 in continuous time.
+class GeneralMergeForest {
+ public:
+  /// Media length in the same time unit as the arrivals.
+  explicit GeneralMergeForest(double media_length);
+
+  /// Appends a stream at `time` merging into `parent` (-1 for a new
+  /// root). Returns its index. Throws std::invalid_argument if `time`
+  /// precedes the last appended stream or the parent is invalid.
+  Index add_stream(double time, Index parent);
+
+  /// Number of streams.
+  [[nodiscard]] Index size() const noexcept { return static_cast<Index>(streams_.size()); }
+  /// The stream at `id`.
+  [[nodiscard]] const GeneralStream& stream(Index id) const;
+  /// Number of roots (full streams).
+  [[nodiscard]] Index num_roots() const noexcept { return roots_; }
+  /// Media length.
+  [[nodiscard]] double media_length() const noexcept { return media_length_; }
+
+  /// Last arrival time in the subtree of `id` (z in Lemma 1). O(n) on
+  /// first call after growth, cached until the forest grows again.
+  [[nodiscard]] double last_descendant_time(Index id) const;
+
+  /// Transmission duration of stream `id`: media length for roots,
+  /// Lemma-1 length otherwise.
+  [[nodiscard]] double stream_duration(Index id) const;
+
+  /// Total transmitted time-units: num_roots * L + sum of Lemma-1 lengths
+  /// — the continuous analogue of Fcost.
+  [[nodiscard]] double total_cost() const;
+
+  /// Peak number of simultaneously transmitting streams (the maximum
+  /// channel requirement of Section 5's discussion).
+  [[nodiscard]] Index peak_concurrency() const;
+
+  /// True iff every merge completes while its target is still alive:
+  /// for every non-root x, 2 z(x) - x - p(x) <= duration(p(x)) + (p - x)
+  /// ... equivalently the merge point 2 z(x) - p(x) does not exceed the
+  /// end of p(x)'s own transmission. Guaranteed by construction for the
+  /// dyadic algorithm with beta <= 1/2; checked explicitly in tests.
+  [[nodiscard]] bool merges_complete_in_time() const;
+
+ private:
+  void refresh_cache() const;
+
+  double media_length_;
+  std::vector<GeneralStream> streams_;
+  Index roots_ = 0;
+  mutable std::vector<double> z_cache_;
+  mutable bool cache_valid_ = false;
+};
+
+}  // namespace smerge::merging
+
+#endif  // SMERGE_MERGING_GENERAL_FOREST_H

@@ -1,0 +1,197 @@
+#include "merging/optimal_general.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace smerge::merging {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kTieEps = 1e-12;
+constexpr double kFeasEps = 1e-12;
+
+std::size_t index_of(Index x) { return static_cast<std::size_t>(x); }
+
+void check_input(const std::vector<double>& t, double L, const char* fn) {
+  if (!(L > 0.0)) {
+    throw std::invalid_argument(std::string(fn) + ": media length must be positive");
+  }
+  if (static_cast<Index>(t.size()) > kMaxGeneralArrivals) {
+    throw std::invalid_argument(std::string(fn) + ": too many arrivals (quadratic DP)");
+  }
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    if (!(t[i - 1] < t[i])) {
+      throw std::invalid_argument(std::string(fn) +
+                                  ": arrivals must be strictly increasing");
+    }
+  }
+}
+
+// Shared state of the quadratic solver: interval costs M, max-argmin
+// splits K, and prefix forest costs G with their split points.
+struct Tables {
+  Index n = 0;
+  std::vector<double> m;   // n*n, M[i][j] at i*n+j
+  std::vector<Index> k;    // n*n, K[i][j]
+  std::vector<double> g;   // n+1 prefix costs
+  std::vector<Index> g_split;  // forest reconstruction
+
+  [[nodiscard]] double& M(Index i, Index j) { return m[index_of(i * n + j)]; }
+  [[nodiscard]] Index& K(Index i, Index j) { return k[index_of(i * n + j)]; }
+};
+
+// Fills the interval tables using split-point monotonicity
+// (K[i][j-1] <= K[i][j] <= K[i+1][j]), the [6] quadratic scheme. The
+// L-tree constraint restricts feasible splits to the suffix where the
+// glue 2 t_j - t_h - t_i fits in L.
+Tables solve(const std::vector<double>& t, double L) {
+  Tables tab;
+  tab.n = static_cast<Index>(t.size());
+  const Index n = tab.n;
+  tab.m.assign(index_of(n * n), 0.0);
+  tab.k.assign(index_of(n * n), 0);
+
+  for (Index len = 1; len < n; ++len) {
+    for (Index i = 0; i + len < n; ++i) {
+      const Index j = i + len;
+      if (!(t[index_of(j)] - t[index_of(i)] < L - kFeasEps)) {
+        // The root cannot serve the last arrival: infeasible tree.
+        tab.M(i, j) = kInf;
+        tab.K(i, j) = j;
+        continue;
+      }
+      const Index lo = len == 1 ? i + 1 : std::max(i + 1, tab.K(i, j - 1));
+      const Index hi = len == 1 ? j : std::min(j, tab.K(i + 1, j));
+      double best = kInf;
+      Index best_h = j;
+      for (Index h = lo; h <= hi; ++h) {
+        const double glue =
+            2.0 * t[index_of(j)] - t[index_of(h)] - t[index_of(i)];
+        if (glue > L + kFeasEps) continue;  // last root child too long
+        const double left = h == i + 1 ? 0.0 : tab.M(i, h - 1);
+        const double right = tab.M(h, j);
+        const double cost = left + right + glue;
+        if (cost < best - kTieEps) {
+          best = cost;
+          best_h = h;
+        } else if (cost <= best + kTieEps) {
+          best_h = std::max(best_h, h);  // canonical: largest optimal split
+        }
+      }
+      tab.M(i, j) = best;
+      tab.K(i, j) = best_h;
+    }
+  }
+
+  // Forest DP over prefixes.
+  tab.g.assign(index_of(n) + 1, kInf);
+  tab.g_split.assign(index_of(n) + 1, 0);
+  tab.g[0] = 0.0;
+  for (Index kk = 1; kk <= n; ++kk) {
+    for (Index m0 = 0; m0 < kk; ++m0) {
+      const double tree = m0 == kk - 1 ? 0.0 : tab.M(m0, kk - 1);
+      if (tree == kInf || tab.g[index_of(m0)] == kInf) continue;
+      const double cost = tab.g[index_of(m0)] + L + tree;
+      if (cost < tab.g[index_of(kk)] - kTieEps) {
+        tab.g[index_of(kk)] = cost;
+        tab.g_split[index_of(kk)] = m0;
+      }
+    }
+  }
+  return tab;
+}
+
+// Parent assignment for the tree block [i..j] from the split table.
+void rebuild(const Tables& tab, Index i, Index j, std::vector<Index>& parent) {
+  if (i == j) return;
+  const Index h = tab.k[index_of(i * tab.n + j)];
+  parent[index_of(h)] = i;
+  if (h > i + 1) rebuild(tab, i, h - 1, parent);
+  rebuild(tab, h, j, parent);
+}
+
+}  // namespace
+
+GeneralOptimum optimal_general_forest(const std::vector<double>& arrivals,
+                                      double media_length) {
+  check_input(arrivals, media_length, "optimal_general_forest");
+  GeneralOptimum out{0.0, GeneralMergeForest(media_length)};
+  if (arrivals.empty()) return out;
+
+  const Tables tab = solve(arrivals, media_length);
+  const Index n = tab.n;
+  if (tab.g[index_of(n)] == kInf) {
+    throw std::logic_error("optimal_general_forest: no feasible forest (unexpected)");
+  }
+  out.cost = tab.g[index_of(n)];
+
+  // Recover the root blocks, then each block's tree.
+  std::vector<Index> parent(index_of(n), -1);
+  std::vector<Index> blocks;  // block starts, reversed
+  for (Index kk = n; kk > 0; kk = tab.g_split[index_of(kk)]) {
+    blocks.push_back(tab.g_split[index_of(kk)]);
+  }
+  std::reverse(blocks.begin(), blocks.end());
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    const Index i = blocks[b];
+    const Index j = (b + 1 < blocks.size() ? blocks[b + 1] : n) - 1;
+    if (i < j) rebuild(tab, i, j, parent);
+  }
+  for (Index x = 0; x < n; ++x) {
+    out.forest.add_stream(arrivals[index_of(x)], parent[index_of(x)]);
+  }
+  return out;
+}
+
+double optimal_general_cost(const std::vector<double>& arrivals, double media_length) {
+  check_input(arrivals, media_length, "optimal_general_cost");
+  if (arrivals.empty()) return 0.0;
+  const Tables tab = solve(arrivals, media_length);
+  return tab.g[index_of(tab.n)];
+}
+
+double optimal_general_cost_cubic(const std::vector<double>& arrivals,
+                                  double media_length) {
+  check_input(arrivals, media_length, "optimal_general_cost_cubic");
+  const Index n = static_cast<Index>(arrivals.size());
+  if (n == 0) return 0.0;
+  const double L = media_length;
+  const auto& t = arrivals;
+
+  std::vector<double> m(index_of(n * n), 0.0);
+  const auto M = [&m, n](Index i, Index j) -> double& {
+    return m[index_of(i * n + j)];
+  };
+  for (Index len = 1; len < n; ++len) {
+    for (Index i = 0; i + len < n; ++i) {
+      const Index j = i + len;
+      if (!(t[index_of(j)] - t[index_of(i)] < L - kFeasEps)) {
+        M(i, j) = kInf;
+        continue;
+      }
+      double best = kInf;
+      for (Index h = i + 1; h <= j; ++h) {  // no monotonicity assumption
+        const double glue = 2.0 * t[index_of(j)] - t[index_of(h)] - t[index_of(i)];
+        if (glue > L + kFeasEps) continue;
+        const double left = h == i + 1 ? 0.0 : M(i, h - 1);
+        best = std::min(best, left + M(h, j) + glue);
+      }
+      M(i, j) = best;
+    }
+  }
+  std::vector<double> g(index_of(n) + 1, kInf);
+  g[0] = 0.0;
+  for (Index kk = 1; kk <= n; ++kk) {
+    for (Index m0 = 0; m0 < kk; ++m0) {
+      const double tree = m0 == kk - 1 ? 0.0 : M(m0, kk - 1);
+      if (tree == kInf || g[index_of(m0)] == kInf) continue;
+      g[index_of(kk)] = std::min(g[index_of(kk)], g[index_of(m0)] + L + tree);
+    }
+  }
+  return g[index_of(n)];
+}
+
+}  // namespace smerge::merging

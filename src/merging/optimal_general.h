@@ -1,0 +1,59 @@
+// Optimal off-line stream merging for *general* arrivals — the [6]
+// baseline the paper's Theorem 7 improves upon in the delay-guaranteed
+// special case.
+//
+// Given distinct arrival times t_0 < ... < t_{n-1} and media length L,
+// the optimal merge forest minimizes
+//     (#roots) L + sum over non-roots of (2 z(x) - x - p(x))
+// subject to feasibility: within a tree rooted at r every stream length
+// is at most L and the last arrival satisfies z - r < L (an "L-tree").
+//
+// The tree cost over a block [i..j] obeys the Lemma-2 interval recurrence
+//     M[i][j] = min_{i < h <= j} M[i][h-1] + M[h][j] + (2 t_j - t_h - t_i)
+// with the glue term being exactly the length of the last root child h,
+// so the L-tree constraint is enforced by skipping splits whose glue
+// exceeds L. A forest DP over prefixes adds the root costs.
+//
+// Two implementations are provided:
+//  * an O(n^2) DP using the monotonicity of the optimal split point
+//    (the Observation-4 property [6] exploits; the delay-guaranteed
+//    instance makes it visible as the I(n) interval table of Fig. 8), and
+//  * an O(n^3) plain interval DP used as ground truth in tests.
+#ifndef SMERGE_MERGING_OPTIMAL_GENERAL_H
+#define SMERGE_MERGING_OPTIMAL_GENERAL_H
+
+#include <vector>
+
+#include "merging/general_forest.h"
+
+namespace smerge::merging {
+
+/// Largest instance the quadratic DP accepts (O(n^2) memory: two n*n
+/// tables, ~64 MiB at the cap).
+inline constexpr Index kMaxGeneralArrivals = 2000;
+
+/// Result of the general off-line optimization.
+struct GeneralOptimum {
+  double cost = 0.0;          ///< optimal full cost in time units
+  GeneralMergeForest forest;  ///< an optimal feasible forest attaining it
+};
+
+/// Computes an optimal feasible merge forest for the given strictly
+/// increasing arrival times. O(n^2) time and memory. Throws
+/// std::invalid_argument on unsorted/duplicate arrivals, non-positive L
+/// or more than kMaxGeneralArrivals arrivals.
+[[nodiscard]] GeneralOptimum optimal_general_forest(const std::vector<double>& arrivals,
+                                                    double media_length);
+
+/// Cost-only variant of `optimal_general_forest`.
+[[nodiscard]] double optimal_general_cost(const std::vector<double>& arrivals,
+                                          double media_length);
+
+/// Ground-truth O(n^3) interval DP (no split-monotonicity assumption).
+/// Tests cross-check the quadratic solver against this.
+[[nodiscard]] double optimal_general_cost_cubic(const std::vector<double>& arrivals,
+                                                double media_length);
+
+}  // namespace smerge::merging
+
+#endif  // SMERGE_MERGING_OPTIMAL_GENERAL_H

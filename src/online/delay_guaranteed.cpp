@@ -1,0 +1,88 @@
+#include "online/delay_guaranteed.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/tree_builder.h"
+
+namespace smerge {
+
+namespace {
+
+constexpr Index kMaxOnlineMedia = 1'000'000;
+
+std::size_t index_of(Index x) { return static_cast<std::size_t>(x); }
+
+}  // namespace
+
+DelayGuaranteedOnline::DelayGuaranteedOnline(Index media_length)
+    : media_length_(media_length),
+      h_((media_length >= 1 && media_length <= kMaxOnlineMedia)
+             ? theorem12_index(media_length)
+             : throw std::invalid_argument(
+                   "DelayGuaranteedOnline: media length outside [1, 10^6]")),
+      block_(fib::fibonacci(h_)),
+      template_(optimal_merge_tree(block_)),
+      template_cost_(template_.merge_cost()) {
+  // prefix_cost_[r] = Mcost of the template restricted to its first r
+  // arrivals (z(x) clips to r-1 in the prefix). Incrementally: appending
+  // arrival r adds its own leaf length r - p(r) and extends z by one for
+  // every proper non-root ancestor (exactly the nodes whose clipped z
+  // equals r-1), i.e. 2 * (depth(r) - 1):
+  //   prefix_cost[r+1] = prefix_cost[r] + (r - p(r)) + 2 (depth(r) - 1).
+  prefix_cost_.assign(index_of(block_) + 1, 0);
+  for (Index r = 1; r < block_; ++r) {
+    prefix_cost_[index_of(r + 1)] =
+        prefix_cost_[index_of(r)] + (r - template_.parent(r)) +
+        2 * (template_.depth(r) - 1);
+  }
+}
+
+Cost DelayGuaranteedOnline::cost(Index n) const {
+  if (n < 0) throw std::invalid_argument("DelayGuaranteedOnline::cost: n >= 0");
+  const Index full_blocks = n / block_;
+  const Index rest = n - full_blocks * block_;
+  Cost total = full_blocks * (media_length_ + template_cost_);
+  if (rest > 0) total += media_length_ + prefix_cost_[index_of(rest)];
+  return total;
+}
+
+Cost DelayGuaranteedOnline::cost_upper_bound(Index n) const {
+  if (n < 0) throw std::invalid_argument("DelayGuaranteedOnline: n >= 0");
+  const Index s1 = n / block_;
+  return (s1 + 1) * (media_length_ + template_cost_);
+}
+
+Cost DelayGuaranteedOnline::stream_length(Index t, Index horizon) const {
+  if (t < 0 || t >= horizon) {
+    throw std::invalid_argument("DelayGuaranteedOnline::stream_length: t outside horizon");
+  }
+  const Index block_start = (t / block_) * block_;
+  const Index local = t - block_start;
+  if (local == 0) return media_length_;
+  // z clips to the last arrival that actually exists in this block.
+  const Index block_last = std::min(block_start + block_, horizon) - 1 - block_start;
+  const Index z = std::min(template_.last_descendant(local), block_last);
+  return 2 * z - local - template_.parent(local);
+}
+
+MergeForest DelayGuaranteedOnline::forest(Index n) const {
+  if (n < 1) throw std::invalid_argument("DelayGuaranteedOnline::forest: n >= 1");
+  std::vector<MergeTree> trees;
+  const Index full_blocks = n / block_;
+  const Index rest = n - full_blocks * block_;
+  trees.reserve(index_of(full_blocks + (rest > 0 ? 1 : 0)));
+  for (Index b = 0; b < full_blocks; ++b) trees.push_back(template_);
+  if (rest > 0) trees.push_back(template_.prefix(rest));
+  return MergeForest(media_length_, std::move(trees));
+}
+
+double DelayGuaranteedOnline::theorem22_bound(Index media_length, Index n) {
+  if (media_length < 7 || n <= media_length * media_length + 2) {
+    throw std::invalid_argument(
+        "theorem22_bound: requires L >= 7 and n > L^2 + 2");
+  }
+  return 1.0 + 2.0 * static_cast<double>(media_length) / static_cast<double>(n);
+}
+
+}  // namespace smerge

@@ -1,0 +1,75 @@
+// The on-line delay-guaranteed algorithm (Section 4.1).
+//
+// The off-line optimum needs the horizon n to pick its stream count
+// (Theorem 12). The on-line algorithm does not know n, so it makes the
+// decision *statically*: with h such that F_{h+1} < L+2 <= F_{h+2} it
+// starts a full stream every F_h slots and serves each block of F_h
+// arrivals with the (precomputed) optimal merge tree for F_h arrivals —
+// the Fibonacci merge tree. Nothing is decided per arrival: receiving
+// programs come from a lookup table, which is the simplicity argument of
+// Section 4.2.
+//
+// Costs:
+//   A(L,n)               — exact on-line cost: full blocks pay L + M(F_h),
+//                          the final partial block pays the cost of the
+//                          pruned template tree (its prefix).
+//   Theorem 21:  A(L,n) <= (s1+1)(L + M(F_h)),  s1 = floor(n / F_h)
+//   Theorem 22:  A(L,n)/F(L,n) <= 1 + 2L/n   for L >= 7, n > L^2 + 2.
+#ifndef SMERGE_ONLINE_DELAY_GUARANTEED_H
+#define SMERGE_ONLINE_DELAY_GUARANTEED_H
+
+#include <vector>
+
+#include "core/full_cost.h"
+#include "core/merge_forest.h"
+#include "core/merge_tree.h"
+
+namespace smerge {
+
+/// The static on-line policy for one media object of length L slots.
+class DelayGuaranteedOnline {
+ public:
+  /// Precomputes the template tree (optimal merge tree for F_h arrivals)
+  /// and its prefix costs. O(F_h^2) setup, O(1) per horizon query.
+  /// Requires 1 <= media_length <= ~10^6 (the template is materialized).
+  explicit DelayGuaranteedOnline(Index media_length);
+
+  /// Media length L in slots.
+  [[nodiscard]] Index media_length() const noexcept { return media_length_; }
+  /// Block size F_h: a new full stream starts every F_h slots.
+  [[nodiscard]] Index block_size() const noexcept { return block_; }
+  /// The Theorem-12 index h.
+  [[nodiscard]] int theorem_index() const noexcept { return h_; }
+  /// The precomputed optimal merge tree for a full block.
+  [[nodiscard]] const MergeTree& template_tree() const noexcept { return template_; }
+
+  /// Exact on-line cost A(L,n) for a horizon of n slots. O(1).
+  [[nodiscard]] Cost cost(Index n) const;
+
+  /// Theorem-21 upper bound (s1+1)(L + M(F_h)).
+  [[nodiscard]] Cost cost_upper_bound(Index n) const;
+
+  /// The length of the stream started at slot t (truncation from the
+  /// template; L at block starts). `horizon` clips the final block.
+  /// O(1) — this is the per-arrival "decision", a table lookup.
+  [[nodiscard]] Cost stream_length(Index t, Index horizon) const;
+
+  /// Materializes the merge forest the policy produces for n slots
+  /// (s1 template copies plus a pruned final block).
+  [[nodiscard]] MergeForest forest(Index n) const;
+
+  /// Theorem-22 guarantee 1 + 2L/n on A/F; requires L >= 7, n > L^2+2.
+  [[nodiscard]] static double theorem22_bound(Index media_length, Index n);
+
+ private:
+  Index media_length_;
+  int h_;
+  Index block_;
+  MergeTree template_;
+  Cost template_cost_;                  // M(F_h)
+  std::vector<Cost> prefix_cost_;       // Mcost(template.prefix(r)), r = 0..F_h
+};
+
+}  // namespace smerge
+
+#endif  // SMERGE_ONLINE_DELAY_GUARANTEED_H

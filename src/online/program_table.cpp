@@ -1,0 +1,34 @@
+#include "online/program_table.h"
+
+#include <stdexcept>
+
+namespace smerge {
+
+ProgramTable::ProgramTable(const DelayGuaranteedOnline& policy) {
+  // Programs are derived from a single-block forest; positions map 1:1.
+  std::vector<MergeTree> trees;
+  trees.push_back(policy.template_tree());
+  const MergeForest block(policy.media_length(), std::move(trees));
+  entries_.reserve(static_cast<std::size_t>(policy.block_size()));
+  for (Index a = 0; a < policy.block_size(); ++a) {
+    const ReceivingProgram program(block, a);
+    entries_.push_back(Entry{program.path(), program.receptions()});
+  }
+}
+
+const ProgramTable::Entry& ProgramTable::lookup(Index position_in_block) const {
+  if (position_in_block < 0 || position_in_block >= block_size()) {
+    throw std::out_of_range("ProgramTable::lookup");
+  }
+  return entries_[static_cast<std::size_t>(position_in_block)];
+}
+
+std::vector<Reception> ProgramTable::program_at(Index t) const {
+  if (t < 0) throw std::out_of_range("ProgramTable::program_at");
+  const Index base = (t / block_size()) * block_size();
+  std::vector<Reception> absolute = lookup(t - base).blocks;
+  for (Reception& r : absolute) r.stream += base;
+  return absolute;
+}
+
+}  // namespace smerge

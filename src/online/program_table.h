@@ -1,0 +1,57 @@
+// The O(1) receiving-program lookup table (Section 4.2).
+//
+// "Since this merge tree size is picked statically, the server can
+// precompute receiving programs and use a look-up table to inform a
+// client of its receiving program based only on the arrival time of the
+// client relative to the start of a new tree. This table lookup can be
+// done in O(1) time, so our Delay Guaranteed algorithm operates in O(1)
+// amortized time."
+//
+// The table holds one entry per slot position inside the F_h-slot block.
+// Programs are position-relative (stream ids are offsets into the block)
+// and *identical for every block, including the final partial one*: a
+// client's program depends only on its root path, which pruning the
+// template does not change — only stream truncations move, and they only
+// ever shrink toward exactly what the remaining clients need (Lemma 1).
+#ifndef SMERGE_ONLINE_PROGRAM_TABLE_H
+#define SMERGE_ONLINE_PROGRAM_TABLE_H
+
+#include <vector>
+
+#include "online/delay_guaranteed.h"
+#include "schedule/receiving_program.h"
+
+namespace smerge {
+
+/// Precomputed per-position receiving programs for a DG policy.
+class ProgramTable {
+ public:
+  /// Builds the table from the policy's template tree. O(F_h * depth).
+  explicit ProgramTable(const DelayGuaranteedOnline& policy);
+
+  /// One table entry: the reception blocks of the client at this block
+  /// position, with stream ids relative to the block start.
+  struct Entry {
+    std::vector<Index> path;           ///< block-relative root path
+    std::vector<Reception> blocks;     ///< block-relative reception plan
+  };
+
+  /// Block size F_h (number of entries).
+  [[nodiscard]] Index block_size() const noexcept {
+    return static_cast<Index>(entries_.size());
+  }
+
+  /// O(1) lookup by position inside the block. Throws std::out_of_range.
+  [[nodiscard]] const Entry& lookup(Index position_in_block) const;
+
+  /// Absolute program for the client of slot t: the looked-up entry with
+  /// stream ids shifted by the block start. O(path length).
+  [[nodiscard]] std::vector<Reception> program_at(Index t) const;
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace smerge
+
+#endif  // SMERGE_ONLINE_PROGRAM_TABLE_H

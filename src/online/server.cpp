@@ -1,0 +1,45 @@
+#include "online/server.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace smerge {
+
+DelayGuaranteedServer::DelayGuaranteedServer(Index media_slots, double slot_duration)
+    : policy_(media_slots), table_(policy_), slot_duration_(slot_duration) {
+  if (!(slot_duration > 0.0)) {
+    throw std::invalid_argument("DelayGuaranteedServer: slot duration must be positive");
+  }
+}
+
+ClientTicket DelayGuaranteedServer::admit(double arrival_time) {
+  if (arrival_time < 0.0) {
+    throw std::invalid_argument("DelayGuaranteedServer::admit: negative arrival time");
+  }
+  if (arrival_time < last_arrival_) {
+    throw std::invalid_argument("DelayGuaranteedServer::admit: arrivals must be sorted");
+  }
+  last_arrival_ = arrival_time;
+
+  // A client arriving during slot t (the interval (t*D, (t+1)*D]) is
+  // served by the stream starting at the slot's end. An arrival exactly
+  // on a boundary joins the stream starting right there (zero wait).
+  const double slots = arrival_time / slot_duration_;
+  const auto slot = static_cast<Index>(std::ceil(slots - 1e-12)) == 0
+                        ? Index{0}
+                        : static_cast<Index>(std::ceil(slots - 1e-12)) - 1;
+  ClientTicket ticket;
+  ticket.slot = slot;
+  ticket.playback_start = static_cast<double>(slot + 1) * slot_duration_;
+  ticket.wait = ticket.playback_start - arrival_time;
+  ticket.program = &table_.lookup(slot % policy_.block_size());
+  ++clients_;
+  if (slot > last_slot_) last_slot_ = slot;
+  return ticket;
+}
+
+Cost DelayGuaranteedServer::transmitted_units(Index horizon_slots) const {
+  return policy_.cost(horizon_slots);
+}
+
+}  // namespace smerge

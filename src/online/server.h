@@ -1,0 +1,61 @@
+// Event-driven Delay Guaranteed server.
+//
+// The deployable face of Section 4: clients arrive at arbitrary
+// (continuous) times; the server maps each to the stream starting at the
+// end of its slot — guaranteeing a wait below one slot duration — and
+// hands out the precomputed receiving program in O(1). No per-arrival
+// scheduling decisions are made: the multicast schedule is fixed by the
+// policy (a stream per slot, truncated per the template tree), which is
+// exactly why the paper calls this the simplest of the on-line merging
+// algorithms.
+#ifndef SMERGE_ONLINE_SERVER_H
+#define SMERGE_ONLINE_SERVER_H
+
+#include "online/program_table.h"
+
+namespace smerge {
+
+/// What a client receives back at admission.
+struct ClientTicket {
+  Index slot = 0;              ///< slot whose stream serves the client
+  double playback_start = 0.0; ///< when that stream begins (slot end)
+  double wait = 0.0;           ///< playback_start - arrival, in (0, slot]
+  const ProgramTable::Entry* program = nullptr;  ///< O(1) table entry
+};
+
+/// One media object served under the on-line DG policy.
+class DelayGuaranteedServer {
+ public:
+  /// `media_slots` = L (media length / delay); `slot_duration` = the
+  /// guaranteed start-up delay in continuous time units.
+  DelayGuaranteedServer(Index media_slots, double slot_duration);
+
+  /// Admits a client; arrivals must be nondecreasing. O(1).
+  ClientTicket admit(double arrival_time);
+
+  /// Number of clients admitted so far.
+  [[nodiscard]] Index clients() const noexcept { return clients_; }
+  /// Slot of the latest admission (defines the served horizon).
+  [[nodiscard]] Index last_slot() const noexcept { return last_slot_; }
+
+  /// Total transmitted slot-units if the server runs for `horizon_slots`
+  /// slots (the policy cost; independent of admissions).
+  [[nodiscard]] Cost transmitted_units(Index horizon_slots) const;
+
+  /// The underlying static policy.
+  [[nodiscard]] const DelayGuaranteedOnline& policy() const noexcept { return policy_; }
+  /// The underlying program table.
+  [[nodiscard]] const ProgramTable& programs() const noexcept { return table_; }
+
+ private:
+  DelayGuaranteedOnline policy_;
+  ProgramTable table_;
+  double slot_duration_;
+  double last_arrival_ = 0.0;
+  Index clients_ = 0;
+  Index last_slot_ = -1;
+};
+
+}  // namespace smerge
+
+#endif  // SMERGE_ONLINE_SERVER_H

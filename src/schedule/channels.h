@@ -1,0 +1,37 @@
+// Physical channel assignment.
+//
+// The paper counts bandwidth in abstract "channels"; a deployment must
+// pin each (truncated) stream to a concrete multicast channel such that
+// no channel carries two streams at once. Streams are time intervals, so
+// the interval-graph greedy (earliest start, reuse the channel freed the
+// earliest) is optimal: it uses exactly the schedule's peak bandwidth.
+#ifndef SMERGE_SCHEDULE_CHANNELS_H
+#define SMERGE_SCHEDULE_CHANNELS_H
+
+#include <string>
+#include <vector>
+
+#include "schedule/stream_schedule.h"
+
+namespace smerge {
+
+/// A stream -> channel mapping.
+struct ChannelAssignment {
+  std::vector<Index> channel_of;  ///< indexed by arrival/stream id
+  Index channels_used = 0;
+
+  friend bool operator==(const ChannelAssignment&, const ChannelAssignment&) = default;
+};
+
+/// Assigns every stream of the schedule to a channel; the result uses
+/// exactly `schedule.peak_bandwidth()` channels (interval scheduling).
+[[nodiscard]] ChannelAssignment assign_channels(const StreamSchedule& schedule);
+
+/// Renders a per-channel timeline: one row per channel listing the
+/// streams it carries as "name[start,end)" hops.
+[[nodiscard]] std::string render_channel_plan(const StreamSchedule& schedule,
+                                              const ChannelAssignment& assignment);
+
+}  // namespace smerge
+
+#endif  // SMERGE_SCHEDULE_CHANNELS_H

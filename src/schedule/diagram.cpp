@@ -1,0 +1,146 @@
+#include "schedule/diagram.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "schedule/receiving_program.h"
+#include "schedule/stream_schedule.h"
+
+namespace smerge {
+
+std::string stream_name(Index arrival) {
+  if (arrival >= 0 && arrival < 26) {
+    return std::string(1, static_cast<char>('A' + arrival));
+  }
+  // Built via append to dodge GCC 12's false-positive -Wrestrict on
+  // operator+ with a short string literal (GCC PR105651).
+  std::string name = "s";
+  name += std::to_string(arrival);
+  return name;
+}
+
+std::string concrete_diagram(const MergeForest& forest, Model model) {
+  const StreamSchedule schedule(forest, model);
+  const Index horizon = schedule.horizon_end();
+  // Cell width fits the largest segment number and the time header.
+  const std::size_t cell =
+      std::max<std::size_t>(std::to_string(forest.media_length()).size(),
+                            std::to_string(horizon - 1).size()) +
+      1;
+  const auto pad = [cell](const std::string& s) {
+    return s.size() >= cell ? s : std::string(cell - s.size(), ' ') + s;
+  };
+
+  // Left margin sized to the widest stream label "H (t=7):".
+  std::vector<std::string> labels;
+  labels.reserve(static_cast<std::size_t>(forest.size()));
+  std::size_t margin = std::string("t:").size();
+  for (Index x = 0; x < forest.size(); ++x) {
+    labels.push_back(stream_name(x) + " (t=" + std::to_string(x) + "):");
+    margin = std::max(margin, labels.back().size());
+  }
+
+  std::ostringstream os;
+  os << std::string(margin - 2, ' ') << "t:";
+  for (Index t = 0; t < horizon; ++t) os << pad(std::to_string(t));
+  os << '\n';
+  for (Index x = 0; x < forest.size(); ++x) {
+    const std::string& label = labels[static_cast<std::size_t>(x)];
+    os << std::string(margin - label.size(), ' ') << label;
+    const StreamWindow& w = schedule.stream(x);
+    for (Index t = 0; t < w.start; ++t) os << pad("");
+    for (Index j = 1; j <= w.length; ++j) os << pad(std::to_string(j));
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string client_timeline(const MergeForest& forest, Index arrival, Model model) {
+  const ReceivingProgram program(forest, arrival, model);
+  const Index a = arrival;
+  const Index L = forest.media_length();
+  Index end = a;  // one past the last reception slot
+  for (const Reception& r : program.receptions()) {
+    end = std::max(end, r.end_slot());
+  }
+
+  const std::size_t cell = std::to_string(std::max(L, end - 1)).size() + 1;
+  const auto pad = [cell](const std::string& s) {
+    return s.size() >= cell ? s : std::string(cell - s.size(), ' ') + s;
+  };
+  std::vector<std::string> labels;
+  std::size_t margin = std::string("buffer:").size();
+  for (const Reception& r : program.receptions()) {
+    labels.push_back("from " + stream_name(r.stream) + ":");
+    margin = std::max(margin, labels.back().size());
+  }
+  margin = std::max(margin, std::string("t:").size());
+
+  std::ostringstream os;
+  os << "client " << a << " (" << stream_name(a) << "): plays segments 1.." << L
+     << " from slot " << a << '\n';
+  os << std::string(margin - 2, ' ') << "t:";
+  for (Index t = a; t < end; ++t) os << pad(std::to_string(t));
+  os << '\n';
+
+  // One row per reception block: segment j sits at slot r.slot_of(j).
+  for (std::size_t b = 0; b < program.receptions().size(); ++b) {
+    const Reception& r = program.receptions()[b];
+    const std::string& label = labels[b];
+    std::string line = std::string(margin - label.size(), ' ') + label;
+    for (Index t = a; t < end; ++t) {
+      const Index j = t - r.stream + 1;  // segment on the air at slot t
+      if (j >= r.first_part && j <= r.last_part) {
+        line += pad(std::to_string(j));
+      } else {
+        line += pad("");
+      }
+    }
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    os << line << '\n';
+  }
+
+  // Buffer occupancy at the end of each slot: segments fully received
+  // minus segments fully played.
+  os << std::string(margin - 7, ' ') << "buffer:";
+  for (Index t = a + 1; t <= end; ++t) {
+    Index received = 0;
+    for (const Reception& r : program.receptions()) {
+      for (Index j = r.first_part; j <= r.last_part; ++j) {
+        if (r.slot_of(j) + 1 <= t) ++received;
+      }
+    }
+    const Index played = std::clamp<Index>(t - a, 0, L);
+    os << pad(std::to_string(received - played));
+  }
+  os << '\n';
+  return os.str();
+}
+
+namespace {
+
+void render_node(const MergeTree& tree, Index node, Index offset,
+                 const std::string& prefix, bool last, std::ostringstream& os) {
+  if (node == 0) {
+    os << (node + offset) << " (" << stream_name(node + offset) << ")\n";
+  } else {
+    os << prefix << (last ? "`- " : "+- ") << (node + offset) << " ("
+       << stream_name(node + offset) << ")\n";
+  }
+  const auto& kids = tree.children(node);
+  const std::string child_prefix =
+      node == 0 ? std::string() : prefix + (last ? "   " : "|  ");
+  for (std::size_t i = 0; i < kids.size(); ++i) {
+    render_node(tree, kids[i], offset, child_prefix, i + 1 == kids.size(), os);
+  }
+}
+
+}  // namespace
+
+std::string render_tree(const MergeTree& tree, Index offset) {
+  std::ostringstream os;
+  render_node(tree, 0, offset, "", true, os);
+  return os.str();
+}
+
+}  // namespace smerge

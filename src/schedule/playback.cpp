@@ -1,0 +1,165 @@
+#include "schedule/playback.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "core/buffer.h"
+
+namespace smerge {
+
+namespace {
+
+void fail(ClientReport& report, const std::string& message) {
+  if (report.ok) {
+    report.ok = false;
+    report.error = "client " + std::to_string(report.arrival) + ": " + message;
+  }
+}
+
+}  // namespace
+
+ClientReport verify_client(const StreamSchedule& schedule,
+                           const ReceivingProgram& program, Model model) {
+  ClientReport report;
+  report.arrival = program.arrival();
+  const Index a = program.arrival();
+  const Index L = program.media_length();
+  const auto& blocks = program.receptions();
+
+  // Invariant 1: the blocks partition [1, L] in order.
+  Index expected_next = 1;
+  for (const Reception& r : blocks) {
+    if (r.first_part != expected_next) {
+      fail(report, "segment gap: expected next " + std::to_string(expected_next) +
+                       ", block starts at " + std::to_string(r.first_part));
+    }
+    if (r.last_part < r.first_part) fail(report, "empty reception block");
+    expected_next = r.last_part + 1;
+  }
+  if (expected_next != L + 1) {
+    fail(report, "program ends at segment " + std::to_string(expected_next - 1) +
+                     " instead of L=" + std::to_string(L));
+  }
+
+  // Invariants 2 and 3: every segment transmitted by its source and
+  // received no later than its playback slot.
+  for (const Reception& r : blocks) {
+    const StreamWindow& w = schedule.stream(r.stream);
+    if (r.last_part > w.length) {
+      fail(report, "stream " + std::to_string(r.stream) + " truncated at " +
+                       std::to_string(w.length) + " but segment " +
+                       std::to_string(r.last_part) + " requested");
+    }
+    for (Index j = r.first_part; j <= r.last_part; ++j) {
+      const Index reception_slot = r.slot_of(j);
+      const Index playback_slot = a + j - 1;
+      if (reception_slot > playback_slot) {
+        fail(report, "segment " + std::to_string(j) + " received in slot " +
+                         std::to_string(reception_slot) + " after its playback slot " +
+                         std::to_string(playback_slot));
+      }
+    }
+    report.completion_slot = std::max(report.completion_slot, r.end_slot());
+  }
+
+  // Invariant 4: concurrent receptions per slot.
+  {
+    std::vector<std::pair<Index, Index>> events;  // (slot, +1/-1)
+    events.reserve(blocks.size() * 2);
+    for (const Reception& r : blocks) {
+      events.emplace_back(r.start_slot(), +1);
+      events.emplace_back(r.end_slot(), -1);
+    }
+    std::sort(events.begin(), events.end());
+    Index depth = 0;
+    for (const auto& [slot, delta] : events) {
+      depth += delta;
+      report.max_concurrent = std::max(report.max_concurrent, depth);
+    }
+    const Index allowed = model == Model::kReceiveTwo ? 2 : L;
+    if (report.max_concurrent > allowed) {
+      fail(report, "listens to " + std::to_string(report.max_concurrent) +
+                       " streams at once (model allows " + std::to_string(allowed) + ")");
+    }
+  }
+
+  // Invariant 5: peak buffer occupancy. received(t) counts segments fully
+  // received by boundary t; played(t) = clamp(t - a, 0, L).
+  {
+    std::vector<Index> received_at(static_cast<std::size_t>(L), 0);
+    for (const Reception& r : blocks) {
+      for (Index j = r.first_part; j <= r.last_part; ++j) {
+        received_at[static_cast<std::size_t>(j - 1)] = r.slot_of(j) + 1;
+      }
+    }
+    for (Index t = a; t <= report.completion_slot; ++t) {
+      Index received = 0;
+      for (Index j = 1; j <= L; ++j) {
+        if (received_at[static_cast<std::size_t>(j - 1)] <= t) ++received;
+      }
+      const Index played = std::clamp<Index>(t - a, 0, L);
+      report.peak_buffer = std::max(report.peak_buffer, received - played);
+    }
+  }
+
+  return report;
+}
+
+ForestReport verify_forest(const MergeForest& forest, Model model) {
+  ForestReport report;
+  const StreamSchedule schedule(forest, model);
+  const Index n = forest.size();
+  const Index L = forest.media_length();
+
+  // High-water mark of segments requested per stream, for invariant 6.
+  std::vector<Index> used(static_cast<std::size_t>(n), 0);
+
+  for (Index a = 0; a < n; ++a) {
+    const ReceivingProgram program(forest, a, model);
+    const ClientReport client = verify_client(schedule, program, model);
+    ++report.clients;
+    report.max_concurrent = std::max(report.max_concurrent, client.max_concurrent);
+    report.peak_buffer = std::max(report.peak_buffer, client.peak_buffer);
+    if (!client.ok && report.ok) {
+      report.ok = false;
+      report.first_error = client.error;
+    }
+
+    // Lemma 15 exactness in the receive-two model.
+    if (model == Model::kReceiveTwo) {
+      const Index t = forest.tree_of(a);
+      const Index d = a - forest.tree_offset(t);
+      const Index predicted = buffer_requirement(d, L);
+      if (client.peak_buffer != predicted && report.ok) {
+        report.ok = false;
+        std::ostringstream os;
+        os << "client " << a << ": peak buffer " << client.peak_buffer
+           << " != Lemma-15 prediction " << predicted;
+        report.first_error = os.str();
+      }
+    }
+
+    for (const Reception& r : program.receptions()) {
+      auto& high = used[static_cast<std::size_t>(r.stream)];
+      high = std::max(high, r.last_part);
+    }
+  }
+
+  // Invariant 6: non-root streams are truncated tightly (every transmitted
+  // segment serves some client); roots always transmit the full media.
+  for (Index x = 0; x < n; ++x) {
+    const StreamWindow& w = schedule.stream(x);
+    const bool is_root = forest.tree_offset(forest.tree_of(x)) == x;
+    if (is_root) continue;
+    report.unused_units += w.length - used[static_cast<std::size_t>(x)];
+  }
+  if (report.unused_units != 0 && report.ok) {
+    report.ok = false;
+    report.first_error = "streams transmit " + std::to_string(report.unused_units) +
+                         " units no client consumes (truncation not tight)";
+  }
+  return report;
+}
+
+}  // namespace smerge

@@ -1,0 +1,62 @@
+// Slot-accurate playback verification.
+//
+// This is the substrate substituting for the paper's (simulated) multicast
+// testbed: every client's receiving program is executed against the
+// transmission schedule segment by segment, and the paper's correctness
+// claims become checkable invariants:
+//
+//   1. the reception blocks partition the media segments [1, L];
+//   2. every requested segment is actually transmitted by its source
+//      stream (the Lemma-1 / Lemma-17 truncation suffices);
+//   3. every segment is fully received no later than the end of its
+//      playback slot (uninterrupted playback from the arrival time);
+//   4. a client never listens to more streams at once than the model
+//      allows (2 in the receive-two model);
+//   5. the peak buffer occupancy equals Lemma 15's b(x) = min(d, L-d)
+//      in the receive-two model;
+//   6. streams are truncated tightly: no transmitted segment goes
+//      unused unless the stream is a root (roots always carry the full
+//      media for late tuners).
+#ifndef SMERGE_SCHEDULE_PLAYBACK_H
+#define SMERGE_SCHEDULE_PLAYBACK_H
+
+#include <string>
+
+#include "schedule/receiving_program.h"
+#include "schedule/stream_schedule.h"
+
+namespace smerge {
+
+/// Verification outcome for a single client.
+struct ClientReport {
+  Index arrival = 0;
+  bool ok = true;
+  std::string error;          ///< first violated invariant, empty when ok
+  Index max_concurrent = 0;   ///< peak streams listened to in one slot
+  Index peak_buffer = 0;      ///< peak fully-received-but-unplayed segments
+  Index completion_slot = 0;  ///< first slot boundary with all L segments
+};
+
+/// Executes one client's program against the schedule and checks
+/// invariants 1-5 above.
+[[nodiscard]] ClientReport verify_client(const StreamSchedule& schedule,
+                                         const ReceivingProgram& program,
+                                         Model model);
+
+/// Aggregate outcome over every client of a forest.
+struct ForestReport {
+  bool ok = true;
+  std::string first_error;
+  Index clients = 0;
+  Index max_concurrent = 0;   ///< worst client concurrency
+  Index peak_buffer = 0;      ///< worst client buffer occupancy
+  Cost unused_units = 0;      ///< transmitted non-root units no client used
+};
+
+/// Verifies every client in the forest (invariants 1-6).
+[[nodiscard]] ForestReport verify_forest(const MergeForest& forest,
+                                         Model model = Model::kReceiveTwo);
+
+}  // namespace smerge
+
+#endif  // SMERGE_SCHEDULE_PLAYBACK_H

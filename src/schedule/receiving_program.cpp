@@ -1,0 +1,62 @@
+#include "schedule/receiving_program.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace smerge {
+
+ReceivingProgram::ReceivingProgram(const MergeForest& forest, Index arrival,
+                                   Model model)
+    : arrival_(arrival), media_length_(forest.media_length()) {
+  const Index t = forest.tree_of(arrival);  // range-checks arrival
+  const MergeTree& tree = forest.tree(t);
+  const Index offset = forest.tree_offset(t);
+  if (!tree.feasible(media_length_, model)) {
+    throw std::invalid_argument("ReceivingProgram: tree is not a feasible L-tree");
+  }
+
+  for (const Index local : tree.path_from_root(arrival - offset)) {
+    path_.push_back(local + offset);
+  }
+  const Index a = arrival;
+  const Index L = media_length_;
+  const auto k = static_cast<Index>(path_.size()) - 1;
+
+  auto push = [this](Index stream, Index lo, Index hi) {
+    if (lo <= hi) receptions_.push_back(Reception{stream, lo, hi});
+  };
+
+  if (k == 0) {
+    // The client is a root: play straight off its own full stream.
+    push(a, 1, L);
+    return;
+  }
+
+  const auto x = [this](Index m) { return path_[static_cast<std::size_t>(m)]; };
+  if (model == Model::kReceiveTwo) {
+    push(a, 1, a - x(k - 1));
+    for (Index m = k - 1; m >= 1; --m) {
+      push(x(m), 2 * a - x(m + 1) - x(m) + 1, 2 * a - x(m) - x(m - 1));
+    }
+    // Root reception is capped at L: when 2(a - x_0) >= L the client
+    // finishes the media from the root's tail early (Lemma 15, case 2).
+    push(x(0), std::min(2 * a - x(1) - x(0) + 1, L + 1), L);
+  } else {
+    push(a, 1, a - x(k - 1));
+    for (Index m = k - 1; m >= 1; --m) {
+      push(x(m), a - x(m) + 1, a - x(m - 1));
+    }
+    push(x(0), a - x(0) + 1, L);
+  }
+}
+
+std::string ReceivingProgram::to_string() const {
+  std::ostringstream os;
+  os << "client " << arrival_ << ":";
+  for (const Reception& r : receptions_) {
+    os << " [" << r.first_part << "," << r.last_part << "]<-" << r.stream;
+  }
+  return os.str();
+}
+
+}  // namespace smerge

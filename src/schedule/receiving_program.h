@@ -1,0 +1,86 @@
+// Client receiving programs (Section 2, "Receiving programs").
+//
+// A client arriving at time a with root path x_0 < x_1 < ... < x_k = a
+// receives each media segment from exactly one stream on the path. The
+// paper's stage rules reduce to a clean per-stream segment assignment:
+//
+// receive-two (the stage rules of Section 2):
+//   from x_k = a:        segments [1,                    a - x_{k-1}]
+//   from x_m (0<m<k):    segments [2a - x_{m+1} - x_m + 1, 2a - x_m - x_{m-1}]
+//   from the root x_0:   segments [2a - x_1 - x_0 + 1,    L]
+//
+// receive-all (the proof of Lemma 17):
+//   from x_m (0<m<=k):   segments [a - x_m + 1,           a - x_{m-1}]
+//   from the root x_0:   segments [a - x_1 + 1,           L]
+//
+// Segment j of stream x is on the air during slot [x+j-1, x+j), so a
+// reception block from stream x covering [lo, hi] occupies the time window
+// [x+lo-1, x+hi). For k = 0 (the client is a root) the whole media comes
+// from its own stream. Empty ranges (lo > hi) are dropped — they occur
+// when an ancestor merge already delivered everything a stream would
+// provide.
+#ifndef SMERGE_SCHEDULE_RECEIVING_PROGRAM_H
+#define SMERGE_SCHEDULE_RECEIVING_PROGRAM_H
+
+#include <string>
+#include <vector>
+
+#include "core/merge_forest.h"
+
+namespace smerge {
+
+/// A contiguous block of segments received from one stream.
+struct Reception {
+  Index stream;      ///< global arrival time of the source stream
+  Index first_part;  ///< first media segment taken from it (1-based)
+  Index last_part;   ///< last media segment taken from it (inclusive)
+
+  /// Slot during which segment `part` of this block is received.
+  [[nodiscard]] Index slot_of(Index part) const noexcept {
+    return stream + part - 1;
+  }
+  /// First slot of the block.
+  [[nodiscard]] Index start_slot() const noexcept { return slot_of(first_part); }
+  /// First slot after the block.
+  [[nodiscard]] Index end_slot() const noexcept { return slot_of(last_part) + 1; }
+  /// Number of segments in the block.
+  [[nodiscard]] Index parts() const noexcept { return last_part - first_part + 1; }
+  friend bool operator==(const Reception&, const Reception&) = default;
+};
+
+/// The complete receiving program of one client.
+class ReceivingProgram {
+ public:
+  /// Builds the program for the client arriving at global time `arrival`
+  /// in `forest` under `model`. Throws std::out_of_range for bad arrivals
+  /// and std::invalid_argument for infeasible forests.
+  ReceivingProgram(const MergeForest& forest, Index arrival,
+                   Model model = Model::kReceiveTwo);
+
+  /// The client's arrival time (= start of playback).
+  [[nodiscard]] Index arrival() const noexcept { return arrival_; }
+  /// Media length L.
+  [[nodiscard]] Index media_length() const noexcept { return media_length_; }
+  /// The reception blocks ordered root-ward (own stream first, root last),
+  /// which is also ascending segment order.
+  [[nodiscard]] const std::vector<Reception>& receptions() const noexcept {
+    return receptions_;
+  }
+
+  /// The root path x_0 < ... < x_k = arrival (global times).
+  [[nodiscard]] const std::vector<Index>& path() const noexcept { return path_; }
+
+  /// Human-readable rendering, e.g. for the quickstart example:
+  /// "client 7: [1,2]<-7 [3,9]<-5 [10,15]<-0".
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  Index arrival_;
+  Index media_length_;
+  std::vector<Index> path_;
+  std::vector<Reception> receptions_;
+};
+
+}  // namespace smerge
+
+#endif  // SMERGE_SCHEDULE_RECEIVING_PROGRAM_H

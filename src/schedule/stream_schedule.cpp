@@ -1,0 +1,45 @@
+#include "schedule/stream_schedule.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace smerge {
+
+StreamSchedule::StreamSchedule(const MergeForest& forest, Model model)
+    : media_length_(forest.media_length()) {
+  if (!forest.feasible(model)) {
+    throw std::invalid_argument(
+        "StreamSchedule: forest has a stream longer than the media (not an L-tree)");
+  }
+  const Index n = forest.size();
+  streams_.reserve(static_cast<std::size_t>(n));
+  for (Index x = 0; x < n; ++x) {
+    const Cost len = forest.stream_length(x, model);
+    streams_.push_back(StreamWindow{x, len});
+    total_units_ += len;
+    horizon_end_ = std::max(horizon_end_, x + len);
+  }
+
+  // Channel occupancy by difference array over [0, horizon_end).
+  std::vector<Index> delta(static_cast<std::size_t>(horizon_end_) + 1, 0);
+  for (const StreamWindow& w : streams_) {
+    ++delta[static_cast<std::size_t>(w.start)];
+    --delta[static_cast<std::size_t>(w.end())];
+  }
+  profile_.resize(static_cast<std::size_t>(horizon_end_));
+  Index running = 0;
+  for (Index t = 0; t < horizon_end_; ++t) {
+    running += delta[static_cast<std::size_t>(t)];
+    profile_[static_cast<std::size_t>(t)] = running;
+    peak_bandwidth_ = std::max(peak_bandwidth_, running);
+  }
+}
+
+const StreamWindow& StreamSchedule::stream(Index arrival) const {
+  if (arrival < 0 || arrival >= size()) {
+    throw std::out_of_range("StreamSchedule::stream");
+  }
+  return streams_[static_cast<std::size_t>(arrival)];
+}
+
+}  // namespace smerge

@@ -1,0 +1,36 @@
+#include "sim/arrivals.h"
+
+#include <random>
+#include <stdexcept>
+
+namespace smerge::sim {
+
+std::vector<double> constant_arrivals(double gap, double horizon) {
+  if (!(gap > 0.0)) {
+    throw std::invalid_argument("constant_arrivals: gap must be positive");
+  }
+  if (horizon < 0.0) {
+    throw std::invalid_argument("constant_arrivals: horizon must be nonnegative");
+  }
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(horizon / gap) + 1);
+  for (double t = gap; t <= horizon; t += gap) out.push_back(t);
+  return out;
+}
+
+std::vector<double> poisson_arrivals(double mean_gap, double horizon,
+                                     std::uint64_t seed) {
+  if (!(mean_gap > 0.0)) {
+    throw std::invalid_argument("poisson_arrivals: mean gap must be positive");
+  }
+  if (horizon < 0.0) {
+    throw std::invalid_argument("poisson_arrivals: horizon must be nonnegative");
+  }
+  std::mt19937_64 rng(seed);
+  std::exponential_distribution<double> gap(1.0 / mean_gap);
+  std::vector<double> out;
+  for (double t = gap(rng); t <= horizon; t += gap(rng)) out.push_back(t);
+  return out;
+}
+
+}  // namespace smerge::sim

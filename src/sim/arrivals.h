@@ -1,0 +1,27 @@
+// Synthetic client-arrival processes (Section 4.2's experimental setup).
+//
+// The paper evaluates two arrival types over a horizon of 100 media
+// lengths: constant-rate arrivals with inter-arrival gap lambda and
+// Poisson arrivals with mean inter-arrival gap lambda (both expressed as
+// a fraction of the media length). Generators are deterministic under a
+// fixed seed so every experiment is reproducible.
+#ifndef SMERGE_SIM_ARRIVALS_H
+#define SMERGE_SIM_ARRIVALS_H
+
+#include <cstdint>
+#include <vector>
+
+namespace smerge::sim {
+
+/// Arrival times k*gap for k = 1, 2, ... up to and including `horizon`.
+/// Requires gap > 0 and horizon >= 0.
+[[nodiscard]] std::vector<double> constant_arrivals(double gap, double horizon);
+
+/// Poisson process with mean inter-arrival `mean_gap` on (0, horizon],
+/// generated from a seeded mt19937_64. Requires mean_gap > 0.
+[[nodiscard]] std::vector<double> poisson_arrivals(double mean_gap, double horizon,
+                                                   std::uint64_t seed);
+
+}  // namespace smerge::sim
+
+#endif  // SMERGE_SIM_ARRIVALS_H

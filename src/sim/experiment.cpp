@@ -1,0 +1,115 @@
+#include "sim/experiment.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/full_cost.h"
+#include "merging/batching.h"
+#include "online/delay_guaranteed.h"
+#include "schedule/stream_schedule.h"
+
+namespace smerge::sim {
+
+namespace {
+
+Index slots_for_delay(double delay) {
+  if (!(delay > 0.0) || delay > 1.0) {
+    throw std::invalid_argument("delay must be a fraction of the media in (0, 1]");
+  }
+  const Index L = static_cast<Index>(std::llround(1.0 / delay));
+  return std::max<Index>(L, 1);
+}
+
+Index slotted_horizon(double delay, double horizon, Index media_slots) {
+  if (horizon < 0.0) throw std::invalid_argument("horizon must be nonnegative");
+  (void)delay;
+  return static_cast<Index>(std::llround(horizon * static_cast<double>(media_slots)));
+}
+
+BandwidthResult from_general_forest(const merging::GeneralMergeForest& forest) {
+  BandwidthResult r;
+  r.streams_served = forest.total_cost() / forest.media_length();
+  r.full_streams = forest.num_roots();
+  r.streams_started = forest.size();
+  r.peak_concurrency = forest.peak_concurrency();
+  return r;
+}
+
+}  // namespace
+
+BandwidthResult run_dyadic(const std::vector<double>& arrivals,
+                           merging::DyadicParams params) {
+  merging::DyadicMerger merger(1.0, params);
+  for (const double t : arrivals) merger.arrive(t);
+  return from_general_forest(merger.forest());
+}
+
+BandwidthResult run_batched_dyadic(const std::vector<double>& arrivals, double delay,
+                                   merging::DyadicParams params) {
+  const std::vector<double> starts = merging::batch_arrivals(arrivals, delay);
+  merging::DyadicMerger merger(1.0, params);
+  for (const double t : starts) merger.arrive(t);
+  return from_general_forest(merger.forest());
+}
+
+BandwidthResult run_delay_guaranteed(double delay, double horizon) {
+  const Index L = slots_for_delay(delay);
+  const Index n = slotted_horizon(delay, horizon, L);
+  const DelayGuaranteedOnline policy(L);
+  BandwidthResult r;
+  if (n == 0) return r;
+  r.streams_served =
+      static_cast<double>(policy.cost(n)) / static_cast<double>(L);
+  const Index blocks = n / policy.block_size();
+  r.full_streams = blocks + (n % policy.block_size() != 0 ? 1 : 0);
+  r.streams_started = n;
+  r.peak_concurrency = StreamSchedule(policy.forest(n)).peak_bandwidth();
+  return r;
+}
+
+BandwidthResult run_offline_optimal(double delay, double horizon) {
+  const Index L = slots_for_delay(delay);
+  const Index n = slotted_horizon(delay, horizon, L);
+  BandwidthResult r;
+  if (n == 0) return r;
+  const StreamPlan plan = optimal_stream_count(L, n);
+  r.streams_served = static_cast<double>(plan.cost) / static_cast<double>(L);
+  r.full_streams = plan.streams;
+  r.streams_started = n;
+  r.peak_concurrency = StreamSchedule(optimal_merge_forest(L, n)).peak_bandwidth();
+  return r;
+}
+
+BandwidthResult run_unicast(const std::vector<double>& arrivals) {
+  BandwidthResult r;
+  r.streams_served = merging::unicast_cost(arrivals, 1.0);
+  r.full_streams = static_cast<Index>(arrivals.size());
+  r.streams_started = r.full_streams;
+  // Every stream is full-length: peak = max overlap of [t, t+1) windows.
+  merging::GeneralMergeForest forest(1.0);
+  for (const double t : arrivals) forest.add_stream(t, -1);
+  r.peak_concurrency = forest.peak_concurrency();
+  return r;
+}
+
+BandwidthResult run_batching(const std::vector<double>& arrivals, double delay) {
+  const std::vector<double> starts = merging::batch_arrivals(arrivals, delay);
+  BandwidthResult r;
+  r.streams_served = static_cast<double>(starts.size());
+  r.full_streams = static_cast<Index>(starts.size());
+  r.streams_started = r.full_streams;
+  merging::GeneralMergeForest forest(1.0);
+  for (const double t : starts) forest.add_stream(t, -1);
+  r.peak_concurrency = forest.peak_concurrency();
+  return r;
+}
+
+double dyadic_beta_for_constant_rate(double delay) {
+  const Index L = slots_for_delay(delay);
+  const int h = theorem12_index(L);
+  const double beta =
+      static_cast<double>(fib::fibonacci(h)) / static_cast<double>(L);
+  return std::min(beta, 0.5);
+}
+
+}  // namespace smerge::sim

@@ -1,0 +1,60 @@
+// Experiment runners for the paper's on-line comparisons (Figs. 9/11/12).
+//
+// All quantities are normalized the way the paper plots them: the media
+// length is 1.0 time unit, the start-up delay and inter-arrival gap are
+// fractions of it, horizons are multiples of it (the paper simulates
+// 100 media lengths), and bandwidth is reported in *complete media
+// streams served* (transmitted time-units divided by the media length).
+#ifndef SMERGE_SIM_EXPERIMENT_H
+#define SMERGE_SIM_EXPERIMENT_H
+
+#include <vector>
+
+#include "fib/fibonacci.h"
+#include "merging/dyadic.h"
+
+namespace smerge::sim {
+
+/// Bandwidth measurement of one simulated policy.
+struct BandwidthResult {
+  double streams_served = 0.0;  ///< total bandwidth / media length
+  Index full_streams = 0;       ///< number of complete (root) streams
+  Index streams_started = 0;    ///< total streams (incl. truncated)
+  Index peak_concurrency = 0;   ///< max simultaneously active streams
+};
+
+/// Immediate-service dyadic merging on the raw arrivals.
+[[nodiscard]] BandwidthResult run_dyadic(const std::vector<double>& arrivals,
+                                         merging::DyadicParams params = {});
+
+/// Batched dyadic: arrivals quantized to the ends of `delay`-long
+/// intervals (streams only where clients exist), then dyadic merging.
+[[nodiscard]] BandwidthResult run_batched_dyadic(const std::vector<double>& arrivals,
+                                                 double delay,
+                                                 merging::DyadicParams params = {});
+
+/// The on-line Delay Guaranteed algorithm over `horizon` media lengths
+/// with start-up delay `delay` (fraction of the media). Its cost is
+/// arrival-independent: a stream starts every slot regardless of demand.
+/// The media length in slots is round(1/delay).
+[[nodiscard]] BandwidthResult run_delay_guaranteed(double delay, double horizon);
+
+/// Off-line optimum over the same slotted horizon (the Fig. 9 / Fig. 1
+/// reference): F(L, n) with L = round(1/delay), n = horizon/delay slots.
+[[nodiscard]] BandwidthResult run_offline_optimal(double delay, double horizon);
+
+/// One-stream-per-arrival baseline (immediate service, no merging).
+[[nodiscard]] BandwidthResult run_unicast(const std::vector<double>& arrivals);
+
+/// Batching-only baseline (full stream per nonempty interval).
+[[nodiscard]] BandwidthResult run_batching(const std::vector<double>& arrivals,
+                                           double delay);
+
+/// The paper's default beta for the dyadic algorithm (Section 4.2):
+/// 0.5 for Poisson arrivals; F_h / L for constant-rate arrivals, where L
+/// = round(1/delay) and h is the Theorem-12 index.
+[[nodiscard]] double dyadic_beta_for_constant_rate(double delay);
+
+}  // namespace smerge::sim
+
+#endif  // SMERGE_SIM_EXPERIMENT_H

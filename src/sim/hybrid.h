@@ -1,0 +1,47 @@
+// Hybrid server (Section 5, "future work"): Delay Guaranteed under load,
+// dyadic when idle.
+//
+// The paper's closing discussion proposes a server that runs the Delay
+// Guaranteed algorithm while heavily loaded (its bandwidth is capped and
+// no request is ever declined) and switches to a more efficient dynamic
+// algorithm such as the dyadic one when the arrival intensity is low.
+//
+// This implementation quantizes time into delay-length slots and applies
+// hysteresis over a trailing window of W slots: if every slot in the
+// window saw an arrival the server enters DG mode; if none did it enters
+// dyadic mode; otherwise it keeps its mode. DG runs are costed with the
+// exact on-line DG cost (src/online); dyadic runs serve their arrivals
+// immediately with a fresh (alpha,beta)-dyadic merger.
+#ifndef SMERGE_SIM_HYBRID_H
+#define SMERGE_SIM_HYBRID_H
+
+#include <vector>
+
+#include "merging/dyadic.h"
+#include "sim/experiment.h"
+
+namespace smerge::sim {
+
+/// Tunables of the hybrid policy.
+struct HybridParams {
+  double delay = 0.01;               ///< start-up delay, fraction of the media
+  Index window = 3;                  ///< trailing slots for the load estimate
+  merging::DyadicParams dyadic = {}; ///< parameters of the idle-mode merger
+};
+
+/// Outcome of a hybrid run, with mode telemetry for the ablation bench.
+struct HybridOutcome {
+  BandwidthResult bandwidth;
+  Index dg_slots = 0;          ///< slots served in Delay Guaranteed mode
+  Index dyadic_slots = 0;      ///< slots served in dyadic mode
+  Index mode_switches = 0;     ///< number of DG <-> dyadic transitions
+};
+
+/// Simulates the hybrid server over `horizon` media lengths.
+/// Requires nondecreasing arrivals within [0, horizon].
+[[nodiscard]] HybridOutcome run_hybrid(const std::vector<double>& arrivals,
+                                       double horizon, const HybridParams& params);
+
+}  // namespace smerge::sim
+
+#endif  // SMERGE_SIM_HYBRID_H

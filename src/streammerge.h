@@ -1,0 +1,52 @@
+// Umbrella header: the complete public API of the streammerge library.
+//
+// Include this to get every subsystem; fine-grained headers remain
+// available for faster builds. See README.md for an overview and
+// DESIGN.md for the mapping from modules to the paper's results.
+#ifndef SMERGE_STREAMMERGE_H
+#define SMERGE_STREAMMERGE_H
+
+// Fibonacci substrate.
+#include "fib/fibonacci.h"
+
+// Core: merge trees/forests, optimal costs and constructions.
+#include "core/buffer.h"
+#include "core/full_cost.h"
+#include "core/merge_cost.h"
+#include "core/merge_forest.h"
+#include "core/merge_tree.h"
+#include "core/model.h"
+#include "core/tree_builder.h"
+
+// Slot-accurate schedules, receiving programs, playback verification.
+#include "schedule/channels.h"
+#include "schedule/diagram.h"
+#include "schedule/playback.h"
+#include "schedule/receiving_program.h"
+#include "schedule/stream_schedule.h"
+
+// On-line Delay Guaranteed policy, program table, server.
+#include "online/delay_guaranteed.h"
+#include "online/program_table.h"
+#include "online/server.h"
+
+// General-arrivals merging: dyadic, batching, off-line optimum.
+#include "merging/batching.h"
+#include "merging/continuous_playback.h"
+#include "merging/dyadic.h"
+#include "merging/general_forest.h"
+#include "merging/optimal_general.h"
+
+// Simulation: arrivals, experiment runners, Section-5 extensions.
+#include "sim/arrivals.h"
+#include "sim/experiment.h"
+#include "sim/hybrid.h"
+#include "sim/multi_object.h"
+
+// Utilities.
+#include "util/cli.h"
+#include "util/parallel.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+#endif  // SMERGE_STREAMMERGE_H

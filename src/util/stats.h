@@ -1,0 +1,46 @@
+// Streaming summary statistics (Welford) used by the simulation experiments
+// to aggregate bandwidth measurements over repeated seeded runs.
+#ifndef SMERGE_UTIL_STATS_H
+#define SMERGE_UTIL_STATS_H
+
+#include <cstdint>
+#include <limits>
+
+namespace smerge::util {
+
+/// Accumulates min/max/mean/variance in a single pass (Welford's method),
+/// numerically stable for long simulation runs.
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void add(double x) noexcept;
+
+  /// Number of observations so far.
+  [[nodiscard]] std::int64_t count() const noexcept { return n_; }
+  /// Smallest observation; +inf when empty.
+  [[nodiscard]] double min() const noexcept { return min_; }
+  /// Largest observation; -inf when empty.
+  [[nodiscard]] double max() const noexcept { return max_; }
+  /// Arithmetic mean; 0 when empty.
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Unbiased sample variance; 0 for fewer than two observations.
+  [[nodiscard]] double variance() const noexcept;
+  /// Square root of `variance()`.
+  [[nodiscard]] double stddev() const noexcept;
+  /// Sum of all observations.
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+  /// Merges another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace smerge::util
+
+#endif  // SMERGE_UTIL_STATS_H

@@ -1,0 +1,79 @@
+// Console table and CSV rendering used by examples and benchmark harnesses.
+//
+// The benches in this repository print the rows/series of every figure and
+// table of the paper; TextTable keeps that output aligned for humans while
+// `to_csv()` provides machine-readable output for replotting.
+#ifndef SMERGE_UTIL_TABLE_H
+#define SMERGE_UTIL_TABLE_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace smerge::util {
+
+/// Column alignment for console rendering.
+enum class Align { kLeft, kRight };
+
+/// A simple in-memory table: a header plus string rows.
+///
+/// Typical use:
+///   TextTable t({"n", "M(n)"});
+///   t.add_row(8, 21);
+///   std::cout << t.to_string();
+class TextTable {
+ public:
+  /// Creates a table with the given column headers. All columns default to
+  /// right alignment (numeric output dominates in this project).
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Number of columns (fixed at construction).
+  [[nodiscard]] std::size_t columns() const noexcept { return headers_.size(); }
+  /// Number of data rows added so far.
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Sets the alignment of column `col` (0-based). Throws std::out_of_range.
+  void set_align(std::size_t col, Align align);
+
+  /// Adds a row of pre-rendered cells. Throws std::invalid_argument if the
+  /// arity does not match the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience variadic overload rendering each argument with `cell()`.
+  template <typename... Ts>
+  void add_row(const Ts&... values) {
+    add_row(std::vector<std::string>{cell(values)...});
+  }
+
+  /// Renders a value as a table cell. Doubles use fixed precision 4 unless
+  /// they are integral; integers render exactly.
+  [[nodiscard]] static std::string cell(const std::string& v) { return v; }
+  [[nodiscard]] static std::string cell(const char* v) { return v; }
+  [[nodiscard]] static std::string cell(double v);
+  [[nodiscard]] static std::string cell(std::int64_t v);
+  [[nodiscard]] static std::string cell(std::uint64_t v);
+  [[nodiscard]] static std::string cell(int v) { return cell(static_cast<std::int64_t>(v)); }
+  [[nodiscard]] static std::string cell(unsigned v) { return cell(static_cast<std::uint64_t>(v)); }
+
+  /// Aligned, boxed console rendering (trailing newline included).
+  [[nodiscard]] std::string to_string() const;
+
+  /// RFC-4180-ish CSV (quotes cells containing commas/quotes/newlines).
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Streams `to_string()`.
+  friend std::ostream& operator<<(std::ostream& os, const TextTable& table);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given number of decimal places.
+[[nodiscard]] std::string format_fixed(double value, int places);
+
+}  // namespace smerge::util
+
+#endif  // SMERGE_UTIL_TABLE_H

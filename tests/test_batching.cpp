@@ -1,0 +1,63 @@
+// Tests for the batching front-end and the non-merging baselines.
+#include "merging/batching.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "sim/arrivals.h"
+
+namespace smerge::merging {
+namespace {
+
+TEST(BatchArrivals, QuantizesToIntervalEnds) {
+  const std::vector<double> starts = batch_arrivals({0.05, 0.35, 0.41, 0.99}, 0.1);
+  EXPECT_EQ(starts, (std::vector<double>{0.1, 0.4, 0.5, 1.0}));
+}
+
+TEST(BatchArrivals, DeduplicatesWithinInterval) {
+  const std::vector<double> starts = batch_arrivals({0.01, 0.02, 0.09, 0.11}, 0.1);
+  EXPECT_EQ(starts, (std::vector<double>{0.1, 0.2}));
+}
+
+TEST(BatchArrivals, BoundaryArrivalGetsZeroDelay) {
+  const std::vector<double> starts = batch_arrivals({0.2}, 0.1);
+  ASSERT_EQ(starts.size(), 1u);
+  EXPECT_DOUBLE_EQ(starts[0], 0.2);
+}
+
+TEST(BatchArrivals, DelayGuaranteeHolds) {
+  const std::vector<double> arrivals = sim::poisson_arrivals(0.03, 50.0, 7);
+  const double delay = 0.02;
+  const std::vector<double> starts = batch_arrivals(arrivals, delay);
+  // Each arrival is served by the first start at or after it, within D.
+  for (const double t : arrivals) {
+    const auto it = std::lower_bound(starts.begin(), starts.end(), t - 1e-12);
+    ASSERT_NE(it, starts.end());
+    EXPECT_GE(*it + 1e-12, t);
+    EXPECT_LT(*it - t, delay + 1e-9);
+  }
+}
+
+TEST(BatchArrivals, Validation) {
+  EXPECT_THROW(batch_arrivals({0.1}, 0.0), std::invalid_argument);
+  EXPECT_THROW(batch_arrivals({0.3, 0.2}, 0.1), std::invalid_argument);
+  EXPECT_TRUE(batch_arrivals({}, 0.1).empty());
+}
+
+TEST(Baselines, UnicastCost) {
+  EXPECT_DOUBLE_EQ(unicast_cost({0.1, 0.2, 0.3}, 1.0), 3.0);
+  EXPECT_DOUBLE_EQ(unicast_cost({}, 1.0), 0.0);
+  EXPECT_THROW(unicast_cost({0.1}, 0.0), std::invalid_argument);
+}
+
+TEST(Baselines, BatchingCost) {
+  // Three nonempty intervals out of the arrivals below.
+  EXPECT_DOUBLE_EQ(batching_cost({0.01, 0.02, 0.55, 0.99}, 1.0, 0.1), 3.0);
+  // Batching never exceeds unicast.
+  const std::vector<double> arrivals = sim::poisson_arrivals(0.01, 30.0, 3);
+  EXPECT_LE(batching_cost(arrivals, 1.0, 0.05), unicast_cost(arrivals, 1.0));
+}
+
+}  // namespace
+}  // namespace smerge::merging

@@ -1,0 +1,68 @@
+// Tests for the Lemma-15 buffer-requirement helpers (Section 3.3).
+#include "core/buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/full_cost.h"
+
+namespace smerge {
+namespace {
+
+TEST(BufferRequirement, LemmaFifteenFormula) {
+  // b(x) = min(x - r, L - (x - r)).
+  EXPECT_EQ(buffer_requirement(0, 15), 0);
+  EXPECT_EQ(buffer_requirement(1, 15), 1);
+  EXPECT_EQ(buffer_requirement(7, 15), 7);
+  EXPECT_EQ(buffer_requirement(8, 15), 7);
+  EXPECT_EQ(buffer_requirement(14, 15), 1);
+}
+
+TEST(BufferRequirement, NeverExceedsHalfMedia) {
+  for (Index L = 1; L <= 64; ++L) {
+    for (Index d = 0; d < L; ++d) {
+      EXPECT_LE(buffer_requirement(d, L), L / 2) << "L=" << L << " d=" << d;
+    }
+  }
+}
+
+TEST(BufferRequirement, SymmetricAroundMidpoint) {
+  const Index L = 40;
+  for (Index d = 1; d < L; ++d) {
+    EXPECT_EQ(buffer_requirement(d, L), buffer_requirement(L - d, L));
+  }
+}
+
+TEST(BufferRequirement, RangeChecked) {
+  EXPECT_THROW(buffer_requirement(-1, 15), std::invalid_argument);
+  EXPECT_THROW(buffer_requirement(15, 15), std::invalid_argument);
+}
+
+TEST(MaxBufferRequirement, TreeAndForest) {
+  // The Fig.-3 instance: the deepest client is arrival 7; b = min(7, 8) = 7.
+  const MergeForest forest = optimal_merge_forest(15, 8);
+  EXPECT_EQ(max_buffer_requirement(forest), 7);
+  EXPECT_EQ(max_buffer_requirement(forest.tree(0), 15), 7);
+}
+
+TEST(MaxBufferRequirement, RejectsOversizedTree) {
+  const MergeTree chain = MergeTree::chain(10);
+  EXPECT_THROW(max_buffer_requirement(chain, 5), std::invalid_argument);
+}
+
+class ForestBufferSweep : public ::testing::TestWithParam<std::tuple<Index, Index>> {};
+
+TEST_P(ForestBufferSweep, OptimalForestsNeverNeedMoreThanHalfL) {
+  const auto [L, n] = GetParam();
+  const MergeForest forest = optimal_merge_forest(L, n);
+  EXPECT_LE(max_buffer_requirement(forest), L / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ForestBufferSweep,
+    ::testing::Combine(::testing::Values<Index>(2, 5, 15, 34, 100),
+                       ::testing::Values<Index>(1, 7, 20, 55, 160)));
+
+}  // namespace
+}  // namespace smerge

@@ -1,0 +1,82 @@
+// Tests for the physical channel assignment (interval scheduling).
+#include "schedule/channels.h"
+
+#include <gtest/gtest.h>
+
+#include "core/full_cost.h"
+#include "online/delay_guaranteed.h"
+
+namespace smerge {
+namespace {
+
+void expect_valid(const StreamSchedule& schedule, const ChannelAssignment& asg) {
+  // No two streams on the same channel may overlap in time.
+  ASSERT_EQ(asg.channel_of.size(), static_cast<std::size_t>(schedule.size()));
+  for (Index a = 0; a < schedule.size(); ++a) {
+    for (Index b = a + 1; b < schedule.size(); ++b) {
+      if (asg.channel_of[static_cast<std::size_t>(a)] !=
+          asg.channel_of[static_cast<std::size_t>(b)]) {
+        continue;
+      }
+      const StreamWindow& wa = schedule.stream(a);
+      const StreamWindow& wb = schedule.stream(b);
+      EXPECT_TRUE(wa.end() <= wb.start || wb.end() <= wa.start)
+          << "streams " << a << " and " << b << " overlap on channel "
+          << asg.channel_of[static_cast<std::size_t>(a)];
+    }
+  }
+  for (const Index c : asg.channel_of) {
+    EXPECT_GE(c, 0);
+    EXPECT_LT(c, asg.channels_used);
+  }
+}
+
+TEST(Channels, FigureThreeInstance) {
+  const StreamSchedule schedule{optimal_merge_forest(15, 8)};
+  const ChannelAssignment asg = assign_channels(schedule);
+  expect_valid(schedule, asg);
+  EXPECT_EQ(asg.channels_used, schedule.peak_bandwidth());
+  // The root must sit alone on its channel (it spans the whole horizon).
+  const Index root_channel = asg.channel_of[0];
+  for (Index x = 1; x < schedule.size(); ++x) {
+    EXPECT_NE(asg.channel_of[static_cast<std::size_t>(x)], root_channel);
+  }
+}
+
+class ChannelSweep : public ::testing::TestWithParam<std::tuple<Index, Index>> {};
+
+TEST_P(ChannelSweep, GreedyIsOptimalEverywhere) {
+  const auto [L, n] = GetParam();
+  const StreamSchedule schedule{optimal_merge_forest(L, n)};
+  const ChannelAssignment asg = assign_channels(schedule);
+  expect_valid(schedule, asg);
+  // Interval-graph coloring: greedy by start time is exactly peak-optimal.
+  EXPECT_EQ(asg.channels_used, schedule.peak_bandwidth());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ChannelSweep,
+    ::testing::Combine(::testing::Values<Index>(2, 8, 15, 55),
+                       ::testing::Values<Index>(1, 8, 40, 160)));
+
+TEST(Channels, OnlineForestAssignment) {
+  const DelayGuaranteedOnline policy(34);
+  const StreamSchedule schedule{policy.forest(100)};
+  const ChannelAssignment asg = assign_channels(schedule);
+  expect_valid(schedule, asg);
+  EXPECT_EQ(asg.channels_used, schedule.peak_bandwidth());
+}
+
+TEST(Channels, RenderPlanListsEveryStream) {
+  const StreamSchedule schedule{optimal_merge_forest(15, 8)};
+  const ChannelAssignment asg = assign_channels(schedule);
+  const std::string plan = render_channel_plan(schedule, asg);
+  for (const char* name : {"A[0,15)", "F[5,14)", "H[7,9)"}) {
+    EXPECT_NE(plan.find(name), std::string::npos) << name;
+  }
+  EXPECT_EQ(static_cast<Index>(std::count(plan.begin(), plan.end(), '\n')),
+            asg.channels_used);
+}
+
+}  // namespace
+}  // namespace smerge

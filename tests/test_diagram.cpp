@@ -1,0 +1,88 @@
+// Tests for the ASCII diagram renderers (Fig. 3 / Fig. 4 reproductions).
+#include "schedule/diagram.h"
+
+#include <gtest/gtest.h>
+
+#include "core/full_cost.h"
+#include "core/tree_builder.h"
+
+namespace smerge {
+namespace {
+
+TEST(StreamName, PaperNaming) {
+  EXPECT_EQ(stream_name(0), "A");
+  EXPECT_EQ(stream_name(7), "H");
+  EXPECT_EQ(stream_name(25), "Z");
+  EXPECT_EQ(stream_name(26), "s26");
+}
+
+TEST(ConcreteDiagram, FigureThreeContents) {
+  const MergeForest forest = optimal_merge_forest(15, 8);
+  const std::string d = concrete_diagram(forest);
+  // Every stream row is present with its paper name.
+  for (const char* label : {"A (t=0):", "F (t=5):", "H (t=7):"}) {
+    EXPECT_NE(d.find(label), std::string::npos) << label;
+  }
+  // Stream A transmits all 15 segments; F stops at segment 9.
+  const std::size_t row_a = d.find("A (t=0):");
+  const std::size_t row_b = d.find("B (t=1):");
+  const std::string a_row = d.substr(row_a, row_b - row_a);
+  EXPECT_NE(a_row.find(" 15"), std::string::npos);
+  const std::size_t row_f = d.find("F (t=5):");
+  const std::size_t row_g = d.find("G (t=6):");
+  const std::string f_row = d.substr(row_f, row_g - row_f);
+  EXPECT_NE(f_row.find(" 9"), std::string::npos);
+  EXPECT_EQ(f_row.find("10"), std::string::npos);
+}
+
+TEST(ConcreteDiagram, GoldenFigureThree) {
+  // Exact reproduction of Fig. 3 as rendered text — a regression anchor
+  // for the whole schedule pipeline.
+  const MergeForest forest = optimal_merge_forest(15, 8);
+  const std::string expected =
+      "      t:  0  1  2  3  4  5  6  7  8  9 10 11 12 13 14\n"
+      "A (t=0):  1  2  3  4  5  6  7  8  9 10 11 12 13 14 15\n"
+      "B (t=1):     1\n"
+      "C (t=2):        1  2\n"
+      "D (t=3):           1  2  3  4  5\n"
+      "E (t=4):              1\n"
+      "F (t=5):                 1  2  3  4  5  6  7  8  9\n"
+      "G (t=6):                    1\n"
+      "H (t=7):                       1  2\n";
+  EXPECT_EQ(concrete_diagram(forest), expected);
+}
+
+TEST(ConcreteDiagram, RowCountMatchesStreams) {
+  const MergeForest forest = optimal_merge_forest(15, 14);
+  const std::string d = concrete_diagram(forest);
+  const auto lines = static_cast<Index>(std::count(d.begin(), d.end(), '\n'));
+  EXPECT_EQ(lines, 14 + 1);  // one header + one row per stream
+}
+
+TEST(RenderTree, FigureFourShape) {
+  const std::string r = render_tree(optimal_merge_tree(8));
+  // Root and both named subtrees appear with paper letters.
+  EXPECT_NE(r.find("0 (A)"), std::string::npos);
+  EXPECT_NE(r.find("5 (F)"), std::string::npos);
+  EXPECT_NE(r.find("7 (H)"), std::string::npos);
+  // H is nested under F: its connector is indented.
+  const std::size_t f_pos = r.find("5 (F)");
+  const std::size_t h_pos = r.find("7 (H)");
+  ASSERT_NE(f_pos, std::string::npos);
+  ASSERT_NE(h_pos, std::string::npos);
+  EXPECT_LT(f_pos, h_pos);
+}
+
+TEST(RenderTree, OffsetShiftsLabels) {
+  const std::string r = render_tree(optimal_merge_tree(3), 7);
+  EXPECT_NE(r.find("7 (H)"), std::string::npos);
+  EXPECT_NE(r.find("8 (I)"), std::string::npos);
+  EXPECT_NE(r.find("9 (J)"), std::string::npos);
+}
+
+TEST(RenderTree, SingleNode) {
+  EXPECT_EQ(render_tree(MergeTree::single()), "0 (A)\n");
+}
+
+}  // namespace
+}  // namespace smerge

@@ -1,0 +1,158 @@
+// Tests for the (alpha,beta)-dyadic stream merging algorithm [9]:
+// hand-computed small instances, the stack-vs-recursive cross-check, and
+// the structural window invariants.
+#include "merging/dyadic.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/arrivals.h"
+
+namespace smerge::merging {
+namespace {
+
+DyadicParams original_params() {
+  return DyadicParams{2.0, 0.5};  // the original paper's choice
+}
+
+TEST(Dyadic, SingleArrivalIsRoot) {
+  DyadicMerger m(1.0, original_params());
+  EXPECT_EQ(m.arrive(0.25), 0);
+  EXPECT_EQ(m.forest().num_roots(), 1);
+  EXPECT_DOUBLE_EQ(m.total_cost(), 1.0);
+}
+
+TEST(Dyadic, HandComputedThreeArrivals) {
+  // alpha=2, beta=0.5: root at 0 owns (0, 0.5]; 0.3 lands in I_1 =
+  // (0.25, 0.5] and merges into the root (leaf cost 0.3); 0.6 is past the
+  // window and opens a new root. Total = 1 + 0.3 + 1.
+  DyadicMerger m(1.0, original_params());
+  m.arrive(0.0);
+  m.arrive(0.3);
+  m.arrive(0.6);
+  EXPECT_EQ(m.forest().num_roots(), 2);
+  EXPECT_EQ(m.forest().stream(1).parent, 0);
+  EXPECT_NEAR(m.total_cost(), 2.3, 1e-12);
+}
+
+TEST(Dyadic, HandComputedFourArrivals) {
+  // Arrivals 0, 0.1, 0.3, 0.45 under (2, 0.5):
+  //   0.1 in I_3 = (0.0625, 0.125] of the root window -> child of 0,
+  //   0.3 in I_1 = (0.25, 0.5]                        -> child of 0,
+  //   0.45 in I_1 = (0.4, 0.5] of 0.3's window (0.3, 0.5] -> child of 0.3.
+  // Costs: 1 (root) + 0.1 (leaf) + (2*0.45 - 0.3) = 0.6 + 0.15 (leaf).
+  DyadicMerger m(1.0, original_params());
+  m.arrive(0.0);
+  m.arrive(0.1);
+  m.arrive(0.3);
+  m.arrive(0.45);
+  const GeneralMergeForest& f = m.forest();
+  EXPECT_EQ(f.stream(1).parent, 0);
+  EXPECT_EQ(f.stream(2).parent, 0);
+  EXPECT_EQ(f.stream(3).parent, 2);
+  EXPECT_NEAR(m.total_cost(), 1.85, 1e-12);
+}
+
+TEST(Dyadic, CoincidentArrivalsShareOneStream) {
+  DyadicMerger m(1.0, original_params());
+  const Index a = m.arrive(0.0);
+  const Index b = m.arrive(0.0);
+  const Index c = m.arrive(0.3);
+  const Index d = m.arrive(0.3);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(c, d);
+  EXPECT_EQ(m.forest().size(), 2);
+}
+
+TEST(Dyadic, ParameterValidation) {
+  EXPECT_THROW(DyadicMerger(0.0, original_params()), std::invalid_argument);
+  EXPECT_THROW(DyadicMerger(1.0, DyadicParams{1.0, 0.5}), std::invalid_argument);
+  EXPECT_THROW(DyadicMerger(1.0, DyadicParams{2.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(DyadicMerger(1.0, DyadicParams{2.0, 0.6}), std::invalid_argument);
+}
+
+class DyadicCrossCheck : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DyadicCrossCheck, StackMatchesRecursiveReference) {
+  // The O(1)-amortized stack form and the independent per-arrival descent
+  // must produce identical forests on random Poisson instances, for both
+  // the original (2, 0.5) and the golden-ratio parameterization.
+  const std::uint64_t seed = GetParam();
+  const std::vector<double> arrivals = sim::poisson_arrivals(0.02, 20.0, seed);
+  for (const DyadicParams params :
+       {original_params(), DyadicParams{fib::kGoldenRatio, 0.5},
+        DyadicParams{fib::kGoldenRatio, 0.21}}) {
+    DyadicMerger merger(1.0, params);
+    for (const double t : arrivals) merger.arrive(t);
+    const GeneralMergeForest ref = dyadic_forest_recursive(1.0, arrivals, params);
+    ASSERT_EQ(merger.forest().size(), ref.size());
+    for (Index i = 0; i < ref.size(); ++i) {
+      EXPECT_DOUBLE_EQ(merger.forest().stream(i).time, ref.stream(i).time) << i;
+      EXPECT_EQ(merger.forest().stream(i).parent, ref.stream(i).parent) << i;
+    }
+    EXPECT_NEAR(merger.total_cost(), ref.total_cost(), 1e-9);
+  }
+}
+
+TEST_P(DyadicCrossCheck, WindowInvariants) {
+  // Every non-root lies strictly inside its parent's beta window, and all
+  // merges complete while the target stream is still transmitting
+  // (guaranteed by beta <= 1/2).
+  const std::uint64_t seed = GetParam();
+  const std::vector<double> arrivals = sim::poisson_arrivals(0.05, 30.0, seed);
+  DyadicMerger merger(1.0, DyadicParams{fib::kGoldenRatio, 0.5});
+  for (const double t : arrivals) merger.arrive(t);
+  const GeneralMergeForest& f = merger.forest();
+  for (Index i = 0; i < f.size(); ++i) {
+    const Index p = f.stream(i).parent;
+    if (p == -1) continue;
+    EXPECT_GT(f.stream(i).time, f.stream(p).time);
+    // Within the root's window (roots own (x, x + beta L]).
+    Index root = p;
+    while (f.stream(root).parent != -1) root = f.stream(root).parent;
+    EXPECT_LE(f.stream(i).time, f.stream(root).time + 0.5 + 1e-12);
+  }
+  EXPECT_TRUE(f.merges_complete_in_time());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DyadicCrossCheck,
+                         ::testing::Values<std::uint64_t>(1, 2, 3, 7, 42, 1234, 99999));
+
+TEST(Dyadic, DenseArrivalsBeatUnicast) {
+  // With many arrivals per media length, merging must save a lot over one
+  // full stream per client.
+  const std::vector<double> arrivals = sim::constant_arrivals(0.001, 10.0);
+  DyadicMerger merger(1.0, DyadicParams{});
+  for (const double t : arrivals) merger.arrive(t);
+  const double unicast = static_cast<double>(arrivals.size());
+  EXPECT_LT(merger.total_cost(), unicast / 50.0);
+}
+
+TEST(Dyadic, SparseArrivalsDegradeToUnicast) {
+  // Gaps larger than beta*L leave nothing to merge: every arrival is a
+  // root.
+  const std::vector<double> arrivals = sim::constant_arrivals(0.7, 20.0);
+  DyadicMerger merger(1.0, DyadicParams{2.0, 0.5});
+  for (const double t : arrivals) merger.arrive(t);
+  EXPECT_EQ(merger.forest().num_roots(), merger.forest().size());
+  EXPECT_DOUBLE_EQ(merger.total_cost(), static_cast<double>(arrivals.size()));
+}
+
+TEST(Dyadic, CostDecreasesWithArrivalDensity) {
+  // Normalized cost (per media length of horizon) should fall as arrivals
+  // densify — the Fig.-1-style saving.
+  double prev = 1e100;
+  for (const double gap : {0.2, 0.05, 0.01, 0.002}) {
+    const std::vector<double> arrivals = sim::constant_arrivals(gap, 50.0);
+    DyadicMerger merger(1.0, DyadicParams{});
+    for (const double t : arrivals) merger.arrive(t);
+    const double per_client = merger.total_cost() / static_cast<double>(arrivals.size());
+    EXPECT_LT(per_client, prev) << "gap=" << gap;
+    prev = per_client;
+  }
+}
+
+}  // namespace
+}  // namespace smerge::merging

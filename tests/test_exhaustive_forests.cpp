@@ -1,0 +1,93 @@
+// Exhaustive optimality anchor at the forest level.
+//
+// full_cost (Lemma 9 + Theorem 12) minimizes over *unconstrained* merge
+// trees; physical schedules additionally require every stream length to
+// fit the media ("L-trees", cf. Lemma 15's assumption). This suite
+// enumerates every forest — all block partitions x all Catalan-many trees
+// per block, keeping only feasible trees — and checks that the honest
+// feasible optimum coincides with the closed-form F(L,n): the L-tree
+// constraint never costs anything at the optimum.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "core/full_cost.h"
+#include "core/tree_builder.h"
+
+namespace smerge {
+namespace {
+
+// Minimum merge cost over *feasible* trees of the given size (INF when no
+// feasible tree exists, e.g. size > L).
+Cost feasible_tree_minimum(Index size, Index media_length, Model model) {
+  if (size > media_length) return std::numeric_limits<Cost>::max();
+  Cost best = std::numeric_limits<Cost>::max();
+  enumerate_merge_trees(size, [&](const MergeTree& t) {
+    if (t.feasible(media_length, model)) {
+      best = std::min(best, t.merge_cost(model));
+    }
+  });
+  return best;
+}
+
+// Exhaustive feasible forest optimum by partition DP over the per-size
+// feasible tree minima.
+Cost feasible_forest_minimum(Index media_length, Index n, Model model) {
+  std::vector<Cost> tree_min(static_cast<std::size_t>(std::min(n, media_length)) + 1,
+                             std::numeric_limits<Cost>::max());
+  for (Index b = 1; b <= std::min(n, media_length); ++b) {
+    tree_min[static_cast<std::size_t>(b)] = feasible_tree_minimum(b, media_length, model);
+  }
+  std::vector<Cost> g(static_cast<std::size_t>(n) + 1,
+                      std::numeric_limits<Cost>::max());
+  g[0] = 0;
+  for (Index i = 1; i <= n; ++i) {
+    for (Index b = 1; b <= std::min(i, media_length); ++b) {
+      const Cost tree = tree_min[static_cast<std::size_t>(b)];
+      const Cost prev = g[static_cast<std::size_t>(i - b)];
+      if (tree == std::numeric_limits<Cost>::max() ||
+          prev == std::numeric_limits<Cost>::max()) {
+        continue;
+      }
+      g[static_cast<std::size_t>(i)] =
+          std::min(g[static_cast<std::size_t>(i)], prev + media_length + tree);
+    }
+  }
+  return g[static_cast<std::size_t>(n)];
+}
+
+class ExhaustiveForests : public ::testing::TestWithParam<std::tuple<Index, Index>> {};
+
+TEST_P(ExhaustiveForests, FeasibleOptimumEqualsClosedFormReceiveTwo) {
+  const auto [L, n] = GetParam();
+  EXPECT_EQ(feasible_forest_minimum(L, n, Model::kReceiveTwo), full_cost(L, n))
+      << "L=" << L << " n=" << n;
+}
+
+TEST_P(ExhaustiveForests, FeasibleOptimumEqualsClosedFormReceiveAll) {
+  const auto [L, n] = GetParam();
+  EXPECT_EQ(feasible_forest_minimum(L, n, Model::kReceiveAll),
+            full_cost(L, n, Model::kReceiveAll))
+      << "L=" << L << " n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallGrid, ExhaustiveForests,
+    ::testing::Combine(::testing::Values<Index>(2, 3, 4, 5, 7, 8),
+                       ::testing::Range<Index>(1, 11)));
+
+TEST(ExhaustiveForests, ConstraintBitesForSingleTreesNotForests) {
+  // The constraint is non-trivial: at L = n = 8 the unconstrained optimal
+  // tree itself is infeasible (the Fibonacci tree's stream 5 has Lemma-1
+  // length 9 > 8), so the best feasible *single tree* costs more than
+  // M(8) = 21...
+  EXPECT_FALSE(optimal_merge_tree(8).feasible(8));
+  EXPECT_EQ(feasible_tree_minimum(8, 8, Model::kReceiveTwo), merge_cost(8) + 1);
+  // ...but the *forest* optimum never wants such a tree: F(8,8) = 28 uses
+  // two 4-trees (8 + M(8) = 29 would lose even unconstrained).
+  EXPECT_EQ(full_cost(8, 8), 28);
+  EXPECT_EQ(feasible_forest_minimum(8, 8, Model::kReceiveTwo), 28);
+}
+
+}  // namespace
+}  // namespace smerge

@@ -1,0 +1,122 @@
+// Unit tests for the Fibonacci substrate (src/fib).
+#include "fib/fibonacci.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace smerge::fib {
+namespace {
+
+TEST(Fibonacci, FirstValuesMatchDefinition) {
+  // F_0 = 0, F_1 = 1, F_k = F_{k-1} + F_{k-2} (Section 3.1).
+  EXPECT_EQ(fibonacci(0), 0);
+  EXPECT_EQ(fibonacci(1), 1);
+  EXPECT_EQ(fibonacci(2), 1);
+  EXPECT_EQ(fibonacci(3), 2);
+  EXPECT_EQ(fibonacci(4), 3);
+  EXPECT_EQ(fibonacci(5), 5);
+  EXPECT_EQ(fibonacci(6), 8);
+  EXPECT_EQ(fibonacci(7), 13);
+  EXPECT_EQ(fibonacci(8), 21);
+  EXPECT_EQ(fibonacci(9), 34);
+  EXPECT_EQ(fibonacci(10), 55);
+}
+
+TEST(Fibonacci, RecurrenceHoldsOverFullRange) {
+  for (int k = 2; k <= kMaxIndex; ++k) {
+    EXPECT_EQ(fibonacci(k), fibonacci(k - 1) + fibonacci(k - 2)) << "k=" << k;
+  }
+}
+
+TEST(Fibonacci, LargestRepresentableTerm) {
+  EXPECT_EQ(fibonacci(kMaxIndex), 7540113804746346429LL);
+}
+
+TEST(Fibonacci, IndexOutOfRangeThrows) {
+  EXPECT_THROW(fibonacci(-1), std::out_of_range);
+  EXPECT_THROW(fibonacci(kMaxIndex + 1), std::out_of_range);
+}
+
+TEST(Fibonacci, SumIdentity) {
+  // The identity used by Lemma 11's chains: F_{j+2} - 1 = sum_{i<=j} F_i.
+  std::int64_t sum = 0;
+  for (int j = 0; j <= 40; ++j) {
+    sum += fibonacci(j);
+    EXPECT_EQ(fibonacci(j + 2) - 1, sum) << "j=" << j;
+  }
+}
+
+TEST(BracketIndex, SmallValues) {
+  EXPECT_EQ(bracket_index(1), 2);  // largest k with F_k <= 1
+  EXPECT_EQ(bracket_index(2), 3);
+  EXPECT_EQ(bracket_index(3), 4);
+  EXPECT_EQ(bracket_index(4), 4);
+  EXPECT_EQ(bracket_index(5), 5);
+  EXPECT_EQ(bracket_index(7), 5);
+  EXPECT_EQ(bracket_index(8), 6);
+  EXPECT_EQ(bracket_index(12), 6);
+  EXPECT_EQ(bracket_index(13), 7);
+}
+
+TEST(BracketIndex, RequiresPositive) {
+  EXPECT_THROW(bracket_index(0), std::invalid_argument);
+  EXPECT_THROW(bracket_index(-5), std::invalid_argument);
+}
+
+class BracketProperty : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(BracketProperty, BracketsAreTight) {
+  const std::int64_t n = GetParam();
+  const int k = bracket_index(n);
+  EXPECT_GE(k, 2);
+  EXPECT_LE(fibonacci(k), n);
+  EXPECT_GT(fibonacci(k + 1), n);
+}
+
+TEST_P(BracketProperty, DecomposeIsConsistent) {
+  const std::int64_t n = GetParam();
+  const Bracket b = decompose(n);
+  EXPECT_EQ(b.fk + b.m, n);
+  EXPECT_EQ(b.fk, fibonacci(b.k));
+  EXPECT_GE(b.m, 0);
+  if (b.k >= 1) {
+    EXPECT_LT(b.m, fibonacci(b.k - 1) == 0 ? 1 : fibonacci(b.k - 1));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(DenseSmallRange, BracketProperty,
+                         ::testing::Range<std::int64_t>(1, 400));
+INSTANTIATE_TEST_SUITE_P(LargeSpotChecks, BracketProperty,
+                         ::testing::Values<std::int64_t>(1000, 46368, 46369, 832040,
+                                                         1'000'000'000,
+                                                         7540113804746346428LL));
+
+TEST(IsFibonacci, MatchesTableMembership) {
+  int next_fib_index = 0;
+  for (std::int64_t n = 0; n <= 400; ++n) {
+    while (fibonacci(next_fib_index) < n) ++next_fib_index;
+    const bool expected = fibonacci(next_fib_index) == n;
+    EXPECT_EQ(is_fibonacci(n), expected) << "n=" << n;
+  }
+  EXPECT_FALSE(is_fibonacci(-1));
+}
+
+TEST(LogPhi, GoldenRatioPowers) {
+  EXPECT_NEAR(log_phi(1.0), 0.0, 1e-12);
+  EXPECT_NEAR(log_phi(kGoldenRatio), 1.0, 1e-12);
+  EXPECT_NEAR(log_phi(kGoldenRatio * kGoldenRatio), 2.0, 1e-12);
+  EXPECT_THROW(log_phi(0.0), std::invalid_argument);
+  EXPECT_THROW(log_phi(-1.0), std::invalid_argument);
+}
+
+TEST(LogPhi, ApproximatesFibonacciGrowth) {
+  // F_k ~ phi^k / sqrt(5), so log_phi(F_k) should be close to k - 1.67.
+  for (int k = 10; k <= 80; k += 7) {
+    const double lg = log_phi(static_cast<double>(fibonacci(k)));
+    EXPECT_NEAR(lg, k - 1.6723, 0.01) << "k=" << k;
+  }
+}
+
+}  // namespace
+}  // namespace smerge::fib

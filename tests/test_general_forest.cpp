@@ -1,0 +1,81 @@
+// Tests for the continuous-time merge forest substrate.
+#include "merging/general_forest.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace smerge::merging {
+namespace {
+
+TEST(GeneralMergeForest, SingleRootCostsMediaLength) {
+  GeneralMergeForest f(1.0);
+  f.add_stream(0.0, -1);
+  EXPECT_EQ(f.size(), 1);
+  EXPECT_EQ(f.num_roots(), 1);
+  EXPECT_DOUBLE_EQ(f.total_cost(), 1.0);
+  EXPECT_DOUBLE_EQ(f.stream_duration(0), 1.0);
+}
+
+TEST(GeneralMergeForest, LemmaOneLengthsInContinuousTime) {
+  // Mirror of the slotted Fig.-3 instance scaled by 1/15: stream F at
+  // 5/15 with z = 7/15 merging into the root must run 2z - x - p = 9/15.
+  GeneralMergeForest f(1.0);
+  const double u = 1.0 / 15.0;
+  f.add_stream(0.0, -1);       // A
+  f.add_stream(5 * u, 0);      // F
+  f.add_stream(6 * u, 1);      // G
+  f.add_stream(7 * u, 1);      // H
+  EXPECT_NEAR(f.stream_duration(1), 9 * u, 1e-12);
+  EXPECT_NEAR(f.stream_duration(2), 1 * u, 1e-12);
+  EXPECT_NEAR(f.stream_duration(3), 2 * u, 1e-12);
+  EXPECT_NEAR(f.last_descendant_time(1), 7 * u, 1e-12);
+  EXPECT_NEAR(f.total_cost(), 1.0 + 12 * u, 1e-12);
+}
+
+TEST(GeneralMergeForest, RejectsMalformedAppends) {
+  GeneralMergeForest f(1.0);
+  f.add_stream(0.5, -1);
+  EXPECT_THROW(f.add_stream(0.4, -1), std::invalid_argument);   // time goes back
+  EXPECT_THROW(f.add_stream(0.6, 5), std::invalid_argument);    // bad parent
+  EXPECT_THROW(f.add_stream(0.5, 0), std::invalid_argument);    // parent not earlier
+  EXPECT_THROW(GeneralMergeForest(0.0), std::invalid_argument);
+  EXPECT_THROW(f.stream(3), std::out_of_range);
+}
+
+TEST(GeneralMergeForest, PeakConcurrency) {
+  GeneralMergeForest f(1.0);
+  f.add_stream(0.0, -1);   // [0, 1)
+  f.add_stream(0.2, 0);    // leaf: duration 2*0.2-0.2-0 = 0.2 -> [0.2, 0.4)
+  f.add_stream(0.3, 0);    // leaf: duration 0.3 -> [0.3, 0.6)
+  EXPECT_EQ(f.peak_concurrency(), 3);  // all overlap during [0.3, 0.4)
+  GeneralMergeForest g(1.0);
+  g.add_stream(0.0, -1);
+  g.add_stream(2.0, -1);  // disjoint roots
+  EXPECT_EQ(g.peak_concurrency(), 1);
+}
+
+TEST(GeneralMergeForest, MergeCompletionCheck) {
+  // A child merging into the root at 2z - p <= p + L is fine...
+  GeneralMergeForest ok(1.0);
+  ok.add_stream(0.0, -1);
+  ok.add_stream(0.4, 0);  // merge point 0.8 <= 1.0
+  EXPECT_TRUE(ok.merges_complete_in_time());
+  // ...but a late child's subtree outliving the root is flagged.
+  GeneralMergeForest bad(1.0);
+  bad.add_stream(0.0, -1);
+  bad.add_stream(0.6, 0);  // merge point 1.2 > 1.0
+  EXPECT_FALSE(bad.merges_complete_in_time());
+}
+
+TEST(GeneralMergeForest, CacheInvalidationOnGrowth) {
+  GeneralMergeForest f(1.0);
+  f.add_stream(0.0, -1);
+  f.add_stream(0.1, 0);
+  EXPECT_NEAR(f.stream_duration(1), 0.1, 1e-12);  // leaf for now
+  f.add_stream(0.2, 1);                           // now 0.1 has a child
+  EXPECT_NEAR(f.stream_duration(1), 2 * 0.2 - 0.1 - 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace smerge::merging

@@ -1,0 +1,90 @@
+// Tests for the Section-5 hybrid server extension.
+#include "sim/hybrid.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "sim/arrivals.h"
+
+namespace smerge::sim {
+namespace {
+
+HybridParams default_params() {
+  HybridParams p;
+  p.delay = 0.01;
+  p.window = 3;
+  return p;
+}
+
+TEST(Hybrid, DenseTrafficRunsDelayGuaranteed) {
+  // Constant arrivals denser than the delay keep every slot busy: after
+  // the warm-up window the server must sit in DG mode.
+  const auto arrivals = constant_arrivals(0.002, 20.0);
+  const HybridOutcome out = run_hybrid(arrivals, 20.0, default_params());
+  EXPECT_GT(out.dg_slots, out.dyadic_slots * 50);
+  EXPECT_LE(out.mode_switches, 2);
+}
+
+TEST(Hybrid, SparseTrafficRunsDyadic) {
+  const auto arrivals = constant_arrivals(0.5, 20.0);  // 50x the delay
+  const HybridOutcome out = run_hybrid(arrivals, 20.0, default_params());
+  EXPECT_EQ(out.dg_slots, 0);
+  EXPECT_EQ(out.mode_switches, 0);
+}
+
+TEST(Hybrid, DenseCostTracksDelayGuaranteed) {
+  const auto arrivals = constant_arrivals(0.002, 20.0);
+  const HybridOutcome out = run_hybrid(arrivals, 20.0, default_params());
+  const double dg = run_delay_guaranteed(0.01, 20.0).streams_served;
+  // Identical up to the warm-up slots served by the dyadic merger.
+  EXPECT_NEAR(out.bandwidth.streams_served, dg, dg * 0.10);
+}
+
+TEST(Hybrid, SparseCostTracksDyadic) {
+  const auto arrivals = constant_arrivals(0.5, 20.0);
+  const HybridOutcome out = run_hybrid(arrivals, 20.0, default_params());
+  const double dyadic = run_dyadic(arrivals).streams_served;
+  EXPECT_NEAR(out.bandwidth.streams_served, dyadic, 1e-9);
+}
+
+TEST(Hybrid, BoundedOverheadAtTheCrossover) {
+  // Poisson traffic with mean gap == delay sits exactly at the Fig.-11
+  // crossover; hysteresis then thrashes and every short DG run pays a
+  // fresh full stream, so the hybrid can exceed both pure policies — but
+  // only by the mode-switch overhead, which stays a bounded fraction.
+  const auto arrivals = poisson_arrivals(0.01, 40.0, 5);
+  const HybridOutcome out = run_hybrid(arrivals, 40.0, default_params());
+  const double dg = run_delay_guaranteed(0.01, 40.0).streams_served;
+  const double dyadic = run_dyadic(arrivals).streams_served;
+  EXPECT_LE(out.bandwidth.streams_served, std::max(dg, dyadic) * 1.25);
+  EXPECT_GT(out.bandwidth.streams_served, 0.0);
+}
+
+TEST(Hybrid, BurstTrafficSwitchesModes) {
+  // A burst in the middle of an idle horizon: dyadic -> DG -> dyadic.
+  std::vector<double> arrivals;
+  for (double t = 10.0; t <= 12.0; t += 0.004) arrivals.push_back(t);
+  const HybridOutcome out = run_hybrid(arrivals, 30.0, default_params());
+  EXPECT_GE(out.mode_switches, 2);
+  EXPECT_GT(out.dg_slots, 0);
+  EXPECT_GT(out.dyadic_slots, 0);
+}
+
+TEST(Hybrid, DeterministicForFixedInput) {
+  const auto arrivals = poisson_arrivals(0.008, 25.0, 99);
+  const HybridOutcome a = run_hybrid(arrivals, 25.0, default_params());
+  const HybridOutcome b = run_hybrid(arrivals, 25.0, default_params());
+  EXPECT_DOUBLE_EQ(a.bandwidth.streams_served, b.bandwidth.streams_served);
+  EXPECT_EQ(a.dg_slots, b.dg_slots);
+  EXPECT_EQ(a.mode_switches, b.mode_switches);
+}
+
+TEST(Hybrid, Validation) {
+  EXPECT_THROW(run_hybrid({}, 1.0, HybridParams{0.0, 3, {}}), std::invalid_argument);
+  EXPECT_THROW(run_hybrid({}, 1.0, HybridParams{0.01, 0, {}}), std::invalid_argument);
+  EXPECT_THROW(run_hybrid({0.5, 0.2}, 1.0, default_params()), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace smerge::sim

@@ -1,0 +1,124 @@
+// Tests for Theorem 3's last-merge intervals I(n) and the r(i) table that
+// drives the O(n) tree construction (Theorem 7) — including the Fig. 8
+// reproduction cross-check.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/merge_cost.h"
+
+namespace smerge {
+namespace {
+
+TEST(LastMergeInterval, SmallValuesFromTheoremThree) {
+  // Derived in Section 3.1's discussion and Fig. 6/7: I(2)={1}, I(3)={2},
+  // I(4)={2,3} (two optimal trees for n=4), I(5)={3}, I(6)={3,4},
+  // I(7)={4,5}, I(8)={5} (Fibonacci), I(13)={8} (Fibonacci).
+  EXPECT_EQ(last_merge_interval(2), (IndexInterval{1, 1}));
+  EXPECT_EQ(last_merge_interval(3), (IndexInterval{2, 2}));
+  EXPECT_EQ(last_merge_interval(4), (IndexInterval{2, 3}));
+  EXPECT_EQ(last_merge_interval(5), (IndexInterval{3, 3}));
+  EXPECT_EQ(last_merge_interval(6), (IndexInterval{3, 4}));
+  EXPECT_EQ(last_merge_interval(7), (IndexInterval{4, 5}));
+  EXPECT_EQ(last_merge_interval(8), (IndexInterval{5, 5}));
+  EXPECT_EQ(last_merge_interval(13), (IndexInterval{8, 8}));
+}
+
+TEST(LastMergeInterval, FibonacciHorizonsAreSingletons) {
+  // For n = F_k the unique last merge is F_{k-1} (the Fibonacci merge
+  // tree is unique; end of Section 3.1).
+  for (int k = 3; k <= 30; ++k) {
+    const IndexInterval iv = last_merge_interval(fib::fibonacci(k));
+    EXPECT_EQ(iv.lo, iv.hi) << "k=" << k;
+    EXPECT_EQ(iv.lo, fib::fibonacci(k - 1)) << "k=" << k;
+  }
+}
+
+TEST(LastMergeInterval, RequiresAtLeastTwoArrivals) {
+  EXPECT_THROW(last_merge_interval(1), std::invalid_argument);
+  EXPECT_THROW(last_merge_interval(0), std::invalid_argument);
+}
+
+TEST(LastMergeInterval, MatchesDpArgminSets) {
+  // The Fig.-8 table (2 <= n <= 55) and beyond: Theorem 3's intervals
+  // equal the exact argmin sets of H(n, .).
+  const Index n_max = 320;
+  const auto dp = last_merge_intervals_dp(n_max);
+  for (Index n = 2; n <= n_max; ++n) {
+    EXPECT_EQ(last_merge_interval(n), dp[static_cast<std::size_t>(n)]) << "n=" << n;
+  }
+}
+
+TEST(LastMergeInterval, EndpointsAchieveTheMinimum) {
+  for (Index n = 2; n <= 2000; ++n) {
+    const IndexInterval iv = last_merge_interval(n);
+    EXPECT_EQ(last_merge_cost(n, iv.lo), merge_cost(n)) << "n=" << n;
+    EXPECT_EQ(last_merge_cost(n, iv.hi), merge_cost(n)) << "n=" << n;
+    if (iv.lo > 1) {
+      EXPECT_GT(last_merge_cost(n, iv.lo - 1), merge_cost(n)) << "n=" << n;
+    }
+    if (iv.hi < n - 1) {
+      EXPECT_GT(last_merge_cost(n, iv.hi + 1), merge_cost(n)) << "n=" << n;
+    }
+  }
+}
+
+TEST(LastMergeInterval, ObservationFourNesting) {
+  // Observation 4: if I(x-1) = [i, j] then I(x) is contained in [i, j+1].
+  for (Index n = 3; n <= 2000; ++n) {
+    const IndexInterval prev = last_merge_interval(n - 1);
+    const IndexInterval cur = last_merge_interval(n);
+    EXPECT_GE(cur.lo, prev.lo) << "n=" << n;
+    EXPECT_LE(cur.hi, prev.hi + 1) << "n=" << n;
+  }
+}
+
+TEST(LastMergeTable, MatchesClosedFormMaxima) {
+  const Index n_max = 5000;
+  const auto table = last_merge_table(n_max);
+  EXPECT_EQ(table[1], 0);  // single-arrival sentinel
+  for (Index i = 2; i <= n_max; ++i) {
+    EXPECT_EQ(table[static_cast<std::size_t>(i)], last_merge_root(i)) << "i=" << i;
+  }
+}
+
+TEST(LastMergeTable, RecurrenceStepsAreZeroOrOne) {
+  const Index n_max = 3000;
+  const auto table = last_merge_table(n_max);
+  for (Index i = 3; i <= n_max; ++i) {
+    const Index step = table[static_cast<std::size_t>(i)] -
+                       table[static_cast<std::size_t>(i - 1)];
+    EXPECT_TRUE(step == 0 || step == 1) << "i=" << i;
+  }
+}
+
+class IntervalStructure : public ::testing::TestWithParam<Index> {};
+
+TEST_P(IntervalStructure, TheoremThreeCasewiseConstruction) {
+  // Re-derive I(n) from the three interval cases of Theorem 3 explicitly
+  // and compare with the production implementation. This covers the
+  // redundancy at the case boundaries (m = F_{k-3}, F_{k-2}, F_{k-1}).
+  const Index n = GetParam();
+  const fib::Bracket b = fib::decompose(n);
+  const std::int64_t fk3 = b.k >= 3 ? fib::fibonacci(b.k - 3) : 0;
+  const std::int64_t fk2 = fib::fibonacci(b.k - 2);
+  const std::int64_t fk1 = fib::fibonacci(b.k - 1);
+
+  IndexInterval expected{};
+  if (b.m <= fk3) {
+    expected = IndexInterval{fk1, fk1 + b.m};          // I1
+  } else if (b.m <= fk2) {
+    expected = IndexInterval{fk2 + b.m, fk1 + b.m};    // I2
+  } else {
+    expected = IndexInterval{fk2 + b.m, b.fk};         // I3
+  }
+  EXPECT_EQ(last_merge_interval(n), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fig8Range, IntervalStructure,
+                         ::testing::Range<Index>(2, 56));
+INSTANTIATE_TEST_SUITE_P(WiderSweep, IntervalStructure,
+                         ::testing::Range<Index>(56, 1200, 7));
+
+}  // namespace
+}  // namespace smerge

@@ -1,0 +1,183 @@
+// Tests for the optimal merge-cost functions (Section 3.1 / 3.4):
+// the paper's in-text tables, closed form vs. recurrence, and the
+// observations used inside the Theorem-3 proof.
+#include "core/merge_cost.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace smerge {
+namespace {
+
+// Section 3.1, in-text table: M(n) for n = 1..16.
+constexpr Cost kPaperMergeCosts[] = {0,  1,  3,  6,  9,  13, 17, 21,
+                                     26, 31, 36, 41, 46, 52, 58, 64};
+
+// Section 3.4, in-text table: Mw(n) for n = 1..16.
+constexpr Cost kPaperReceiveAllCosts[] = {0,  1,  3,  5,  8,  11, 14, 17,
+                                          21, 25, 29, 33, 37, 41, 45, 49};
+
+TEST(MergeCost, PaperTableReceiveTwo) {
+  for (Index n = 1; n <= 16; ++n) {
+    EXPECT_EQ(merge_cost(n), kPaperMergeCosts[n - 1]) << "n=" << n;
+  }
+}
+
+TEST(MergeCost, PaperTableReceiveAll) {
+  for (Index n = 1; n <= 16; ++n) {
+    EXPECT_EQ(merge_cost_receive_all(n), kPaperReceiveAllCosts[n - 1]) << "n=" << n;
+  }
+}
+
+TEST(MergeCost, TrivialCases) {
+  EXPECT_EQ(merge_cost(0), 0);
+  EXPECT_EQ(merge_cost(1), 0);
+  EXPECT_EQ(merge_cost_receive_all(0), 0);
+  EXPECT_EQ(merge_cost_receive_all(1), 0);
+}
+
+TEST(MergeCost, RejectsOutOfRange) {
+  EXPECT_THROW(merge_cost(-1), std::invalid_argument);
+  EXPECT_THROW(merge_cost(kMaxHorizon + 1), std::invalid_argument);
+  EXPECT_THROW(merge_cost_receive_all(-1), std::invalid_argument);
+}
+
+TEST(MergeCost, ModelDispatch) {
+  EXPECT_EQ(merge_cost(10, Model::kReceiveTwo), merge_cost(10));
+  EXPECT_EQ(merge_cost(10, Model::kReceiveAll), merge_cost_receive_all(10));
+}
+
+TEST(MergeCost, ClosedFormMatchesRecurrenceReceiveTwo) {
+  // Eq. (6) == Eq. (5) over a dense range.
+  const Index n_max = 2000;
+  const std::vector<Cost> dp = merge_cost_table_dp(n_max, Model::kReceiveTwo);
+  for (Index n = 0; n <= n_max; ++n) {
+    ASSERT_EQ(merge_cost(n), dp[static_cast<std::size_t>(n)]) << "n=" << n;
+  }
+}
+
+TEST(MergeCost, ClosedFormMatchesRecurrenceReceiveAll) {
+  // Eq. (20) == Eq. (19) over a dense range.
+  const Index n_max = 2000;
+  const std::vector<Cost> dp = merge_cost_table_dp(n_max, Model::kReceiveAll);
+  for (Index n = 0; n <= n_max; ++n) {
+    ASSERT_EQ(merge_cost_receive_all(n), dp[static_cast<std::size_t>(n)]) << "n=" << n;
+  }
+}
+
+TEST(MergeCost, FibonacciRedundancy) {
+  // Section 3.1: for n = F_k the formula with k and with k-1 agree:
+  // (k-1)n - F_{k+2} + 2 == (k-2)n - F_{k+1} + 2.
+  for (int k = 3; k <= 40; ++k) {
+    const Index n = fib::fibonacci(k);
+    const Cost with_k = static_cast<Cost>(k - 1) * n - fib::fibonacci(k + 2) + 2;
+    const Cost with_k_minus_1 = static_cast<Cost>(k - 2) * n - fib::fibonacci(k + 1) + 2;
+    EXPECT_EQ(with_k, with_k_minus_1) << "k=" << k;
+    EXPECT_EQ(merge_cost(n), with_k);
+  }
+}
+
+TEST(MergeCost, MonotoneAndConvexIncrements) {
+  // Observation 5: for F_j <= x < F_{j+1}, M(x+1) - M(x) = j - 1; hence
+  // increments are non-decreasing in x (inequality (12)).
+  Cost prev_step = 0;
+  for (Index x = 1; x <= 5000; ++x) {
+    const Cost step = merge_cost(x + 1) - merge_cost(x);
+    const int j = fib::bracket_index(x);
+    EXPECT_EQ(step, j - 1) << "x=" << x;
+    EXPECT_GE(step, prev_step) << "x=" << x;
+    prev_step = step;
+  }
+}
+
+TEST(MergeCost, ExchangeInequality) {
+  // Inequality (12): M(i+1) + M(j-1) <= M(i) + M(j) for 1 <= i < j.
+  for (Index i = 1; i <= 120; ++i) {
+    for (Index j = i + 1; j <= 121; ++j) {
+      EXPECT_LE(merge_cost(i + 1) + merge_cost(j - 1), merge_cost(i) + merge_cost(j))
+          << "i=" << i << " j=" << j;
+    }
+  }
+}
+
+TEST(LastMergeCost, DefinitionMatchesEquation7) {
+  // H(n,h) = M(h) + M(n-h) + 2n - h - 2.
+  EXPECT_EQ(last_merge_cost(8, 5), merge_cost(5) + merge_cost(3) + 2 * 8 - 5 - 2);
+  EXPECT_EQ(last_merge_cost(2, 1), 1);
+  EXPECT_THROW(last_merge_cost(2, 0), std::invalid_argument);
+  EXPECT_THROW(last_merge_cost(2, 2), std::invalid_argument);
+  EXPECT_THROW(last_merge_cost(1, 1), std::invalid_argument);
+}
+
+TEST(LastMergeCost, MinimizesToMergeCost) {
+  // M(n) = min_h H(n,h) (Eq. 5).
+  for (Index n = 2; n <= 300; ++n) {
+    Cost best = last_merge_cost(n, 1);
+    for (Index h = 2; h <= n - 1; ++h) best = std::min(best, last_merge_cost(n, h));
+    EXPECT_EQ(best, merge_cost(n)) << "n=" << n;
+  }
+}
+
+class MergeCostAsymptotics : public ::testing::TestWithParam<Index> {};
+
+TEST_P(MergeCostAsymptotics, TheoremEightBounds) {
+  // Theorem 8: n log_phi(n) - c n <= M(n) <= n log_phi(n) with
+  // c = phi^2 + 1 (Eq. 9 / Eq. 10).
+  const Index n = GetParam();
+  const double nd = static_cast<double>(n);
+  const double upper = nd * fib::log_phi(nd);
+  const double c = fib::kGoldenRatio * fib::kGoldenRatio + 1.0;
+  const double lower = upper - c * nd;
+  const double m = static_cast<double>(merge_cost(n));
+  EXPECT_LE(m, upper + 1e-6) << "n=" << n;
+  EXPECT_GE(m, lower - 1e-6) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(GrowingHorizons, MergeCostAsymptotics,
+                         ::testing::Values<Index>(2, 10, 100, 1000, 10'000, 100'000,
+                                                  1'000'000, 10'000'000,
+                                                  1'000'000'000, 1'000'000'000'000));
+
+TEST(MergeCostReceiveAll, PowerOfTwoRedundancy) {
+  // Eq. (20) at n = 2^k agrees under both band choices.
+  for (int k = 1; k <= 40; ++k) {
+    const Index n = Index{1} << k;
+    const Cost with_k = static_cast<Cost>(k + 1) * n - (Cost{2} << k) + 1;
+    const Cost with_k_minus_1 = static_cast<Cost>(k)*n - (Cost{1} << k) + 1;
+    EXPECT_EQ(with_k, with_k_minus_1) << "k=" << k;
+    EXPECT_EQ(merge_cost_receive_all(n), with_k);
+  }
+}
+
+TEST(MergeCostReceiveAll, MidpointIsOptimalSplit) {
+  // Section 3.4: h = floor(n/2) (and ceil) attain Eq. (19)'s minimum.
+  for (Index n = 2; n <= 400; ++n) {
+    Cost best = std::numeric_limits<Cost>::max();
+    for (Index h = 1; h <= n - 1; ++h) {
+      best = std::min(best, merge_cost_receive_all(h) + merge_cost_receive_all(n - h) +
+                                n - 1);
+    }
+    const Cost at_floor = merge_cost_receive_all(n / 2) +
+                          merge_cost_receive_all(n - n / 2) + n - 1;
+    EXPECT_EQ(best, merge_cost_receive_all(n)) << "n=" << n;
+    EXPECT_EQ(at_floor, best) << "n=" << n;
+  }
+}
+
+TEST(MergeCostRatio, ApproachesLogPhiTwo) {
+  // Theorem 19: lim M(n)/Mw(n) = log_phi(2) ~ 1.4404.
+  const double target = fib::log_phi(2.0);
+  const double r6 = static_cast<double>(merge_cost(1'000'000)) /
+                    static_cast<double>(merge_cost_receive_all(1'000'000));
+  const double r9 = static_cast<double>(merge_cost(1'000'000'000)) /
+                    static_cast<double>(merge_cost_receive_all(1'000'000'000));
+  EXPECT_NEAR(r6, target, 0.05);
+  EXPECT_NEAR(r9, target, 0.02);
+  // Convergence: the larger horizon is closer.
+  EXPECT_LT(std::abs(r9 - target), std::abs(r6 - target));
+}
+
+}  // namespace
+}  // namespace smerge

@@ -1,0 +1,94 @@
+// Dedicated MergeForest tests: layout, lookup, costs and feasibility.
+#include "core/merge_forest.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/full_cost.h"
+#include "core/tree_builder.h"
+
+namespace smerge {
+namespace {
+
+MergeForest two_tree_forest() {
+  std::vector<MergeTree> trees;
+  trees.push_back(optimal_merge_tree(7));
+  trees.push_back(optimal_merge_tree(7));
+  return MergeForest(15, std::move(trees));
+}
+
+TEST(MergeForest, LayoutAndOffsets) {
+  const MergeForest f = two_tree_forest();
+  EXPECT_EQ(f.size(), 14);
+  EXPECT_EQ(f.num_trees(), 2);
+  EXPECT_EQ(f.media_length(), 15);
+  EXPECT_EQ(f.tree_offset(0), 0);
+  EXPECT_EQ(f.tree_offset(1), 7);
+  EXPECT_THROW(f.tree(2), std::out_of_range);
+  EXPECT_THROW(f.tree_offset(-1), std::out_of_range);
+}
+
+TEST(MergeForest, TreeOfBoundaries) {
+  const MergeForest f = two_tree_forest();
+  EXPECT_EQ(f.tree_of(0), 0);
+  EXPECT_EQ(f.tree_of(6), 0);
+  EXPECT_EQ(f.tree_of(7), 1);
+  EXPECT_EQ(f.tree_of(13), 1);
+  EXPECT_THROW(f.tree_of(14), std::out_of_range);
+  EXPECT_THROW(f.tree_of(-1), std::out_of_range);
+}
+
+TEST(MergeForest, StreamLengthsRootsAndLocals) {
+  const MergeForest f = two_tree_forest();
+  // Both roots transmit the full media; interior arrivals shift by block.
+  EXPECT_EQ(f.stream_length(0), 15);
+  EXPECT_EQ(f.stream_length(7), 15);
+  for (Index x = 1; x < 7; ++x) {
+    EXPECT_EQ(f.stream_length(x), f.stream_length(x + 7)) << "x=" << x;
+  }
+}
+
+TEST(MergeForest, CostsMatchPaperExample) {
+  // L=15, n=14: the paper's optimal forest 30 + 17 + 17 = 64.
+  const MergeForest f = two_tree_forest();
+  EXPECT_EQ(f.full_cost(), 64);
+  EXPECT_DOUBLE_EQ(f.average_bandwidth(), 64.0 / 14.0);
+}
+
+TEST(MergeForest, ReceiveAllCostsDiffer) {
+  const MergeForest f = two_tree_forest();
+  EXPECT_LT(f.full_cost(Model::kReceiveAll), f.full_cost(Model::kReceiveTwo));
+}
+
+TEST(MergeForest, ConstructionValidation) {
+  EXPECT_THROW(MergeForest(15, {}), std::invalid_argument);
+  EXPECT_THROW(MergeForest(0, std::vector<MergeTree>{MergeTree::single()}),
+               std::invalid_argument);
+  // A tree spanning beyond L-1 cannot be served by its root.
+  std::vector<MergeTree> too_wide;
+  too_wide.push_back(MergeTree::star(16));
+  EXPECT_THROW(MergeForest(15, std::move(too_wide)), std::invalid_argument);
+}
+
+TEST(MergeForest, FeasibilityDistinguishesModels) {
+  // A chain of 10 over L=10 fits by span but its receive-two lengths
+  // exceed L; receive-all lengths (z - p <= span) always fit.
+  std::vector<MergeTree> trees;
+  trees.push_back(MergeTree::chain(10));
+  const MergeForest f(10, std::move(trees));
+  EXPECT_FALSE(f.feasible(Model::kReceiveTwo));
+  EXPECT_TRUE(f.feasible(Model::kReceiveAll));
+}
+
+TEST(MergeForest, SingleArrival) {
+  std::vector<MergeTree> trees;
+  trees.push_back(MergeTree::single());
+  const MergeForest f(1, std::move(trees));
+  EXPECT_EQ(f.full_cost(), 1);
+  EXPECT_EQ(f.stream_length(0), 1);
+  EXPECT_TRUE(f.feasible());
+}
+
+}  // namespace
+}  // namespace smerge

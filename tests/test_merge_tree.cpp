@@ -1,0 +1,188 @@
+// Tests for the MergeTree invariants: preorder property enforcement,
+// Lemma-1 / Lemma-17 lengths, and the Lemma-2 recursive decomposition.
+#include "core/merge_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/tree_builder.h"
+
+namespace smerge {
+namespace {
+
+TEST(MergeTree, SingleNode) {
+  const MergeTree t = MergeTree::single();
+  EXPECT_EQ(t.size(), 1);
+  EXPECT_EQ(t.parent(0), -1);
+  EXPECT_EQ(t.last_descendant(0), 0);
+  EXPECT_EQ(t.merge_cost(), 0);
+  EXPECT_EQ(t.span(), 0);
+  EXPECT_TRUE(t.fits(1));
+}
+
+TEST(MergeTree, PaperFigureFourTree) {
+  // Fig. 4 (equivalently Fig. 3): the optimal merge tree for n = 8 with
+  // structure 0(1 2 3(4) 5(6 7)) — client H (arrival 7) has receiving
+  // path 0 < 5 < 7. Lengths from the worked examples: l(7)=2 (leaf H),
+  // l(5)=9 (stream F), total Mcost = 21.
+  const MergeTree t(std::vector<Index>{-1, 0, 0, 0, 3, 0, 5, 5});
+  EXPECT_EQ(t.size(), 8);
+  EXPECT_EQ(t.merge_cost(), 21);
+  EXPECT_EQ(t.length(7), 2);   // H - p(H) = 7 - 5
+  EXPECT_EQ(t.length(5), 9);   // 2 z(F) - F - p(F) = 14 - 5 - 0
+  EXPECT_EQ(t.last_descendant(5), 7);
+  EXPECT_EQ(t.last_descendant(0), 7);
+  EXPECT_EQ(t.last_descendant(1), 1);
+  EXPECT_EQ(t.path_from_root(7), (std::vector<Index>{0, 5, 7}));
+  EXPECT_EQ(t.to_string(), "0(1 2 3(4) 5(6 7))");
+}
+
+TEST(MergeTree, ChainAndStarCosts) {
+  // Chain: node i has subtree [i, n-1], so l(i) = 2(n-1) - i - (i-1);
+  // summing the odd numbers 1, 3, ..., 2n-3 gives Mcost = (n-1)^2.
+  // Star: node i has z=i, parent 0 => l(i) = i, Mcost = n(n-1)/2.
+  for (Index n = 1; n <= 40; ++n) {
+    EXPECT_EQ(MergeTree::chain(n).merge_cost(), (n - 1) * (n - 1));
+    EXPECT_EQ(MergeTree::star(n).merge_cost(), n * (n - 1) / 2);
+  }
+}
+
+TEST(MergeTree, ChainAndStarReceiveAllCosts) {
+  // Receive-all lengths w(x) = z(x) - p(x): chain node i has w = 1... no:
+  // chain: z(i)=n-1 for every i, w(i) = n-1-(i-1) = n-i; star: w(i) = i.
+  for (Index n = 2; n <= 30; ++n) {
+    Cost chain_expected = 0;
+    for (Index i = 1; i < n; ++i) chain_expected += n - i;
+    EXPECT_EQ(MergeTree::chain(n).merge_cost(Model::kReceiveAll), chain_expected);
+    EXPECT_EQ(MergeTree::star(n).merge_cost(Model::kReceiveAll), n * (n - 1) / 2);
+  }
+}
+
+TEST(MergeTree, RejectsMalformedParentVectors) {
+  // Root must be -1.
+  EXPECT_THROW(MergeTree(std::vector<Index>{0}), std::invalid_argument);
+  // Parent after node.
+  EXPECT_THROW(MergeTree(std::vector<Index>{-1, 1}), std::invalid_argument);
+  EXPECT_THROW(MergeTree(std::vector<Index>{-1, 2, 1}), std::invalid_argument);
+  // Negative parent on non-root.
+  EXPECT_THROW(MergeTree(std::vector<Index>{-1, -1}), std::invalid_argument);
+  // Empty.
+  EXPECT_THROW(MergeTree(std::vector<Index>{}), std::invalid_argument);
+}
+
+TEST(MergeTree, RejectsPreorderViolations) {
+  // parents = {-1,0,1,1} is fine (0(1(2 3))), but {-1,0,0,1} visits 3
+  // after returning from 1's subtree => preorder violation.
+  EXPECT_NO_THROW(MergeTree(std::vector<Index>{-1, 0, 1, 1}));
+  EXPECT_THROW(MergeTree(std::vector<Index>{-1, 0, 0, 1}), std::invalid_argument);
+  // 0(1(2) 3) then node 4 attaching to 2 (no longer on rightmost path).
+  EXPECT_THROW(MergeTree(std::vector<Index>{-1, 0, 1, 0, 2}), std::invalid_argument);
+  EXPECT_NO_THROW(MergeTree(std::vector<Index>{-1, 0, 1, 0, 3}));
+}
+
+TEST(MergeTree, PathFromRoot) {
+  const MergeTree t(std::vector<Index>{-1, 0, 0, 0, 3, 0, 5, 5});
+  EXPECT_EQ(t.path_from_root(7), (std::vector<Index>{0, 5, 7}));
+  EXPECT_EQ(t.path_from_root(4), (std::vector<Index>{0, 3, 4}));
+  EXPECT_EQ(t.path_from_root(0), (std::vector<Index>{0}));
+  EXPECT_EQ(t.depth(7), 2);
+  EXPECT_EQ(t.depth(0), 0);
+}
+
+TEST(MergeTree, ChildrenAreSorted) {
+  const MergeTree t(std::vector<Index>{-1, 0, 0, 0, 3, 0, 5, 5});
+  EXPECT_EQ(t.children(0), (std::vector<Index>{1, 2, 3, 5}));
+  EXPECT_EQ(t.children(5), (std::vector<Index>{6, 7}));
+  EXPECT_TRUE(t.children(7).empty());
+}
+
+TEST(MergeTree, PrefixKeepsParents) {
+  const MergeTree t(std::vector<Index>{-1, 0, 0, 0, 3, 0, 5, 5});
+  const MergeTree p = t.prefix(5);
+  EXPECT_EQ(p.size(), 5);
+  EXPECT_EQ(p.parents(), (std::vector<Index>{-1, 0, 0, 0, 3}));
+  EXPECT_THROW(t.prefix(0), std::invalid_argument);
+  EXPECT_THROW(t.prefix(9), std::invalid_argument);
+  EXPECT_EQ(t.prefix(8), t);
+}
+
+TEST(MergeTree, SubtreeExtraction) {
+  const MergeTree t(std::vector<Index>{-1, 0, 0, 0, 3, 0, 5, 5});
+  const MergeTree sub = t.subtree(5);  // 5(6 7) -> 0(1 2)
+  EXPECT_EQ(sub.parents(), (std::vector<Index>{-1, 0, 0}));
+  const MergeTree leaf = t.subtree(2);
+  EXPECT_EQ(leaf.size(), 1);
+  EXPECT_THROW(t.subtree(8), std::out_of_range);
+}
+
+TEST(MergeTree, AccessorsRangeCheck) {
+  const MergeTree t = MergeTree::chain(3);
+  EXPECT_THROW(t.parent(3), std::out_of_range);
+  EXPECT_THROW(t.children(-1), std::out_of_range);
+  EXPECT_THROW(t.last_descendant(5), std::out_of_range);
+  EXPECT_THROW(t.length(0), std::invalid_argument);  // root has length L
+}
+
+TEST(MergeTree, LeafLengthIsGapToParent) {
+  // Lemma 1 specialization: leaves have l(x) = x - p(x).
+  const MergeTree t(std::vector<Index>{-1, 0, 0, 0, 3, 0, 5, 5});
+  EXPECT_EQ(t.length(2), 2 - 0);
+  EXPECT_EQ(t.length(4), 4 - 3);
+  EXPECT_EQ(t.length(6), 6 - 5);
+  EXPECT_EQ(t.length(7), 7 - 5);
+}
+
+class LemmaTwoDecomposition : public ::testing::TestWithParam<Index> {};
+
+TEST_P(LemmaTwoDecomposition, HoldsOnEveryMergeTree) {
+  // Lemma 2: Mcost(T) = Mcost(T') + Mcost(T'') + (2z - x - r) where x is
+  // the last child of the root and T'/T'' the split at x. Verified over
+  // every merge tree of the given size.
+  const Index n = GetParam();
+  Index checked = 0;
+  enumerate_merge_trees(n, [&](const MergeTree& t) {
+    const auto& root_children = t.children(0);
+    ASSERT_FALSE(root_children.empty());
+    const Index x = root_children.back();
+    const MergeTree t_prime = t.prefix(x);
+    const MergeTree t_second = t.subtree(x);
+    const Cost glue = 2 * (n - 1) - x - 0;
+    EXPECT_EQ(t.merge_cost(),
+              t_prime.merge_cost() + t_second.merge_cost() + glue);
+    ++checked;
+  });
+  EXPECT_EQ(checked, count_merge_trees(n));
+}
+
+TEST_P(LemmaTwoDecomposition, ReceiveAllVariantHolds) {
+  // Lemma 18: Mcost_w(T) = Mcost_w(T') + Mcost_w(T'') + (z - r).
+  const Index n = GetParam();
+  enumerate_merge_trees(n, [&](const MergeTree& t) {
+    const Index x = t.children(0).back();
+    EXPECT_EQ(t.merge_cost(Model::kReceiveAll),
+              t.prefix(x).merge_cost(Model::kReceiveAll) +
+                  t.subtree(x).merge_cost(Model::kReceiveAll) + (n - 1));
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallSizes, LemmaTwoDecomposition,
+                         ::testing::Range<Index>(2, 9));
+
+TEST(MergeTree, LastDescendantIsSubtreeInterval) {
+  // Preorder property <=> subtree of x is the interval [x, z(x)]: check
+  // that children partition (x, z(x)].
+  enumerate_merge_trees(7, [&](const MergeTree& t) {
+    for (Index x = 0; x < t.size(); ++x) {
+      Index cursor = x;
+      for (const Index c : t.children(x)) {
+        EXPECT_EQ(c, cursor + 1);  // children blocks are contiguous
+        cursor = t.last_descendant(c);
+      }
+      EXPECT_EQ(cursor, t.last_descendant(x));
+    }
+  });
+}
+
+}  // namespace
+}  // namespace smerge

@@ -1,0 +1,111 @@
+// Tests for the Section-5 multi-object server extension.
+#include "sim/multi_object.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <stdexcept>
+
+namespace smerge::sim {
+namespace {
+
+MultiObjectConfig small_config() {
+  MultiObjectConfig c;
+  c.objects = 5;
+  c.zipf_exponent = 1.0;
+  c.mean_gap = 0.01;
+  c.horizon = 10.0;
+  c.delay = 0.02;
+  c.seed = 17;
+  return c;
+}
+
+TEST(ZipfWeights, NormalizedAndDecreasing) {
+  const auto w = zipf_weights(8, 1.0);
+  ASSERT_EQ(w.size(), 8u);
+  EXPECT_NEAR(std::accumulate(w.begin(), w.end(), 0.0), 1.0, 1e-12);
+  for (std::size_t i = 1; i < w.size(); ++i) {
+    EXPECT_LT(w[i], w[i - 1]);
+  }
+  // Uniform when the exponent is zero.
+  const auto u = zipf_weights(4, 0.0);
+  for (const double x : u) EXPECT_NEAR(x, 0.25, 1e-12);
+  EXPECT_THROW(zipf_weights(0, 1.0), std::invalid_argument);
+}
+
+TEST(MultiObject, DeterministicUnderConfig) {
+  const MultiObjectConfig c = small_config();
+  const MultiObjectResult a = run_multi_object(c, Policy::kDyadicImmediate);
+  const MultiObjectResult b = run_multi_object(c, Policy::kDyadicImmediate);
+  EXPECT_DOUBLE_EQ(a.streams_served, b.streams_served);
+  EXPECT_EQ(a.peak_concurrency, b.peak_concurrency);
+  EXPECT_EQ(a.arrivals_per_object, b.arrivals_per_object);
+}
+
+TEST(MultiObject, ArrivalsFollowPopularity) {
+  MultiObjectConfig c = small_config();
+  c.mean_gap = 0.002;  // plenty of arrivals for the skew to show
+  const MultiObjectResult r = run_multi_object(c, Policy::kDyadicImmediate);
+  const Index total = std::accumulate(r.arrivals_per_object.begin(),
+                                      r.arrivals_per_object.end(), Index{0});
+  EXPECT_GT(total, 1000);
+  // Most popular object receives the most arrivals.
+  EXPECT_EQ(*std::max_element(r.arrivals_per_object.begin(),
+                              r.arrivals_per_object.end()),
+            r.arrivals_per_object[0]);
+}
+
+TEST(MultiObject, DelayGuaranteedCostIsDemandIndependent) {
+  // DG transmits per slot per object no matter the arrivals: two seeds,
+  // same aggregate DG cost.
+  MultiObjectConfig c1 = small_config();
+  MultiObjectConfig c2 = small_config();
+  c2.seed = 18;
+  const double cost1 = run_multi_object(c1, Policy::kDelayGuaranteed).streams_served;
+  const double cost2 = run_multi_object(c2, Policy::kDelayGuaranteed).streams_served;
+  EXPECT_DOUBLE_EQ(cost1, cost2);
+}
+
+TEST(MultiObject, BatchingReducesDyadicCostWhenDense) {
+  MultiObjectConfig c = small_config();
+  c.mean_gap = 0.001;  // far denser than the 0.02 delay
+  const double immediate =
+      run_multi_object(c, Policy::kDyadicImmediate).streams_served;
+  const double batched = run_multi_object(c, Policy::kDyadicBatched).streams_served;
+  EXPECT_LT(batched, immediate);
+}
+
+TEST(MultiObject, PerObjectCostsSumToTotal) {
+  const MultiObjectResult r =
+      run_multi_object(small_config(), Policy::kDyadicImmediate);
+  const double sum = std::accumulate(r.per_object.begin(), r.per_object.end(), 0.0);
+  EXPECT_NEAR(sum, r.streams_served, 1e-9);
+}
+
+TEST(MultiObject, DgPeakStableUnderLoadDyadicPeakGrows) {
+  // The Section-5 argument: DG caps the peak bandwidth regardless of
+  // intensity, while immediate dyadic service scales with demand.
+  MultiObjectConfig light = small_config();
+  light.mean_gap = 0.05;
+  MultiObjectConfig heavy = small_config();
+  heavy.mean_gap = 0.001;
+  const Index dg_light =
+      run_multi_object(light, Policy::kDelayGuaranteed).peak_concurrency;
+  const Index dg_heavy =
+      run_multi_object(heavy, Policy::kDelayGuaranteed).peak_concurrency;
+  EXPECT_EQ(dg_light, dg_heavy);
+  const Index dy_light =
+      run_multi_object(light, Policy::kDyadicImmediate).peak_concurrency;
+  const Index dy_heavy =
+      run_multi_object(heavy, Policy::kDyadicImmediate).peak_concurrency;
+  EXPECT_GT(dy_heavy, dy_light);
+}
+
+TEST(MultiObject, Validation) {
+  MultiObjectConfig c = small_config();
+  c.delay = 0.0;
+  EXPECT_THROW(run_multi_object(c, Policy::kDelayGuaranteed), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace smerge::sim

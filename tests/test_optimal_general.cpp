@@ -1,0 +1,127 @@
+// Tests for the general-arrivals optimal off-line algorithm (the [6]
+// baseline). The strongest anchor: on the delay-guaranteed instance
+// (one arrival per slot) the general DP must reproduce the Fibonacci
+// closed forms exactly.
+#include "merging/optimal_general.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/full_cost.h"
+#include "merging/dyadic.h"
+#include "sim/arrivals.h"
+
+namespace smerge::merging {
+namespace {
+
+std::vector<double> slotted(Index n) {
+  std::vector<double> t(static_cast<std::size_t>(n));
+  for (Index i = 0; i < n; ++i) t[static_cast<std::size_t>(i)] = static_cast<double>(i);
+  return t;
+}
+
+TEST(OptimalGeneral, TrivialInstances) {
+  EXPECT_DOUBLE_EQ(optimal_general_cost({}, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(optimal_general_cost({0.3}, 1.0), 1.0);
+  // Two arrivals close together: one root plus a leaf merge.
+  EXPECT_DOUBLE_EQ(optimal_general_cost({0.0, 0.2}, 1.0), 1.2);
+  // Two arrivals too far apart to merge: two full streams.
+  EXPECT_DOUBLE_EQ(optimal_general_cost({0.0, 1.5}, 1.0), 2.0);
+}
+
+TEST(OptimalGeneral, SpanAtMediaLengthForcesSecondRoot) {
+  // z - r < L is required; at exactly L the root cannot serve the client.
+  EXPECT_DOUBLE_EQ(optimal_general_cost({0.0, 1.0}, 1.0), 2.0);
+}
+
+class SlottedCrossCheck : public ::testing::TestWithParam<std::tuple<Index, Index>> {};
+
+TEST_P(SlottedCrossCheck, ReproducesDelayGuaranteedClosedForm) {
+  // The delay-guaranteed model is the special case t_i = i. The general
+  // DP (which also enforces L-tree feasibility) must match F(L,n) — this
+  // simultaneously validates the DP and the feasibility of the paper's
+  // optimal plans.
+  const auto [L, n] = GetParam();
+  const double general = optimal_general_cost(slotted(n), static_cast<double>(L));
+  EXPECT_DOUBLE_EQ(general, static_cast<double>(full_cost(L, n)))
+      << "L=" << L << " n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SlottedCrossCheck,
+    ::testing::Combine(::testing::Values<Index>(1, 2, 3, 4, 5, 8, 13, 15, 21, 34),
+                       ::testing::Values<Index>(1, 2, 5, 8, 13, 14, 16, 34, 55, 89)));
+
+class RandomInstances : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomInstances, QuadraticMatchesCubic) {
+  // The split-monotonicity optimization against the assumption-free
+  // O(n^3) DP, across media lengths that make the L-tree constraint bite.
+  const std::uint64_t seed = GetParam();
+  const std::vector<double> arrivals = sim::poisson_arrivals(0.08, 8.0, seed);
+  ASSERT_LE(arrivals.size(), 200u);
+  for (const double L : {0.3, 1.0, 2.5}) {
+    EXPECT_NEAR(optimal_general_cost(arrivals, L),
+                optimal_general_cost_cubic(arrivals, L), 1e-6)
+        << "L=" << L << " seed=" << seed;
+  }
+}
+
+TEST_P(RandomInstances, ForestAttainsCostAndIsFeasible) {
+  const std::uint64_t seed = GetParam();
+  const std::vector<double> arrivals = sim::poisson_arrivals(0.05, 6.0, seed);
+  const GeneralOptimum opt = optimal_general_forest(arrivals, 1.0);
+  EXPECT_NEAR(opt.forest.total_cost(), opt.cost, 1e-9);
+  EXPECT_EQ(opt.forest.size(), static_cast<Index>(arrivals.size()));
+  for (Index i = 0; i < opt.forest.size(); ++i) {
+    EXPECT_LE(opt.forest.stream_duration(i), 1.0 + 1e-9) << i;  // L-tree
+    const Index p = opt.forest.stream(i).parent;
+    if (p != -1) {
+      EXPECT_LT(opt.forest.stream(i).time, opt.forest.stream(p).time + 1.0) << i;
+    }
+  }
+}
+
+TEST_P(RandomInstances, NeverWorseThanDyadic) {
+  // The off-line optimum lower-bounds every on-line algorithm.
+  const std::uint64_t seed = GetParam();
+  const std::vector<double> arrivals = sim::poisson_arrivals(0.05, 6.0, seed);
+  DyadicMerger dyadic(1.0, {});
+  for (const double t : arrivals) dyadic.arrive(t);
+  const double opt = optimal_general_cost(arrivals, 1.0);
+  EXPECT_LE(opt, dyadic.total_cost() + 1e-9);
+  // The dyadic heuristic is competitive: within a small constant factor.
+  EXPECT_LE(dyadic.total_cost(), opt * 1.6) << "seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomInstances,
+                         ::testing::Values<std::uint64_t>(1, 2, 3, 5, 8, 13, 21, 42));
+
+TEST(OptimalGeneral, MatchesBatchedSlotGrid) {
+  // Arrivals on a delay grid with gaps (batched starts): still optimal vs
+  // the cubic reference, and cheaper than serving each with a full stream.
+  std::vector<double> starts;
+  for (const double t : {0.1, 0.2, 0.3, 0.7, 0.8, 1.4, 1.5, 1.6, 1.7}) {
+    starts.push_back(t);
+  }
+  const double opt = optimal_general_cost(starts, 1.0);
+  EXPECT_NEAR(opt, optimal_general_cost_cubic(starts, 1.0), 1e-9);
+  EXPECT_LT(opt, static_cast<double>(starts.size()) * 1.0);
+}
+
+TEST(OptimalGeneral, Validation) {
+  EXPECT_THROW(optimal_general_cost({0.2, 0.1}, 1.0), std::invalid_argument);
+  EXPECT_THROW(optimal_general_cost({0.1, 0.1}, 1.0), std::invalid_argument);
+  EXPECT_THROW(optimal_general_cost({0.1}, 0.0), std::invalid_argument);
+  std::vector<double> too_many(
+      static_cast<std::size_t>(kMaxGeneralArrivals) + 1);
+  for (std::size_t i = 0; i < too_many.size(); ++i) {
+    too_many[i] = static_cast<double>(i);
+  }
+  EXPECT_THROW(optimal_general_cost(too_many, 10.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace smerge::merging

@@ -1,0 +1,86 @@
+// Fuzz-style playback verification over random, non-optimal tree shapes.
+//
+// The constructed-forest tests exercise only optimal structures; here we
+// grow random preorder trees, keep the feasible ones, and check that
+//   * the receiving-program/playback machinery accepts every feasible
+//     tree (the model is sound beyond the optimum), and
+//   * Lemma 15 is exact for *arbitrary* feasible L-trees: the measured
+//     peak buffer of every client equals min(d, L-d).
+#include <gtest/gtest.h>
+
+#include "core/buffer.h"
+#include "core/tree_builder.h"
+#include "schedule/playback.h"
+
+namespace smerge {
+namespace {
+
+class RandomTreeFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomTreeFuzz, RandomTreesAreValidMergeTrees) {
+  const std::uint64_t seed = GetParam();
+  for (const Index n : {1, 2, 5, 13, 40, 120}) {
+    const MergeTree t = random_merge_tree(n, seed);
+    EXPECT_EQ(t.size(), n);
+    // Reconstructing from the same parents must succeed (preorder holds).
+    EXPECT_NO_THROW(MergeTree{t.parents()});
+    // Costs are sandwiched between the optimum and the worst chain.
+    EXPECT_GE(t.merge_cost(), merge_cost(n));
+    EXPECT_LE(t.merge_cost(), (n - 1) * (n - 1));
+  }
+}
+
+TEST_P(RandomTreeFuzz, FeasibleTreesPlayBackWithExactLemma15Buffers) {
+  const std::uint64_t seed = GetParam();
+  Index verified = 0;
+  for (Index variant = 0; variant < 12; ++variant) {
+    const Index n = 3 + (static_cast<Index>(seed) + 5 * variant) % 14;
+    const MergeTree t = random_merge_tree(n, seed * 1009 + static_cast<std::uint64_t>(variant));
+    // Pick the smallest L that makes the tree a feasible L-tree.
+    Cost max_len = n;  // span needs L >= n
+    for (Index x = 1; x < n; ++x) max_len = std::max(max_len, t.length(x));
+    const Index L = static_cast<Index>(max_len);
+    ASSERT_TRUE(t.feasible(L));
+    std::vector<MergeTree> trees;
+    trees.push_back(t);
+    const MergeForest forest(L, std::move(trees));
+    const ForestReport report = verify_forest(forest);
+    // verify_forest internally asserts peak buffer == Lemma-15 prediction
+    // per client; any mismatch lands in first_error.
+    EXPECT_TRUE(report.ok) << "n=" << n << " L=" << L << " seed=" << seed
+                           << ": " << report.first_error;
+    EXPECT_LE(report.max_concurrent, 2);
+    EXPECT_EQ(report.unused_units, 0);
+    ++verified;
+  }
+  EXPECT_EQ(verified, 12);
+}
+
+TEST_P(RandomTreeFuzz, RandomForestsOfRandomTreesVerify) {
+  // Several random trees in one forest, sized so each fits the media.
+  const std::uint64_t seed = GetParam();
+  const Index L = 24;
+  std::vector<MergeTree> trees;
+  for (Index b = 0; b < 5; ++b) {
+    for (std::uint64_t attempt = 0;; ++attempt) {
+      const Index n = 2 + (static_cast<Index>(seed ^ attempt) + b) % 10;
+      const MergeTree t =
+          random_merge_tree(n, seed * 31 + static_cast<std::uint64_t>(b) * 7 + attempt);
+      if (t.feasible(L)) {
+        trees.push_back(t);
+        break;
+      }
+    }
+  }
+  const MergeForest forest(L, std::move(trees));
+  const ForestReport report = verify_forest(forest);
+  EXPECT_TRUE(report.ok) << report.first_error;
+  // Cross-check the per-client Lemma-15 maximum over the whole forest.
+  EXPECT_EQ(report.peak_buffer, max_buffer_requirement(forest));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTreeFuzz,
+                         ::testing::Range<std::uint64_t>(1, 33));
+
+}  // namespace
+}  // namespace smerge

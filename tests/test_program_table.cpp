@@ -1,0 +1,125 @@
+// Tests for the O(1) receiving-program lookup table and the event-driven
+// Delay Guaranteed server (Section 4.2's simplicity claim, executable).
+#include "online/program_table.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "online/server.h"
+#include "schedule/playback.h"
+
+namespace smerge {
+namespace {
+
+TEST(ProgramTable, MatchesPerClientPrograms) {
+  // Table entries must equal freshly computed programs for every position
+  // of a full block.
+  const DelayGuaranteedOnline policy(15);
+  const ProgramTable table(policy);
+  ASSERT_EQ(table.block_size(), 8);
+  std::vector<MergeTree> trees;
+  trees.push_back(policy.template_tree());
+  const MergeForest block(15, std::move(trees));
+  for (Index a = 0; a < 8; ++a) {
+    const ReceivingProgram fresh(block, a);
+    EXPECT_EQ(table.lookup(a).blocks, fresh.receptions()) << "a=" << a;
+    EXPECT_EQ(table.lookup(a).path, fresh.path()) << "a=" << a;
+  }
+}
+
+TEST(ProgramTable, AbsoluteProgramsShiftByBlock) {
+  const DelayGuaranteedOnline policy(15);
+  const ProgramTable table(policy);
+  // Slot 23 = block 2 (base 16) position 7: the client-H program shifted.
+  const std::vector<Reception> abs = table.program_at(23);
+  ASSERT_EQ(abs.size(), 3u);
+  EXPECT_EQ(abs[0], (Reception{23, 1, 2}));
+  EXPECT_EQ(abs[1], (Reception{21, 3, 9}));
+  EXPECT_EQ(abs[2], (Reception{16, 10, 15}));
+}
+
+TEST(ProgramTable, AbsoluteProgramsMatchForestPrograms) {
+  // Against the ground truth on a multi-block DG forest, including the
+  // final partial block — the table is static, programs never change.
+  const DelayGuaranteedOnline policy(15);
+  const ProgramTable table(policy);
+  const Index n = 21;  // 2 full blocks + partial block of 5
+  const MergeForest forest = policy.forest(n);
+  for (Index t = 0; t < n; ++t) {
+    const ReceivingProgram fresh(forest, t);
+    EXPECT_EQ(table.program_at(t), fresh.receptions()) << "t=" << t;
+  }
+}
+
+TEST(ProgramTable, LookupValidation) {
+  const ProgramTable table{DelayGuaranteedOnline(15)};
+  EXPECT_THROW(table.lookup(-1), std::out_of_range);
+  EXPECT_THROW(table.lookup(8), std::out_of_range);
+  EXPECT_THROW(table.program_at(-1), std::out_of_range);
+}
+
+TEST(Server, WaitIsAlwaysWithinOneSlot) {
+  DelayGuaranteedServer server(100, 0.01);
+  double t = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    t += 0.0137;  // irrational-ish stride hits many slot phases
+    const ClientTicket ticket = server.admit(t);
+    EXPECT_GT(ticket.wait, -1e-12);
+    EXPECT_LE(ticket.wait, 0.01 + 1e-12);
+    EXPECT_NEAR(ticket.playback_start, static_cast<double>(ticket.slot + 1) * 0.01,
+                1e-12);
+    ASSERT_NE(ticket.program, nullptr);
+  }
+  EXPECT_EQ(server.clients(), 500);
+}
+
+TEST(Server, BoundaryArrivalJoinsStartingStream) {
+  DelayGuaranteedServer server(100, 0.01);
+  const ClientTicket ticket = server.admit(0.05);  // exactly slot 4's end
+  EXPECT_EQ(ticket.slot, 4);
+  EXPECT_NEAR(ticket.wait, 0.0, 1e-9);
+}
+
+TEST(Server, ProgramsComeFromTheTable) {
+  DelayGuaranteedServer server(15, 1.0);
+  const ClientTicket ticket = server.admit(6.5);  // slot 6, position 6
+  EXPECT_EQ(ticket.slot, 6);
+  EXPECT_EQ(ticket.program, &server.programs().lookup(6));
+}
+
+TEST(Server, CostMatchesPolicy) {
+  DelayGuaranteedServer server(15, 0.25);
+  EXPECT_EQ(server.transmitted_units(16), server.policy().cost(16));
+  EXPECT_EQ(server.transmitted_units(0), 0);
+}
+
+TEST(Server, RejectsOutOfOrderArrivals) {
+  DelayGuaranteedServer server(15, 1.0);
+  server.admit(5.0);
+  EXPECT_THROW(server.admit(4.0), std::invalid_argument);
+  EXPECT_THROW(server.admit(-1.0), std::invalid_argument);
+  EXPECT_THROW(DelayGuaranteedServer(15, 0.0), std::invalid_argument);
+}
+
+TEST(Server, ServedProgramsPlayBackCorrectly) {
+  // End to end: admit clients over three blocks, then verify each issued
+  // program against the actual transmission schedule.
+  const Index L = 15;
+  DelayGuaranteedServer server(L, 1.0);
+  const Index horizon = 20;
+  std::vector<ClientTicket> tickets;
+  for (double t = 0.4; t < static_cast<double>(horizon); t += 1.7) {
+    tickets.push_back(server.admit(t));
+  }
+  const MergeForest forest = server.policy().forest(horizon);
+  const StreamSchedule schedule(forest);
+  for (const ClientTicket& ticket : tickets) {
+    const ReceivingProgram fresh(forest, ticket.slot);
+    const ClientReport report = verify_client(schedule, fresh, Model::kReceiveTwo);
+    EXPECT_TRUE(report.ok) << report.error;
+  }
+}
+
+}  // namespace
+}  // namespace smerge

@@ -1,0 +1,156 @@
+// Tests for optimal merge-tree construction (Theorem 7), the Fibonacci
+// merge trees of Fig. 7, and the exhaustive-enumeration optimality anchor.
+#include "core/tree_builder.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <stdexcept>
+
+namespace smerge {
+namespace {
+
+TEST(TreeBuilder, CountMatchesCatalan) {
+  // Merge trees on n arrivals are counted by Catalan(n-1).
+  constexpr std::int64_t kCatalan[] = {1, 1, 2, 5, 14, 42, 132, 429, 1430, 4862};
+  for (Index n = 1; n <= 10; ++n) {
+    EXPECT_EQ(count_merge_trees(n), kCatalan[n - 1]) << "n=" << n;
+    Index seen = 0;
+    enumerate_merge_trees(n, [&](const MergeTree& t) {
+      EXPECT_EQ(t.size(), n);
+      ++seen;
+    });
+    EXPECT_EQ(seen, kCatalan[n - 1]) << "n=" << n;
+  }
+  EXPECT_THROW(count_merge_trees(0), std::invalid_argument);
+  EXPECT_THROW(count_merge_trees(35), std::invalid_argument);
+}
+
+class ExhaustiveOptimality : public ::testing::TestWithParam<Index> {};
+
+TEST_P(ExhaustiveOptimality, ClosedFormIsTrueMinimumReceiveTwo) {
+  // The optimality anchor: M(n) from Eq. (6) equals the minimum Mcost over
+  // *all* Catalan(n-1) merge trees, and the built tree attains it.
+  const Index n = GetParam();
+  Cost best = std::numeric_limits<Cost>::max();
+  enumerate_merge_trees(n, [&](const MergeTree& t) {
+    best = std::min(best, t.merge_cost());
+  });
+  EXPECT_EQ(best, merge_cost(n));
+  EXPECT_EQ(optimal_merge_tree(n).merge_cost(), best);
+}
+
+TEST_P(ExhaustiveOptimality, ClosedFormIsTrueMinimumReceiveAll) {
+  const Index n = GetParam();
+  Cost best = std::numeric_limits<Cost>::max();
+  enumerate_merge_trees(n, [&](const MergeTree& t) {
+    best = std::min(best, t.merge_cost(Model::kReceiveAll));
+  });
+  EXPECT_EQ(best, merge_cost_receive_all(n));
+  EXPECT_EQ(optimal_merge_tree(n, Model::kReceiveAll).merge_cost(Model::kReceiveAll),
+            best);
+}
+
+INSTANTIATE_TEST_SUITE_P(UpToElevenArrivals, ExhaustiveOptimality,
+                         ::testing::Range<Index>(1, 12));
+
+TEST(TreeBuilder, NumberOfOptimalTreesMatchesPaper) {
+  // Fig. 6: exactly two optimal trees for n = 4. Fibonacci horizons have a
+  // unique optimal tree (end of Section 3.1).
+  const auto count_optimal = [](Index n) {
+    Index count = 0;
+    enumerate_merge_trees(n, [&](const MergeTree& t) {
+      if (t.merge_cost() == merge_cost(n)) ++count;
+    });
+    return count;
+  };
+  EXPECT_EQ(count_optimal(4), 2);
+  EXPECT_EQ(count_optimal(2), 1);
+  EXPECT_EQ(count_optimal(3), 1);
+  EXPECT_EQ(count_optimal(5), 1);
+  EXPECT_EQ(count_optimal(8), 1);
+  // Non-Fibonacci n > 4 have several optima.
+  EXPECT_GT(count_optimal(6), 1);
+  EXPECT_GT(count_optimal(7), 1);
+}
+
+TEST(TreeBuilder, FibonacciTreesMatchFigureSeven) {
+  // Fig. 7: merge costs 3, 9, 21, 46 for n = 3, 5, 8, 13.
+  EXPECT_EQ(fibonacci_merge_tree(4).merge_cost(), 3);
+  EXPECT_EQ(fibonacci_merge_tree(5).merge_cost(), 9);
+  EXPECT_EQ(fibonacci_merge_tree(6).merge_cost(), 21);
+  EXPECT_EQ(fibonacci_merge_tree(7).merge_cost(), 46);
+  // The n = 8 Fibonacci tree is exactly the Fig. 4 tree 0(1 2 3(4) 5(6 7)).
+  EXPECT_EQ(fibonacci_merge_tree(6).parents(),
+            (std::vector<Index>{-1, 0, 0, 0, 3, 0, 5, 5}));
+}
+
+TEST(TreeBuilder, FibonacciTreeRecursiveStructure) {
+  // End of Section 3.1: the tree for n = F_k is the tree for F_{k-1} with
+  // the tree for F_{k-2} attached as the last subtree of the root.
+  for (int k = 4; k <= 16; ++k) {
+    const MergeTree whole = fibonacci_merge_tree(k);
+    const Index split = fib::fibonacci(k - 1);
+    EXPECT_EQ(whole.prefix(split), fibonacci_merge_tree(k - 1)) << "k=" << k;
+    EXPECT_EQ(whole.subtree(split), fibonacci_merge_tree(k - 2)) << "k=" << k;
+    EXPECT_EQ(whole.children(0).back(), split) << "k=" << k;
+  }
+  EXPECT_THROW(fibonacci_merge_tree(1), std::invalid_argument);
+  EXPECT_THROW(fibonacci_merge_tree(93), std::invalid_argument);
+}
+
+class BuilderOptimality : public ::testing::TestWithParam<Index> {};
+
+TEST_P(BuilderOptimality, BuiltTreeAttainsClosedForm) {
+  const Index n = GetParam();
+  const MergeTree t = optimal_merge_tree(n);
+  EXPECT_EQ(t.size(), n);
+  EXPECT_EQ(t.merge_cost(), merge_cost(n));
+}
+
+TEST_P(BuilderOptimality, TableOverloadAgrees) {
+  const Index n = GetParam();
+  const auto table = last_merge_table(n + 1);
+  EXPECT_EQ(optimal_merge_tree_with_table(n, table), optimal_merge_tree(n));
+}
+
+TEST_P(BuilderOptimality, ReceiveAllBuiltTreeAttainsClosedForm) {
+  const Index n = GetParam();
+  const MergeTree t = optimal_merge_tree(n, Model::kReceiveAll);
+  EXPECT_EQ(t.merge_cost(Model::kReceiveAll), merge_cost_receive_all(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(DenseSmall, BuilderOptimality, ::testing::Range<Index>(1, 144));
+INSTANTIATE_TEST_SUITE_P(LargerSpots, BuilderOptimality,
+                         ::testing::Values<Index>(233, 377, 1000, 4181, 10946, 50000));
+
+TEST(TreeBuilder, LargeTreeIsLinearTimeFeasible) {
+  // Smoke test that the O(n) construction handles a sizeable horizon.
+  const Index n = 1'000'000;
+  const MergeTree t = optimal_merge_tree(n);
+  EXPECT_EQ(t.size(), n);
+  EXPECT_EQ(t.merge_cost(), merge_cost(n));
+}
+
+TEST(TreeBuilder, InvalidArguments) {
+  EXPECT_THROW(optimal_merge_tree(0), std::invalid_argument);
+  EXPECT_THROW(optimal_merge_tree(-3), std::invalid_argument);
+  const auto short_table = last_merge_table(4);
+  EXPECT_THROW(optimal_merge_tree_with_table(10, short_table), std::invalid_argument);
+  EXPECT_THROW(enumerate_merge_trees(0, [](const MergeTree&) {}),
+               std::invalid_argument);
+}
+
+TEST(TreeBuilder, PrefixOfOptimalTreeStaysNearOptimal) {
+  // Used by the on-line algorithm's final block: the prefix of an optimal
+  // tree is a valid tree whose cost is at least M(r) (never better than
+  // the optimum for r arrivals).
+  const MergeTree t = optimal_merge_tree(55);
+  for (Index r = 1; r <= 55; ++r) {
+    const Cost c = t.prefix(r).merge_cost();
+    EXPECT_GE(c, merge_cost(r)) << "r=" << r;
+  }
+}
+
+}  // namespace
+}  // namespace smerge

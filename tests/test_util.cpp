@@ -1,0 +1,176 @@
+// Tests for the util substrate: tables, CLI parsing, statistics and the
+// parallel-for helper.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "util/cli.h"
+#include "util/parallel.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace smerge::util {
+namespace {
+
+TEST(TextTable, AlignedRendering) {
+  TextTable t({"n", "M(n)"});
+  t.add_row(8, 21);
+  t.add_row(144, 1153);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("|   n |"), std::string::npos);  // right-aligned header
+  EXPECT_NE(s.find("|   8 |"), std::string::npos);
+  EXPECT_NE(s.find("| 144 |"), std::string::npos);
+}
+
+TEST(TextTable, CsvEscaping) {
+  TextTable t({"name", "value"});
+  t.add_row(std::vector<std::string>{"a,b", "say \"hi\""});
+  EXPECT_EQ(t.to_csv(), "name,value\n\"a,b\",\"say \"\"hi\"\"\"\n");
+}
+
+TEST(TextTable, ArityChecked) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row(std::vector<std::string>{"x"}), std::invalid_argument);
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+}
+
+TEST(TextTable, CellFormatting) {
+  EXPECT_EQ(TextTable::cell(std::int64_t{42}), "42");
+  EXPECT_EQ(TextTable::cell(1.5), "1.5000");
+  EXPECT_EQ(TextTable::cell("text"), "text");
+}
+
+TEST(ArgParser, ParsesTypedFlags) {
+  ArgParser p("test");
+  p.add_int("n", 10, "count");
+  p.add_double("rate", 0.5, "rate");
+  p.add_string("mode", "fast", "mode");
+  p.add_bool("verbose", false, "verbosity");
+  const char* argv[] = {"prog", "--n=25", "--rate", "1.75", "--verbose", "pos1"};
+  ASSERT_TRUE(p.parse(6, argv));
+  EXPECT_EQ(p.get_int("n"), 25);
+  EXPECT_DOUBLE_EQ(p.get_double("rate"), 1.75);
+  EXPECT_EQ(p.get_string("mode"), "fast");
+  EXPECT_TRUE(p.get_bool("verbose"));
+  ASSERT_EQ(p.positional().size(), 1u);
+  EXPECT_EQ(p.positional()[0], "pos1");
+}
+
+TEST(ArgParser, HelpRequested) {
+  ArgParser p("test");
+  p.add_int("n", 1, "count");
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(p.parse(2, argv));
+  EXPECT_NE(p.help().find("--n"), std::string::npos);
+}
+
+TEST(ArgParser, RejectsUnknownAndMalformed) {
+  ArgParser p("test");
+  p.add_int("n", 1, "count");
+  const char* bad_flag[] = {"prog", "--typo=3"};
+  EXPECT_THROW(p.parse(2, bad_flag), std::invalid_argument);
+  ArgParser q("test");
+  q.add_int("n", 1, "count");
+  const char* bad_value[] = {"prog", "--n=abc"};
+  ASSERT_TRUE(q.parse(2, bad_value));
+  EXPECT_THROW(q.get_int("n"), std::invalid_argument);
+  EXPECT_THROW(q.get_int("nope"), std::out_of_range);
+}
+
+TEST(RunningStats, MomentsMatchDirectComputation) {
+  RunningStats s;
+  const std::vector<double> xs{1.0, 2.0, 3.5, -4.0, 10.0};
+  double sum = 0;
+  for (double x : xs) {
+    s.add(x);
+    sum += x;
+  }
+  EXPECT_EQ(s.count(), 5);
+  EXPECT_DOUBLE_EQ(s.mean(), sum / 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), -4.0);
+  EXPECT_DOUBLE_EQ(s.max(), 10.0);
+  double ss = 0;
+  for (double x : xs) ss += (x - s.mean()) * (x - s.mean());
+  EXPECT_NEAR(s.variance(), ss / 4.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(ss / 4.0), 1e-12);
+  EXPECT_NEAR(s.sum(), sum, 1e-12);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  RunningStats a;
+  RunningStats b;
+  RunningStats all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10.0;
+    (i % 2 == 0 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, EmptyEdgeCases) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.variance(), 0.0);
+  RunningStats t;
+  t.add(3.0);
+  t.merge(s);  // merging empty is a no-op
+  EXPECT_EQ(t.count(), 1);
+  s.merge(t);  // merging into empty copies
+  EXPECT_EQ(s.count(), 1);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+}
+
+TEST(ParallelFor, CoversRangeExactlyOnce) {
+  std::vector<std::atomic<int>> hits(257);
+  parallel_for(0, 257, [&](std::int64_t i) {
+    hits[static_cast<std::size_t>(i)].fetch_add(1);
+  }, 4);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EmptyAndSingletonRanges) {
+  std::atomic<int> count{0};
+  parallel_for(5, 5, [&](std::int64_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 0);
+  parallel_for(5, 6, [&](std::int64_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ParallelFor, PropagatesExceptions) {
+  EXPECT_THROW(
+      parallel_for(0, 100,
+                   [](std::int64_t i) {
+                     if (i == 37) throw std::runtime_error("boom");
+                   },
+                   4),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, SerialFallbackMatches) {
+  std::vector<int> serial(100), parallel(100);
+  parallel_for(0, 100, [&](std::int64_t i) {
+    serial[static_cast<std::size_t>(i)] = static_cast<int>(i * i);
+  }, 1);
+  parallel_for(0, 100, [&](std::int64_t i) {
+    parallel[static_cast<std::size_t>(i)] = static_cast<int>(i * i);
+  }, 8);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(DefaultThreadCount, Sane) {
+  const unsigned t = default_thread_count();
+  EXPECT_GE(t, 1u);
+  EXPECT_LE(t, 64u);
+}
+
+}  // namespace
+}  // namespace smerge::util
