@@ -1,0 +1,7 @@
+// Entry point of the unified benchmark harness. All benches live in
+// src/bench/ and self-register; see `smerge_bench --list`.
+#include "bench/runner.h"
+
+int main(int argc, char** argv) {
+  return smerge::bench::run_cli(argc, argv);
+}

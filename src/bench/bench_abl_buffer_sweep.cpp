@@ -1,0 +1,76 @@
+// Ablation — bounded client buffers (Section 3.3, Theorem 16).
+//
+// Sweep the buffer size B for a fixed instance and report the optimal
+// constrained cost, the number of full streams and the worst Lemma-15
+// buffer need of the built forest. The cost decreases with B and freezes
+// at the unconstrained optimum once B reaches half the media length.
+#include "bench/registry.h"
+#include "core/buffer.h"
+#include "core/full_cost.h"
+#include "util/parallel.h"
+
+namespace {
+
+using namespace smerge;
+
+}  // namespace
+
+SMERGE_BENCH(abl_buffer_sweep,
+             "Section 3.3 ablation — optimal cost under a client buffer "
+             "bound B, swept over B",
+             "buffer", "cost", "overhead", "streams", "measured_buffer") {
+  const Index L = ctx.quick ? 13 : 34;
+  const Index n = ctx.quick ? 80 : 300;
+  const Cost unconstrained = full_cost(L, n);
+
+  struct Row {
+    StreamPlan plan;
+    Index measured = 0;
+  };
+  std::vector<Row> rows(static_cast<std::size_t>(L));
+  util::parallel_for(
+      0, static_cast<std::int64_t>(L),
+      [&](std::int64_t i) {
+        const Index B = static_cast<Index>(i) + 1;
+        const auto idx = static_cast<std::size_t>(i);
+        rows[idx].plan = optimal_stream_count_bounded(L, n, B);
+        rows[idx].measured =
+            max_buffer_requirement(optimal_merge_forest_bounded(L, n, B));
+      },
+      ctx.threads);
+
+  bench::BenchResult result;
+  auto& buffers = result.add_series("buffer");
+  auto& costs = result.add_series("cost");
+  auto& overheads = result.add_series("overhead");
+  auto& streams = result.add_series("streams");
+  auto& measured_series = result.add_series("measured_buffer");
+  util::TextTable table({"B (slots)", "F_B(L,n)", "overhead vs unbounded",
+                         "full streams", "measured max buffer"});
+  bool monotone = true;
+  Cost prev = -1;
+  for (Index B = 1; B <= L; ++B) {
+    const Row& row = rows[static_cast<std::size_t>(B - 1)];
+    if (prev != -1 && row.plan.cost > prev) monotone = false;
+    prev = row.plan.cost;
+    const double overhead = static_cast<double>(row.plan.cost) /
+                            static_cast<double>(unconstrained);
+    buffers.values.push_back(static_cast<double>(B));
+    costs.values.push_back(static_cast<double>(row.plan.cost));
+    overheads.values.push_back(overhead);
+    streams.values.push_back(static_cast<double>(row.plan.streams));
+    measured_series.values.push_back(static_cast<double>(row.measured));
+    table.add_row(B, row.plan.cost, overhead, row.plan.streams, row.measured);
+    if (row.measured > B && 2 * B < L) {
+      result.notes.push_back("buffer bound violated at B = " +
+                             std::to_string(B));
+      result.ok = false;
+    }
+  }
+  result.ok = result.ok && monotone;
+  result.tables.push_back(std::move(table));
+  result.add_metric("unconstrained_cost", static_cast<double>(unconstrained));
+  result.notes.push_back(std::string("cost non-increasing in B: ") +
+                         (monotone ? "yes" : "NO"));
+  return result;
+}

@@ -1,0 +1,83 @@
+// Ablation — the (alpha, beta) parameters of the dyadic algorithm.
+//
+// Section 4.2 chooses alpha = phi (from the comparison study [4]) and
+// beta = 0.5 for Poisson / F_h/L for constant-rate arrivals "based on
+// intuition and experimentation". This harness redoes that experiment:
+// a grid over alpha in {phi, 2} and beta in {0.2, 0.3, 0.382, 0.45, 0.5}
+// under both arrival types at the Fig.-11 operating point.
+#include "bench/registry.h"
+#include "sim/arrivals.h"
+#include "sim/experiment.h"
+#include "util/parallel.h"
+#include "util/stats.h"
+
+namespace {
+
+using namespace smerge;
+using namespace smerge::sim;
+
+constexpr std::uint64_t kSeeds[] = {5u, 6u, 7u};
+
+}  // namespace
+
+SMERGE_BENCH(abl_dyadic_params,
+             "Section 4.2 ablation — dyadic (alpha, beta) grid under "
+             "constant-rate and Poisson arrivals",
+             "alpha", "beta", "constant_streams", "poisson_streams") {
+  const double delay = 0.01;
+  const double horizon = ctx.quick ? 20.0 : 100.0;
+  const double gap = 0.004;  // denser than the delay: merging matters
+
+  const std::vector<double> alphas = {fib::kGoldenRatio, 2.0};
+  const std::vector<double> betas =
+      ctx.quick ? std::vector<double>{0.30, 0.50}
+                : std::vector<double>{0.20, 0.30, 0.382, 0.45, 0.50};
+  const auto constant = constant_arrivals(gap, horizon);
+
+  struct Cell {
+    double constant_streams = 0.0;
+    double poisson_streams = 0.0;
+  };
+  std::vector<Cell> cells(alphas.size() * betas.size());
+  util::parallel_for(
+      0, static_cast<std::int64_t>(cells.size()),
+      [&](std::int64_t i) {
+        const auto idx = static_cast<std::size_t>(i);
+        const merging::DyadicParams params{alphas[idx / betas.size()],
+                                           betas[idx % betas.size()]};
+        cells[idx].constant_streams =
+            run_dyadic(constant, params).streams_served;
+        util::RunningStats poisson;
+        for (const std::uint64_t seed : kSeeds) {
+          poisson.add(run_dyadic(poisson_arrivals(gap, horizon, seed), params)
+                          .streams_served);
+        }
+        cells[idx].poisson_streams = poisson.mean();
+      },
+      ctx.threads);
+
+  bench::BenchResult result;
+  auto& alpha_series = result.add_series("alpha");
+  auto& beta_series = result.add_series("beta");
+  auto& constant_series = result.add_series("constant_streams");
+  auto& poisson_series = result.add_series("poisson_streams");
+  util::TextTable table({"alpha", "beta", "constant-rate streams",
+                         "Poisson streams (3 seeds)"});
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const double alpha = alphas[i / betas.size()];
+    const double beta = betas[i % betas.size()];
+    alpha_series.values.push_back(alpha);
+    beta_series.values.push_back(beta);
+    constant_series.values.push_back(cells[i].constant_streams);
+    poisson_series.values.push_back(cells[i].poisson_streams);
+    table.add_row(util::format_fixed(alpha, 4), util::format_fixed(beta, 3),
+                  cells[i].constant_streams, cells[i].poisson_streams);
+  }
+  result.tables.push_back(std::move(table));
+  result.notes.push_back(
+      "beta* = F_h/L clamp = " +
+      util::format_fixed(dyadic_beta_for_constant_rate(delay), 4) +
+      " (constant-rate recommendation); the paper's beta = 0.5 is near-best "
+      "for Poisson");
+  return result;
+}

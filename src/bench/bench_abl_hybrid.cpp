@@ -1,0 +1,72 @@
+// Ablation — the Section-5 hybrid server across the load spectrum.
+//
+// Sweep the Poisson mean gap through the Fig.-11 crossover and print the
+// hybrid cost next to the two pure policies plus its mode telemetry. The
+// shape: hybrid tracks DG on the dense side, tracks dyadic on the sparse
+// side, and pays a bounded switching overhead at the crossover.
+#include "bench/registry.h"
+#include "sim/arrivals.h"
+#include "sim/experiment.h"
+#include "sim/hybrid.h"
+#include "util/parallel.h"
+
+namespace {
+
+using namespace smerge;
+using namespace smerge::sim;
+
+}  // namespace
+
+SMERGE_BENCH(abl_hybrid,
+             "Section 5 ablation — hybrid DG/dyadic server vs the two pure "
+             "policies across the load spectrum",
+             "gap_pct", "dg_streams", "dyadic_streams", "hybrid_streams",
+             "mode_switches") {
+  const double delay = 0.01;
+  const double horizon = ctx.quick ? 15.0 : 60.0;
+  const double dg_cost = run_delay_guaranteed(delay, horizon).streams_served;
+
+  const std::vector<double> pcts =
+      ctx.quick ? std::vector<double>{0.25, 1.0, 4.0}
+                : std::vector<double>{0.1, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0};
+
+  struct Row {
+    double dyadic = 0.0;
+    HybridOutcome hybrid;
+  };
+  std::vector<Row> rows(pcts.size());
+  util::parallel_for(
+      0, static_cast<std::int64_t>(pcts.size()),
+      [&](std::int64_t i) {
+        const auto idx = static_cast<std::size_t>(i);
+        const auto arrivals = poisson_arrivals(pcts[idx] / 100.0, horizon, 9);
+        rows[idx].dyadic = run_dyadic(arrivals).streams_served;
+        HybridParams params;
+        params.delay = delay;
+        rows[idx].hybrid = run_hybrid(arrivals, horizon, params);
+      },
+      ctx.threads);
+
+  bench::BenchResult result;
+  auto& gap_series = result.add_series("gap_pct");
+  auto& dg_series = result.add_series("dg_streams");
+  auto& dyadic_series = result.add_series("dyadic_streams");
+  auto& hybrid_series = result.add_series("hybrid_streams");
+  auto& switch_series = result.add_series("mode_switches");
+  util::TextTable table({"gap (% media)", "DG", "dyadic", "hybrid", "DG slots",
+                         "dyadic slots", "switches"});
+  for (std::size_t i = 0; i < pcts.size(); ++i) {
+    const Row& row = rows[i];
+    gap_series.values.push_back(pcts[i]);
+    dg_series.values.push_back(dg_cost);
+    dyadic_series.values.push_back(row.dyadic);
+    hybrid_series.values.push_back(row.hybrid.bandwidth.streams_served);
+    switch_series.values.push_back(static_cast<double>(row.hybrid.mode_switches));
+    table.add_row(util::format_fixed(pcts[i], 2), dg_cost, row.dyadic,
+                  row.hybrid.bandwidth.streams_served, row.hybrid.dg_slots,
+                  row.hybrid.dyadic_slots, row.hybrid.mode_switches);
+  }
+  result.tables.push_back(std::move(table));
+  result.notes.push_back("delay = 1% of the media, Poisson arrivals (seed 9)");
+  return result;
+}

@@ -1,0 +1,95 @@
+// Complexity bench — the [6] general-arrivals baseline: the
+// split-monotone O(n^2) DP vs the assumption-free O(n^3) DP. This is the
+// algorithm class the paper's O(n) delay-guaranteed result improves upon
+// (Section 1.1).
+#include "bench/registry.h"
+#include "bench/timing.h"
+#include "merging/optimal_general.h"
+
+namespace {
+
+using smerge::Index;
+
+std::vector<double> trace(Index n) {
+  // n arrivals inside one media length, so every tree window is feasible
+  // and the DPs face their full asymptotic work (a trace spanning many
+  // media lengths would cap the feasible window and hide the exponent).
+  std::vector<double> t(static_cast<std::size_t>(n));
+  for (Index i = 0; i < n; ++i) {
+    t[static_cast<std::size_t>(i)] =
+        0.9 * static_cast<double>(i) / static_cast<double>(n);
+  }
+  return t;
+}
+
+}  // namespace
+
+SMERGE_BENCH(cpx_general,
+             "Complexity — [6] general-arrivals optimum: split-monotone "
+             "O(n^2) DP vs assumption-free O(n^3) DP",
+             "n", "quadratic_ns", "cubic_ns") {
+  const double min_ms = ctx.quick ? 1.0 : 20.0;
+  const std::vector<Index> quad_sizes =
+      ctx.quick ? std::vector<Index>{64, 128, 256}
+                : std::vector<Index>{64, 128, 256, 512, 1024};
+  const std::vector<Index> cubic_sizes =
+      ctx.quick ? std::vector<Index>{64, 128}
+                : std::vector<Index>{64, 128, 256, 512};
+
+  smerge::bench::BenchResult result;
+  auto& ns_series = result.add_series("n");
+  auto& quad_series = result.add_series("quadratic_ns");
+  smerge::util::TextTable quad({"n", "O(n^2) DP (ns)"});
+  for (const Index n : quad_sizes) {
+    const std::vector<double> arrivals = trace(n);
+    const double t = smerge::bench::time_ns_per_call(
+        [&arrivals] {
+          (void)smerge::merging::optimal_general_cost(arrivals, 1.0);
+        },
+        min_ms);
+    ns_series.values.push_back(static_cast<double>(n));
+    quad_series.values.push_back(t);
+    quad.add_row(n, t);
+  }
+  result.tables.push_back(std::move(quad));
+
+  auto& cubic_n = result.add_series("cubic_n");
+  auto& cubic_series = result.add_series("cubic_ns");
+  smerge::util::TextTable cubic({"n", "O(n^3) DP (ns)"});
+  for (const Index n : cubic_sizes) {
+    const std::vector<double> arrivals = trace(n);
+    const double t = smerge::bench::time_ns_per_call(
+        [&arrivals] {
+          (void)smerge::merging::optimal_general_cost_cubic(arrivals, 1.0);
+        },
+        min_ms);
+    cubic_n.values.push_back(static_cast<double>(n));
+    cubic_series.values.push_back(t);
+    cubic.add_row(n, t);
+  }
+  result.tables.push_back(std::move(cubic));
+
+  const double quad_exp =
+      smerge::bench::fitted_exponent(ns_series.values, quad_series.values);
+  const double cubic_exp =
+      smerge::bench::fitted_exponent(cubic_n.values, cubic_series.values);
+  result.add_metric("quadratic_exponent", quad_exp);
+  result.add_metric("cubic_exponent", cubic_exp);
+  // Quick runs use sizes too small to separate the exponents reliably.
+  if (!ctx.quick) result.ok = result.ok && quad_exp < cubic_exp;
+
+  // Forest reconstruction on top of the quadratic DP.
+  const std::vector<double> arrivals = trace(ctx.quick ? 128 : 512);
+  result.add_metric("forest_reconstruction_ns",
+                    smerge::bench::time_ns_per_call(
+                        [&arrivals] {
+                          (void)smerge::merging::optimal_general_forest(
+                              arrivals, 1.0);
+                        },
+                        min_ms));
+  result.notes.push_back("fitted exponents: quadratic DP " +
+                         smerge::util::format_fixed(quad_exp, 2) +
+                         ", cubic DP " +
+                         smerge::util::format_fixed(cubic_exp, 2));
+  return result;
+}

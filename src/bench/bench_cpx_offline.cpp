@@ -1,0 +1,90 @@
+// Complexity bench — the off-line algorithms.
+//
+// Theorem 7's claim in wall-clock form: the closed-form/r-table pipeline
+// computes optimal merge costs and trees in O(n) while the Eq.-5 dynamic
+// program the paper improves upon is O(n^2). A log-log fit over the
+// range makes the asymptotic visible; the forest planner (Theorem 12 +
+// Theorem 10) is also timed.
+#include "bench/registry.h"
+#include "bench/timing.h"
+#include "core/full_cost.h"
+#include "core/tree_builder.h"
+#include "util/parallel.h"
+
+namespace {
+
+using namespace smerge;
+
+}  // namespace
+
+SMERGE_BENCH(cpx_offline,
+             "Complexity — Eq.-5 quadratic DP vs the O(n) closed-form "
+             "pipeline, tree construction and forest planning",
+             "n", "dp_ns", "closed_form_ns", "tree_build_ns") {
+  const double min_ms = ctx.quick ? 1.0 : 20.0;
+  const std::vector<Index> dp_sizes =
+      ctx.quick ? std::vector<Index>{64, 128, 256}
+                : std::vector<Index>{64, 128, 256, 512, 1024, 2048};
+
+  bench::BenchResult result;
+  auto& ns_series = result.add_series("n");
+  auto& dp_series = result.add_series("dp_ns");
+  auto& cf_series = result.add_series("closed_form_ns");
+  util::TextTable table({"n", "Eq.-5 DP (ns)", "closed form (ns)", "DP/closed"});
+  for (const Index n : dp_sizes) {
+    const double dp_ns = bench::time_ns_per_call(
+        [n] { (void)merge_cost_table_dp(n); }, min_ms);
+    const double cf_ns = bench::time_ns_per_call(
+        [n] {
+          Cost sum = 0;
+          for (Index i = 1; i <= n; ++i) sum += merge_cost(i);
+          (void)sum;
+        },
+        min_ms);
+    ns_series.values.push_back(static_cast<double>(n));
+    dp_series.values.push_back(dp_ns);
+    cf_series.values.push_back(cf_ns);
+    table.add_row(n, dp_ns, cf_ns, dp_ns / cf_ns);
+  }
+  result.tables.push_back(std::move(table));
+
+  const double dp_exp = bench::fitted_exponent(ns_series.values,
+                                               dp_series.values);
+  const double cf_exp = bench::fitted_exponent(ns_series.values,
+                                               cf_series.values);
+  result.add_metric("dp_exponent", dp_exp);
+  result.add_metric("closed_form_exponent", cf_exp);
+  // The separation the paper proves: quadratic DP vs (near-)linear
+  // closed form. Loose windows keep machine noise out of the verdict;
+  // quick runs use sizes too small for a reliable fit.
+  if (!ctx.quick) {
+    result.ok = result.ok && dp_exp > 1.5 && cf_exp < 1.7 && dp_exp > cf_exp;
+  }
+
+  // Tree construction and the Theorem-12 forest planner at larger sizes.
+  const std::vector<Index> build_sizes =
+      ctx.quick ? std::vector<Index>{1 << 10, 1 << 12}
+                : std::vector<Index>{1 << 10, 1 << 14, 1 << 18, 1 << 20};
+  auto& build_n = result.add_series("build_n");
+  auto& build_series = result.add_series("tree_build_ns");
+  util::TextTable build({"n", "optimal tree build (ns)", "r-table (ns)"});
+  for (const Index n : build_sizes) {
+    const double tree_ns = bench::time_ns_per_call(
+        [n] { (void)optimal_merge_tree(n); }, min_ms);
+    const double table_ns = bench::time_ns_per_call(
+        [n] { (void)last_merge_table(n); }, min_ms);
+    build_n.values.push_back(static_cast<double>(n));
+    build_series.values.push_back(tree_ns);
+    build.add_row(n, tree_ns, table_ns);
+  }
+  result.tables.push_back(std::move(build));
+
+  const double plan_ns = bench::time_ns_per_call(
+      [] { (void)optimal_stream_count(987, 1'000'000); }, min_ms);
+  result.add_metric("forest_plan_ns", plan_ns);
+  result.notes.push_back(
+      "fitted exponents: DP " + util::format_fixed(dp_exp, 2) +
+      " (expect ~2), closed form " + util::format_fixed(cf_exp, 2) +
+      " (expect ~1)");
+  return result;
+}

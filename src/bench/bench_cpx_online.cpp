@@ -1,0 +1,90 @@
+// Complexity bench — per-arrival work of the on-line algorithms (the
+// Section-4.2 simplicity argument).
+//
+// The Delay Guaranteed server answers each arrival from a precomputed
+// table (O(1), no decisions); the dyadic server must maintain its stack
+// and compute a dyadic subinterval per arrival (O(1) amortized but with
+// real work: log/pow and window popping).
+#include "bench/registry.h"
+#include "bench/timing.h"
+#include "merging/dyadic.h"
+#include "online/delay_guaranteed.h"
+#include "sim/arrivals.h"
+
+namespace {
+
+using smerge::Index;
+
+}  // namespace
+
+SMERGE_BENCH(cpx_online,
+             "Complexity — per-arrival work of the on-line algorithms and "
+             "DelayGuaranteed setup cost",
+             "setup_L", "setup_ns") {
+  const double min_ms = ctx.quick ? 1.0 : 20.0;
+  smerge::bench::BenchResult result;
+
+  // Per-arrival cost of the two on-line policies.
+  {
+    const smerge::DelayGuaranteedOnline dg(100);
+    const Index horizon = 100'000;
+    Index t = 0;
+    result.add_metric("dg_arrival_ns",
+                      smerge::bench::time_ns_per_call(
+                          [&] {
+                            (void)dg.stream_length(t, horizon);
+                            t = (t + 1) % horizon;
+                          },
+                          min_ms));
+  }
+  {
+    const std::vector<double> arrivals =
+        smerge::sim::poisson_arrivals(0.005, ctx.quick ? 50.0 : 200.0, 1);
+    std::size_t i = 0;
+    smerge::merging::DyadicMerger merger(1.0, {});
+    result.add_metric("dyadic_arrival_ns",
+                      smerge::bench::time_ns_per_call(
+                          [&] {
+                            if (i == arrivals.size()) {
+                              // Fresh merger once the trace is exhausted;
+                              // the reset cost is amortized over the trace.
+                              merger = smerge::merging::DyadicMerger(1.0, {});
+                              i = 0;
+                            }
+                            (void)merger.arrive(arrivals[i++]);
+                          },
+                          min_ms));
+  }
+
+  // Setup cost of the Delay Guaranteed program table in L.
+  const std::vector<Index> setup_sizes =
+      ctx.quick ? std::vector<Index>{64, 1024}
+                : std::vector<Index>{64, 1024, 16384, 65536};
+  auto& l_series = result.add_series("setup_L");
+  auto& setup_series = result.add_series("setup_ns");
+  smerge::util::TextTable table({"L", "DelayGuaranteedOnline setup (ns)"});
+  for (const Index L : setup_sizes) {
+    const double t = smerge::bench::time_ns_per_call(
+        [L] { (void)smerge::DelayGuaranteedOnline(L); }, min_ms);
+    l_series.values.push_back(static_cast<double>(L));
+    setup_series.values.push_back(t);
+    table.add_row(L, t);
+  }
+  result.tables.push_back(std::move(table));
+
+  {
+    const smerge::DelayGuaranteedOnline dg(1000);
+    Index n = 1;
+    result.add_metric("cost_query_ns",
+                      smerge::bench::time_ns_per_call(
+                          [&] {
+                            (void)dg.cost(n);
+                            n = n % 10'000'000 + 1;
+                          },
+                          min_ms));
+  }
+  result.add_metric(
+      "setup_exponent",
+      smerge::bench::fitted_exponent(l_series.values, setup_series.values));
+  return result;
+}

@@ -1,0 +1,82 @@
+// Complexity bench — strong scaling of the util::parallel_for sweep
+// fan-out that every sweep bench in this registry rides on.
+//
+// A fixed grid of Eq.-5 quadratic-DP merge-cost tables (real per-point
+// work, no shared state) is evaluated at 1, 2, 4, ... workers up to the
+// harness --threads setting; the table reports wall-clock per sweep and
+// speedup over one thread. On a multi-core host the speedup must be
+// visible (this is the acceptance check for the harness's --threads
+// flag); on a single core the fan-out degrades to the serial loop.
+#include <algorithm>
+#include <chrono>
+
+#include "bench/registry.h"
+#include "core/merge_cost.h"
+#include "util/parallel.h"
+
+namespace {
+
+using namespace smerge;
+
+double sweep_ms(const std::vector<Index>& grid, unsigned threads) {
+  std::vector<Cost> costs(grid.size());
+  const auto start = std::chrono::steady_clock::now();
+  util::parallel_for(
+      0, static_cast<std::int64_t>(grid.size()),
+      [&](std::int64_t i) {
+        const auto idx = static_cast<std::size_t>(i);
+        costs[idx] = merge_cost_table_dp(grid[idx]).back();
+      },
+      threads);
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+SMERGE_BENCH(cpx_parallel_scaling,
+             "Complexity — strong scaling of the parallel_for sweep fan-out "
+             "on a grid of Eq.-5 quadratic-DP tables",
+             "threads", "sweep_ms", "speedup") {
+  // Enough independent quadratic DPs that the serial sweep takes tens of
+  // milliseconds — room for fan-out to show, still fast in CI.
+  std::vector<Index> grid;
+  const Index table_n = ctx.quick ? 256 : 1024;
+  const std::size_t points = ctx.quick ? 8 : 32;
+  for (std::size_t i = 0; i < points; ++i) {
+    grid.push_back(table_n + static_cast<Index>(i) * 16);
+  }
+
+  bench::BenchResult result;
+  auto& threads_series = result.add_series("threads");
+  auto& ms_series = result.add_series("sweep_ms");
+  auto& speedup_series = result.add_series("speedup");
+  util::TextTable table({"threads", "sweep (ms)", "speedup"});
+
+  std::vector<unsigned> ladder{1};
+  for (unsigned t = 2; t <= ctx.threads; t *= 2) ladder.push_back(t);
+  // Even at --threads=1 the series keeps two points (the second rung
+  // oversubscribes a single core, which is itself informative).
+  if (ladder.size() == 1) ladder.push_back(2);
+
+  sweep_ms(grid, 1);  // warm-up
+  const double serial = sweep_ms(grid, 1);
+  for (const unsigned t : ladder) {
+    const double ms = t == 1 ? serial : sweep_ms(grid, t);
+    threads_series.values.push_back(static_cast<double>(t));
+    ms_series.values.push_back(ms);
+    speedup_series.values.push_back(serial / ms);
+    table.add_row(t, ms, serial / ms);
+  }
+  result.tables.push_back(std::move(table));
+  result.add_metric("grid_points", static_cast<double>(grid.size()));
+  result.add_metric("max_speedup",
+                    *std::max_element(speedup_series.values.begin(),
+                                      speedup_series.values.end()));
+  result.notes.push_back("grid of " + std::to_string(grid.size()) +
+                         " quadratic-DP tables (n ~ " +
+                         std::to_string(table_n) +
+                         "); speedup is relative to --threads=1");
+  return result;
+}

@@ -1,0 +1,66 @@
+// Fig. 1 — bandwidth savings as the guaranteed start-up delay increases.
+//
+// Paper setup: a stream starts at the end of every unit (unit = delay);
+// the x-axis is the delay as a percentage of the media length, the y-axis
+// the server bandwidth in total complete media streams served. Both the
+// optimal off-line algorithm and the on-line algorithm are plotted; the
+// paper's observation is a steep drop with delay and the on-line curve
+// hugging the off-line one.
+#include "bench/registry.h"
+#include "sim/experiment.h"
+#include "util/parallel.h"
+
+namespace {
+
+using namespace smerge;
+using namespace smerge::sim;
+
+}  // namespace
+
+SMERGE_BENCH(fig01_delay_sweep,
+             "Fig. 1 — server bandwidth vs guaranteed start-up delay "
+             "(off-line optimum and on-line algorithm)",
+             "delay_pct", "offline_streams", "online_streams", "ratio") {
+  const double horizon = ctx.quick ? 20.0 : 100.0;
+  const std::vector<double> pcts =
+      ctx.quick ? std::vector<double>{0.5, 2.0, 10.0}
+                : std::vector<double>{0.1, 0.2, 0.5, 1.0, 2.0, 3.0,
+                                      5.0,  7.5, 10.0, 12.5, 15.0};
+
+  struct Row {
+    double off = 0.0;
+    double on = 0.0;
+  };
+  std::vector<Row> rows(pcts.size());
+  util::parallel_for(
+      0, static_cast<std::int64_t>(pcts.size()),
+      [&](std::int64_t i) {
+        const auto idx = static_cast<std::size_t>(i);
+        const double delay = pcts[idx] / 100.0;
+        rows[idx].off = run_offline_optimal(delay, horizon).streams_served;
+        rows[idx].on = run_delay_guaranteed(delay, horizon).streams_served;
+      },
+      ctx.threads);
+
+  bench::BenchResult result;
+  auto& delay_pct = result.add_series("delay_pct");
+  auto& offline = result.add_series("offline_streams");
+  auto& online = result.add_series("online_streams");
+  auto& ratio = result.add_series("ratio");
+  util::TextTable table({"delay (% media)", "off-line streams",
+                         "on-line streams", "on-line/off-line"});
+  for (std::size_t i = 0; i < pcts.size(); ++i) {
+    delay_pct.values.push_back(pcts[i]);
+    offline.values.push_back(rows[i].off);
+    online.values.push_back(rows[i].on);
+    ratio.values.push_back(rows[i].on / rows[i].off);
+    table.add_row(util::format_fixed(pcts[i], 1), rows[i].off, rows[i].on,
+                  rows[i].on / rows[i].off);
+    // The paper's curves: on-line never beats off-line and stays close.
+    result.ok = result.ok && rows[i].on >= rows[i].off;
+  }
+  result.tables.push_back(std::move(table));
+  result.notes.push_back("horizon = " + util::format_fixed(horizon, 0) +
+                         " media lengths");
+  return result;
+}

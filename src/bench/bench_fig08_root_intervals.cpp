@@ -1,0 +1,53 @@
+// Fig. 8 — the table of last-merge intervals I(n) for 2 <= n <= 55.
+//
+// I(n) is the set of arrivals that can be the last to merge with the root
+// in an optimal merge tree (Theorem 3). The harness prints the Theorem-3
+// interval next to the exact DP argmin set; the two columns must agree.
+#include "bench/registry.h"
+#include "core/merge_cost.h"
+
+namespace {
+
+using namespace smerge;
+
+}  // namespace
+
+SMERGE_BENCH(fig08_root_intervals,
+             "Fig. 8 — last-merge intervals I(n), Theorem 3 vs exhaustive DP, "
+             "2 <= n <= 55",
+             "n", "interval_lo", "interval_hi") {
+  const Index n_max = ctx.quick ? 21 : 55;
+  const auto dp = last_merge_intervals_dp(n_max);
+
+  bench::BenchResult result;
+  auto& ns = result.add_series("n");
+  auto& lo = result.add_series("interval_lo");
+  auto& hi = result.add_series("interval_hi");
+  util::TextTable table({"n", "I(n) Theorem 3", "I(n) exact DP", "agree",
+                         "r(n)=max"});
+  for (Index n = 2; n <= n_max; ++n) {
+    const IndexInterval thm = last_merge_interval(n);
+    const IndexInterval exact = dp[static_cast<std::size_t>(n)];
+    const bool agree = thm == exact;
+    result.ok = result.ok && agree;
+    ns.values.push_back(static_cast<double>(n));
+    lo.values.push_back(static_cast<double>(thm.lo));
+    hi.values.push_back(static_cast<double>(thm.hi));
+    // Built via append to dodge GCC 12's false-positive -Wrestrict on
+    // operator+ with short string literals (GCC PR105651).
+    const auto show = [](const IndexInterval& iv) {
+      std::string s;
+      s += '[';
+      s += std::to_string(iv.lo);
+      s += ',';
+      s += std::to_string(iv.hi);
+      s += ']';
+      return s;
+    };
+    table.add_row(n, show(thm), show(exact), agree ? "yes" : "NO", thm.hi);
+  }
+  result.tables.push_back(std::move(table));
+  result.notes.push_back(std::string("Theorem 3 vs exhaustive DP: ") +
+                         (result.ok ? "all rows agree" : "MISMATCH"));
+  return result;
+}

@@ -1,0 +1,84 @@
+// Fig. 9 — ratio of the on-line Delay Guaranteed bandwidth to the optimal
+// off-line bandwidth as the time horizon grows.
+//
+// The paper's empirical point: the ratio tends to 1 (Theorem 22 gives the
+// guarantee 1 + 2L/n). We sweep several media lengths; each row prints
+// the exact on-line cost A(L,n), the optimum F(L,n), their ratio and the
+// Theorem-22 bound where it applies.
+#include "bench/registry.h"
+#include "core/full_cost.h"
+#include "online/delay_guaranteed.h"
+#include "util/parallel.h"
+
+namespace {
+
+using namespace smerge;
+
+}  // namespace
+
+SMERGE_BENCH(fig09_online_ratio,
+             "Fig. 9 — on-line / off-line total bandwidth vs horizon for "
+             "several media lengths (Theorem-22 bound alongside)",
+             "L", "n", "online_cost", "offline_cost", "ratio") {
+  const std::vector<Index> media = ctx.quick ? std::vector<Index>{15, 50}
+                                             : std::vector<Index>{15, 50, 100};
+  const std::vector<Index> horizon_mults =
+      ctx.quick ? std::vector<Index>{1, 16, 256}
+                : std::vector<Index>{1, 4, 16, 64, 256, 1024, 4096};
+
+  struct Row {
+    Index L = 0;
+    Index n = 0;
+    Cost a = 0;
+    Cost f = 0;
+  };
+  std::vector<Row> rows(media.size() * horizon_mults.size());
+  util::parallel_for(
+      0, static_cast<std::int64_t>(rows.size()),
+      [&](std::int64_t i) {
+        const auto idx = static_cast<std::size_t>(i);
+        const Index L = media[idx / horizon_mults.size()];
+        const Index n = L * horizon_mults[idx % horizon_mults.size()];
+        const DelayGuaranteedOnline dg(L);
+        rows[idx] = Row{L, n, dg.cost(n), full_cost(L, n)};
+      },
+      ctx.threads);
+
+  bench::BenchResult result;
+  auto& ls = result.add_series("L");
+  auto& ns = result.add_series("n");
+  auto& on = result.add_series("online_cost");
+  auto& off = result.add_series("offline_cost");
+  auto& ratios = result.add_series("ratio");
+  for (std::size_t m = 0; m < media.size(); ++m) {
+    const Index L = media[m];
+    const DelayGuaranteedOnline dg(L);
+    util::TextTable table(
+        {"n (slots)", "A(L,n)", "F(L,n)", "ratio", "1+2L/n bound"});
+    for (std::size_t h = 0; h < horizon_mults.size(); ++h) {
+      const Row& row = rows[m * horizon_mults.size() + h];
+      const double ratio =
+          static_cast<double>(row.a) / static_cast<double>(row.f);
+      const bool bound_applies = L >= 7 && row.n > L * L + 2;
+      if (bound_applies) {
+        result.ok = result.ok &&
+                    ratio <= DelayGuaranteedOnline::theorem22_bound(L, row.n);
+      }
+      ls.values.push_back(static_cast<double>(L));
+      ns.values.push_back(static_cast<double>(row.n));
+      on.values.push_back(static_cast<double>(row.a));
+      off.values.push_back(static_cast<double>(row.f));
+      ratios.values.push_back(ratio);
+      table.add_row(row.n, row.a, row.f, util::format_fixed(ratio, 6),
+                    bound_applies
+                        ? util::TextTable::cell(
+                              DelayGuaranteedOnline::theorem22_bound(L, row.n))
+                        : std::string("n/a"));
+    }
+    result.notes.push_back("L = " + std::to_string(L) +
+                           " slots (block size F_h = " +
+                           std::to_string(dg.block_size()) + "):");
+    result.tables.push_back(std::move(table));
+  }
+  return result;
+}

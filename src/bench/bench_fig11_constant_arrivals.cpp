@@ -1,0 +1,79 @@
+// Fig. 11 — immediate-service dyadic vs batched dyadic vs on-line Delay
+// Guaranteed under constant-rate arrivals.
+//
+// Paper setup: delay fixed at 1% of the media length; the inter-arrival
+// gap lambda sweeps from near 0% to 5% of the media; horizon 100 media
+// lengths; dyadic uses alpha = phi and beta = F_h/L for constant-rate
+// arrivals (Section 4.2). Expected shape: the DG line is flat; immediate
+// service loses when lambda < delay (batching shares streams) and the DG
+// algorithm is worst once lambda exceeds the delay.
+#include "bench/registry.h"
+#include "sim/arrivals.h"
+#include "sim/experiment.h"
+#include "util/parallel.h"
+
+namespace {
+
+using namespace smerge;
+using namespace smerge::sim;
+
+}  // namespace
+
+SMERGE_BENCH(fig11_constant_arrivals,
+             "Fig. 11 — dyadic (immediate/batched) vs Delay Guaranteed under "
+             "constant-rate arrivals, delay 1%",
+             "lambda_pct", "clients", "dyadic_immediate", "dyadic_batched",
+             "delay_guaranteed") {
+  const double delay = 0.01;
+  const double horizon = ctx.quick ? 20.0 : 100.0;
+  const double dg = run_delay_guaranteed(delay, horizon).streams_served;
+  merging::DyadicParams params;
+  params.beta = dyadic_beta_for_constant_rate(delay);
+
+  const std::vector<double> pcts =
+      ctx.quick ? std::vector<double>{0.1, 1.0, 5.0}
+                : std::vector<double>{0.05, 0.1, 0.2, 0.4, 0.6, 0.8,
+                                      1.0,  1.5, 2.0, 3.0, 4.0, 5.0};
+
+  struct Row {
+    double clients = 0.0;
+    double immediate = 0.0;
+    double batched = 0.0;
+  };
+  std::vector<Row> rows(pcts.size());
+  util::parallel_for(
+      0, static_cast<std::int64_t>(pcts.size()),
+      [&](std::int64_t i) {
+        const auto idx = static_cast<std::size_t>(i);
+        const auto arrivals = constant_arrivals(pcts[idx] / 100.0, horizon);
+        rows[idx].clients = static_cast<double>(arrivals.size());
+        rows[idx].immediate = run_dyadic(arrivals, params).streams_served;
+        rows[idx].batched =
+            run_batched_dyadic(arrivals, delay, params).streams_served;
+      },
+      ctx.threads);
+
+  bench::BenchResult result;
+  auto& lambda = result.add_series("lambda_pct");
+  auto& clients = result.add_series("clients");
+  auto& immediate = result.add_series("dyadic_immediate");
+  auto& batched = result.add_series("dyadic_batched");
+  auto& dg_series = result.add_series("delay_guaranteed");
+  util::TextTable table({"lambda (% media)", "clients", "dyadic immediate",
+                         "dyadic batched", "delay guaranteed"});
+  for (std::size_t i = 0; i < pcts.size(); ++i) {
+    lambda.values.push_back(pcts[i]);
+    clients.values.push_back(rows[i].clients);
+    immediate.values.push_back(rows[i].immediate);
+    batched.values.push_back(rows[i].batched);
+    dg_series.values.push_back(dg);
+    table.add_row(util::format_fixed(pcts[i], 2),
+                  static_cast<std::int64_t>(rows[i].clients), rows[i].immediate,
+                  rows[i].batched, dg);
+  }
+  result.tables.push_back(std::move(table));
+  result.notes.push_back("dyadic: alpha = phi, beta = " +
+                         util::format_fixed(params.beta, 4) +
+                         " (constant-rate recommendation)");
+  return result;
+}

@@ -1,0 +1,50 @@
+// Section 3.1 / 3.4 in-text tables — M(n) and Mw(n) for n = 1..16.
+//
+// Columns: the Eq.-5/Eq.-19 dynamic program, the Fibonacci/power-of-two
+// closed forms (Eq. 6 / Eq. 20), and the cost of the constructed optimal
+// tree. The paper's rows are reproduced exactly:
+//   M(n):  0 1 3 6 9 13 17 21 26 31 36 41 46 52 58 64
+//   Mw(n): 0 1 3 5 8 11 14 17 21 25 29 33 37 41 45 49
+#include "bench/registry.h"
+#include "core/tree_builder.h"
+
+namespace {
+
+using namespace smerge;
+
+}  // namespace
+
+SMERGE_BENCH(tab01_merge_cost,
+             "Sections 3.1/3.4 tables — optimal merge costs M(n), Mw(n) for "
+             "n = 1..16 (DP vs closed form vs constructed tree)",
+             "n", "merge_cost", "merge_cost_receive_all") {
+  const Index n_max = ctx.quick ? 8 : 16;
+  const auto dp_two = merge_cost_table_dp(n_max, Model::kReceiveTwo);
+  const auto dp_all = merge_cost_table_dp(n_max, Model::kReceiveAll);
+
+  bench::BenchResult result;
+  auto& ns = result.add_series("n");
+  auto& m = result.add_series("merge_cost");
+  auto& mw = result.add_series("merge_cost_receive_all");
+  util::TextTable table({"n", "M(n) DP", "M(n) Eq.6", "M(n) tree", "Mw(n) DP",
+                         "Mw(n) Eq.20", "Mw(n) tree"});
+  for (Index n = 1; n <= n_max; ++n) {
+    const Cost m_dp = dp_two[static_cast<std::size_t>(n)];
+    const Cost m_cf = merge_cost(n);
+    const Cost m_tree = optimal_merge_tree(n).merge_cost();
+    const Cost w_dp = dp_all[static_cast<std::size_t>(n)];
+    const Cost w_cf = merge_cost_receive_all(n);
+    const Cost w_tree =
+        optimal_merge_tree(n, Model::kReceiveAll).merge_cost(Model::kReceiveAll);
+    result.ok = result.ok && m_dp == m_cf && m_cf == m_tree && w_dp == w_cf &&
+                w_cf == w_tree;
+    ns.values.push_back(static_cast<double>(n));
+    m.values.push_back(static_cast<double>(m_cf));
+    mw.values.push_back(static_cast<double>(w_cf));
+    table.add_row(n, m_dp, m_cf, m_tree, w_dp, w_cf, w_tree);
+  }
+  result.tables.push_back(std::move(table));
+  result.notes.push_back(std::string("all columns agree: ") +
+                         (result.ok ? "yes" : "NO"));
+  return result;
+}

@@ -1,0 +1,77 @@
+// Section 3.2 worked examples — optimal full costs and stream counts.
+//
+// The paper's numbers:
+//   F(15, 8)  = 36 with s = 1        (Fig. 3 instance)
+//   F(15, 14) = 64 with s = 2        (30 + 17 + 17)
+//   L=4, n=16: s0=4, s1=5, F(4,16,4)=40, F(4,16,5)=38, F(4,16,6)=38
+// plus the Theorem-12 machinery (h, F_h, s1) for each instance.
+#include "bench/registry.h"
+#include "core/full_cost.h"
+#include "util/parallel.h"
+
+namespace {
+
+using namespace smerge;
+
+}  // namespace
+
+SMERGE_BENCH(tab02_full_cost,
+             "Section 3.2 — optimal full costs F(L,n) and stream counts "
+             "(Theorem 12 vs exhaustive scan vs partition DP)",
+             "L", "n", "full_cost", "streams") {
+  using Instance = std::pair<Index, Index>;
+  const std::vector<Instance> instances =
+      ctx.quick ? std::vector<Instance>{{15, 8}, {15, 14}, {4, 16}}
+                : std::vector<Instance>{{15, 8}, {15, 14}, {4, 16}, {2, 9},
+                                        {1, 10}, {8, 100}, {100, 1000}};
+
+  struct Row {
+    int h = 0;
+    StreamPlan plan;
+    Cost scan = 0;
+    Cost dp = 0;
+  };
+  std::vector<Row> rows(instances.size());
+  util::parallel_for(
+      0, static_cast<std::int64_t>(instances.size()),
+      [&](std::int64_t i) {
+        const auto idx = static_cast<std::size_t>(i);
+        const auto [L, n] = instances[idx];
+        rows[idx].h = theorem12_index(L);
+        rows[idx].plan = optimal_stream_count(L, n);
+        rows[idx].scan = full_cost_scan(L, n);
+        rows[idx].dp = full_cost_partition_dp(L, n);
+      },
+      ctx.threads);
+
+  bench::BenchResult result;
+  auto& ls = result.add_series("L");
+  auto& ns = result.add_series("n");
+  auto& costs = result.add_series("full_cost");
+  auto& streams = result.add_series("streams");
+  util::TextTable table({"L", "n", "h", "F_h", "s0", "s1", "s*", "F(L,n)",
+                         "scan", "partition DP"});
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    const auto [L, n] = instances[i];
+    const Row& row = rows[i];
+    result.ok = result.ok && row.plan.cost == row.scan && row.scan == row.dp;
+    ls.values.push_back(static_cast<double>(L));
+    ns.values.push_back(static_cast<double>(n));
+    costs.values.push_back(static_cast<double>(row.plan.cost));
+    streams.values.push_back(static_cast<double>(row.plan.streams));
+    table.add_row(L, n, row.h, fib::fibonacci(row.h), min_streams(L, n),
+                  n / fib::fibonacci(row.h), row.plan.streams, row.plan.cost,
+                  row.scan, row.dp);
+  }
+  result.tables.push_back(std::move(table));
+
+  // The L=4, n=16 candidate costs (paper: 40, 38, 38).
+  util::TextTable cands({"s", "F(4,16,s)"});
+  for (Index s = 4; s <= 6; ++s) {
+    cands.add_row(s, full_cost_given_streams(4, 16, s));
+  }
+  result.tables.push_back(std::move(cands));
+  result.notes.push_back(std::string("formula == scan == partition DP: ") +
+                         (result.ok ? "yes" : "NO"));
+  return result;
+}

@@ -1,0 +1,69 @@
+// Figs. 6 and 7 — optimal merge trees.
+//
+// Fig. 6: the two optimal trees for n = 4 (both of merge cost 6).
+// Fig. 7: the unique Fibonacci merge trees for n = 3, 5, 8, 13 with merge
+// costs 3, 9, 21, 46, whose right subtree is the tree for F_{k-2} and
+// whose remainder is the tree for F_{k-1}.
+#include "bench/registry.h"
+#include "core/tree_builder.h"
+#include "schedule/diagram.h"
+
+namespace {
+
+using namespace smerge;
+
+}  // namespace
+
+SMERGE_BENCH(tab03_fibonacci_trees,
+             "Figs. 6/7 — optimal merge trees for n = 4 and the Fibonacci "
+             "trees for n = F_k (exhaustive enumeration)",
+             "k", "n", "merge_cost", "optimal_trees") {
+  bench::BenchResult result;
+
+  // Fig. 6: every optimal tree for n = 4.
+  Index optimal_count = 0;
+  std::vector<std::string> shapes;
+  enumerate_merge_trees(4, [&](const MergeTree& t) {
+    if (t.merge_cost() == merge_cost(4)) {
+      ++optimal_count;
+      shapes.push_back(t.to_string());
+    }
+  });
+  result.add_metric("n4_optimal_trees", static_cast<double>(optimal_count));
+  result.ok = result.ok && optimal_count == 2;
+  result.notes.push_back("Fig. 6: optimal trees for n = 4 (cost " +
+                         std::to_string(merge_cost(4)) + "):");
+  for (const std::string& shape : shapes) {
+    result.notes.push_back("  " + shape);
+  }
+
+  // Fig. 7: the Fibonacci merge trees. Enumeration is exponential in n,
+  // so --quick stops at F_6 = 8.
+  const std::vector<int> ks =
+      ctx.quick ? std::vector<int>{4, 5, 6} : std::vector<int>{4, 5, 6, 7};
+  auto& k_series = result.add_series("k");
+  auto& n_series = result.add_series("n");
+  auto& cost_series = result.add_series("merge_cost");
+  auto& count_series = result.add_series("optimal_trees");
+  util::TextTable table({"k", "n = F_k", "M(n)", "optimal trees", "structure"});
+  for (const int k : ks) {
+    const Index n = fib::fibonacci(k);
+    Index count = 0;
+    enumerate_merge_trees(n, [&](const MergeTree& t) {
+      if (t.merge_cost() == merge_cost(n)) ++count;
+    });
+    k_series.values.push_back(k);
+    n_series.values.push_back(static_cast<double>(n));
+    cost_series.values.push_back(static_cast<double>(merge_cost(n)));
+    count_series.values.push_back(static_cast<double>(count));
+    // The paper: the Fibonacci tree is the unique optimal tree at n = F_k.
+    result.ok = result.ok && count == 1;
+    table.add_row(k, n, merge_cost(n), count, fibonacci_merge_tree(k).to_string());
+  }
+  result.tables.push_back(std::move(table));
+  result.notes.push_back(
+      "The largest Fibonacci tree (right subtree = previous-but-one, rest = "
+      "previous):\n" +
+      render_tree(fibonacci_merge_tree(ks.back())));
+  return result;
+}

@@ -1,0 +1,44 @@
+// Theorem 8 — M(n) = n log_phi(n) + Theta(n).
+//
+// The harness prints M(n) against n log_phi(n) over ten decades: the
+// normalized gap (M(n) - n log_phi n)/n must stay inside the proven
+// window [-(phi^2+1), 0] and the ratio M(n)/(n log_phi n) must tend to 1.
+#include "bench/registry.h"
+#include "core/merge_cost.h"
+
+namespace {
+
+using namespace smerge;
+
+}  // namespace
+
+SMERGE_BENCH(thm08_asymptotics,
+             "Theorem 8 — M(n) = n log_phi(n) + Theta(n) over ten decades",
+             "n", "merge_cost", "ratio", "normalized_gap") {
+  const Index n_max = ctx.quick ? 1'000'000 : 10'000'000'000'000;
+
+  bench::BenchResult result;
+  auto& ns = result.add_series("n");
+  auto& costs = result.add_series("merge_cost");
+  auto& ratios = result.add_series("ratio");
+  auto& gaps = result.add_series("normalized_gap");
+  util::TextTable table({"n", "M(n)", "n log_phi n", "ratio", "(M - n log)/n"});
+  for (Index n = 10; n <= n_max; n *= 10) {
+    const double nd = static_cast<double>(n);
+    const double reference = nd * fib::log_phi(nd);
+    const double m = static_cast<double>(merge_cost(n));
+    const double gap = (m - reference) / nd;
+    result.ok = result.ok && gap <= 1e-9 &&
+                gap >= -(fib::kGoldenRatio * fib::kGoldenRatio + 1.0);
+    ns.values.push_back(nd);
+    costs.values.push_back(m);
+    ratios.values.push_back(m / reference);
+    gaps.values.push_back(gap);
+    table.add_row(n, merge_cost(n), reference, m / reference, gap);
+  }
+  result.tables.push_back(std::move(table));
+  result.notes.push_back(std::string(
+                             "normalized gap within [-(phi^2+1), 0]: ") +
+                         (result.ok ? "yes" : "NO"));
+  return result;
+}

@@ -1,0 +1,59 @@
+// Theorem 13 — F(L,n) = n log_phi(L) + Theta(n) for n > L.
+//
+// Rows sweep L for a fixed arrival density (n = 64 L); the per-arrival
+// cost F/n must track log_phi(L) with a bounded additive offset, and the
+// ratio must drift toward 1 as L grows.
+#include <cmath>
+
+#include "bench/registry.h"
+#include "core/full_cost.h"
+#include "util/parallel.h"
+
+namespace {
+
+using namespace smerge;
+
+}  // namespace
+
+SMERGE_BENCH(thm13_full_cost_asymptotics,
+             "Theorem 13 — F(L,n) = n log_phi(L) + Theta(n) with n = 64 L",
+             "L", "full_cost", "per_arrival", "ratio") {
+  const std::vector<Index> media =
+      ctx.quick ? std::vector<Index>{8, 55, 377}
+                : std::vector<Index>{8, 21, 55, 144, 377, 987, 2584, 6765,
+                                     17711};
+
+  std::vector<Cost> costs(media.size());
+  util::parallel_for(
+      0, static_cast<std::int64_t>(media.size()),
+      [&](std::int64_t i) {
+        const auto idx = static_cast<std::size_t>(i);
+        costs[idx] = full_cost(media[idx], 64 * media[idx]);
+      },
+      ctx.threads);
+
+  bench::BenchResult result;
+  auto& ls = result.add_series("L");
+  auto& f_series = result.add_series("full_cost");
+  auto& per_series = result.add_series("per_arrival");
+  auto& ratio_series = result.add_series("ratio");
+  util::TextTable table(
+      {"L", "n", "F(L,n)", "F/n", "log_phi L", "F/(n log_phi L)"});
+  for (std::size_t i = 0; i < media.size(); ++i) {
+    const Index L = media[i];
+    const Index n = 64 * L;
+    const double per_arrival =
+        static_cast<double>(costs[i]) / static_cast<double>(n);
+    const double logl = fib::log_phi(static_cast<double>(L));
+    result.ok = result.ok && std::abs(per_arrival - logl) < 3.0;
+    ls.values.push_back(static_cast<double>(L));
+    f_series.values.push_back(static_cast<double>(costs[i]));
+    per_series.values.push_back(per_arrival);
+    ratio_series.values.push_back(per_arrival / logl);
+    table.add_row(L, n, costs[i], per_arrival, logl, per_arrival / logl);
+  }
+  result.tables.push_back(std::move(table));
+  result.notes.push_back(std::string("additive offset |F/n - log_phi L| < 3: ") +
+                         (result.ok ? "yes" : "NO"));
+  return result;
+}

@@ -1,0 +1,66 @@
+// Theorem 14 — batching with stream merging is Theta(L / log L) better
+// than batching alone.
+//
+// Batching alone transmits a full stream per slot: cost n L. The optimal
+// merge forest costs n log_phi(L) + Theta(n), so the saving factor is
+// ~ L / log_phi(L). Rows sweep L at fixed density and print the measured
+// factor next to the predictor.
+#include "bench/registry.h"
+#include "core/full_cost.h"
+#include "util/parallel.h"
+
+namespace {
+
+using namespace smerge;
+
+}  // namespace
+
+SMERGE_BENCH(thm14_batching_ratio,
+             "Theorem 14 — batching+merging vs batching alone is "
+             "Theta(L / log L), n = 32 L",
+             "L", "batching_cost", "merging_cost", "saving_factor",
+             "predictor") {
+  const std::vector<Index> media =
+      ctx.quick ? std::vector<Index>{8, 55, 377}
+                : std::vector<Index>{8, 21, 55, 144, 377, 987, 2584};
+
+  std::vector<Cost> merging(media.size());
+  util::parallel_for(
+      0, static_cast<std::int64_t>(media.size()),
+      [&](std::int64_t i) {
+        const auto idx = static_cast<std::size_t>(i);
+        merging[idx] = full_cost(media[idx], 32 * media[idx]);
+      },
+      ctx.threads);
+
+  bench::BenchResult result;
+  auto& ls = result.add_series("L");
+  auto& batch_series = result.add_series("batching_cost");
+  auto& merge_series = result.add_series("merging_cost");
+  auto& factor_series = result.add_series("saving_factor");
+  auto& predictor_series = result.add_series("predictor");
+  util::TextTable table({"L", "batching nL", "merging F(L,n)", "saving factor",
+                         "L / log_phi L"});
+  for (std::size_t i = 0; i < media.size(); ++i) {
+    const Index L = media[i];
+    const Index n = 32 * L;
+    const Cost batching = n * L;
+    const double factor =
+        static_cast<double>(batching) / static_cast<double>(merging[i]);
+    const double predictor =
+        static_cast<double>(L) / fib::log_phi(static_cast<double>(L));
+    result.ok =
+        result.ok && factor > predictor / 2.5 && factor < predictor * 2.5;
+    ls.values.push_back(static_cast<double>(L));
+    batch_series.values.push_back(static_cast<double>(batching));
+    merge_series.values.push_back(static_cast<double>(merging[i]));
+    factor_series.values.push_back(factor);
+    predictor_series.values.push_back(predictor);
+    table.add_row(L, batching, merging[i], factor, predictor);
+  }
+  result.tables.push_back(std::move(table));
+  result.notes.push_back(
+      std::string("factor within 2.5x of L/log_phi(L) everywhere: ") +
+      (result.ok ? "yes" : "NO"));
+  return result;
+}

@@ -1,0 +1,75 @@
+// Theorems 19 and 20 — receive-two vs receive-all costs approach
+// log_phi(2) ~ 1.4404.
+//
+// Two tables: the merge-cost ratio M(n)/Mw(n) in n (Theorem 19, fast
+// convergence) and the full-cost ratio F(L,n)/Fw(L,n) in L with n = 50 L
+// (Theorem 20, logarithmic convergence — the paper's double limit).
+#include "bench/registry.h"
+#include "core/full_cost.h"
+#include "util/parallel.h"
+
+namespace {
+
+using namespace smerge;
+
+}  // namespace
+
+SMERGE_BENCH(thm19_receive_all_ratio,
+             "Theorems 19/20 — receive-two vs receive-all cost ratios "
+             "approach log_phi 2",
+             "n", "merge_ratio", "L", "full_ratio") {
+  const double target = fib::log_phi(2.0);
+  bench::BenchResult result;
+
+  // Theorem 19: merge-cost ratio (closed forms, cheap, serial).
+  const Index n_max = ctx.quick ? 1'000'000 : 10'000'000'000;
+  auto& ns = result.add_series("n");
+  auto& merge_ratio = result.add_series("merge_ratio");
+  util::TextTable mc({"n", "M(n)", "Mw(n)", "ratio"});
+  for (Index n = 100; n <= n_max; n *= 100) {
+    const double ratio = static_cast<double>(merge_cost(n)) /
+                         static_cast<double>(merge_cost_receive_all(n));
+    ns.values.push_back(static_cast<double>(n));
+    merge_ratio.values.push_back(ratio);
+    result.ok = result.ok && ratio < target;
+    mc.add_row(n, merge_cost(n), merge_cost_receive_all(n), ratio);
+  }
+  result.tables.push_back(std::move(mc));
+
+  // Theorem 20: full-cost ratio (forest planners, worth fanning out).
+  const std::vector<Index> media =
+      ctx.quick ? std::vector<Index>{55, 987}
+                : std::vector<Index>{55, 233, 987, 4181, 17711};
+  struct Pair {
+    Cost two = 0;
+    Cost all = 0;
+  };
+  std::vector<Pair> pairs(media.size());
+  util::parallel_for(
+      0, static_cast<std::int64_t>(media.size()),
+      [&](std::int64_t i) {
+        const auto idx = static_cast<std::size_t>(i);
+        const Index L = media[idx];
+        const Index n = 50 * L;
+        pairs[idx].two = full_cost(L, n);
+        pairs[idx].all = full_cost(L, n, Model::kReceiveAll);
+      },
+      ctx.threads);
+
+  auto& ls = result.add_series("L");
+  auto& full_ratio = result.add_series("full_ratio");
+  util::TextTable fc({"L", "F(L,n)", "Fw(L,n)", "ratio"});
+  double last = 0.0;
+  for (std::size_t i = 0; i < media.size(); ++i) {
+    last = static_cast<double>(pairs[i].two) /
+           static_cast<double>(pairs[i].all);
+    ls.values.push_back(static_cast<double>(media[i]));
+    full_ratio.values.push_back(last);
+    fc.add_row(media[i], pairs[i].two, pairs[i].all, last);
+  }
+  result.tables.push_back(std::move(fc));
+  result.add_metric("log_phi_2", target);
+  result.notes.push_back("final full-cost ratio " + util::format_fixed(last, 4) +
+                         " climbing toward " + util::format_fixed(target, 4));
+  return result;
+}

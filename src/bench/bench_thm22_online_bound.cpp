@@ -1,0 +1,70 @@
+// Theorem 22 — the on-line competitive guarantee A(L,n)/F(L,n) <= 1+2L/n
+// for L >= 7 and n > L^2 + 2.
+//
+// For each (L, n) in range the measured ratio must sit below the bound;
+// the table also shows the slack, which the proof predicts grows as the
+// bound is loose by roughly a factor 2 (the proof budgets one extra tree).
+#include "bench/registry.h"
+#include "core/full_cost.h"
+#include "online/delay_guaranteed.h"
+#include "util/parallel.h"
+
+namespace {
+
+using namespace smerge;
+
+constexpr Index kMults[] = {1, 4, 32};
+
+}  // namespace
+
+SMERGE_BENCH(thm22_online_bound,
+             "Theorem 22 — A(L,n)/F(L,n) <= 1 + 2L/n for L >= 7, n > L^2+2",
+             "L", "n", "ratio", "bound") {
+  const std::vector<Index> media = ctx.quick
+                                      ? std::vector<Index>{7, 21}
+                                      : std::vector<Index>{7, 10, 15, 21, 34, 55};
+  constexpr std::size_t kPerL = std::size(kMults);
+
+  struct Row {
+    Index n = 0;
+    double ratio = 0.0;
+    double bound = 0.0;
+  };
+  std::vector<Row> rows(media.size() * kPerL);
+  util::parallel_for(
+      0, static_cast<std::int64_t>(rows.size()),
+      [&](std::int64_t i) {
+        const auto idx = static_cast<std::size_t>(i);
+        const Index L = media[idx / kPerL];
+        const Index n = (L * L + 3) * kMults[idx % kPerL];
+        const DelayGuaranteedOnline dg(L);
+        rows[idx].n = n;
+        rows[idx].ratio = static_cast<double>(dg.cost(n)) /
+                          static_cast<double>(full_cost(L, n));
+        rows[idx].bound = DelayGuaranteedOnline::theorem22_bound(L, n);
+      },
+      ctx.threads);
+
+  bench::BenchResult result;
+  auto& ls = result.add_series("L");
+  auto& ns = result.add_series("n");
+  auto& ratios = result.add_series("ratio");
+  auto& bounds = result.add_series("bound");
+  util::TextTable table({"L", "n", "ratio A/F", "bound", "holds"});
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Index L = media[i / kPerL];
+    const Row& row = rows[i];
+    const bool holds = row.ratio <= row.bound;
+    result.ok = result.ok && holds;
+    ls.values.push_back(static_cast<double>(L));
+    ns.values.push_back(static_cast<double>(row.n));
+    ratios.values.push_back(row.ratio);
+    bounds.values.push_back(row.bound);
+    table.add_row(L, row.n, util::format_fixed(row.ratio, 6),
+                  util::format_fixed(row.bound, 6), holds ? "yes" : "NO");
+  }
+  result.tables.push_back(std::move(table));
+  result.notes.push_back(std::string("bound holds everywhere: ") +
+                         (result.ok ? "yes" : "NO"));
+  return result;
+}

@@ -1,0 +1,52 @@
+#include "bench/registry.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace smerge::bench {
+
+BenchSeries& BenchResult::add_series(std::string name) {
+  series.emplace_back(BenchSeries{std::move(name), {}});
+  return series.back();
+}
+
+void BenchResult::add_metric(std::string name, double value) {
+  metrics.emplace_back(std::move(name), value);
+}
+
+BenchRegistry& BenchRegistry::instance() {
+  static BenchRegistry registry;
+  return registry;
+}
+
+bool BenchRegistry::add(BenchSpec spec) {
+  // Registration runs during static initialization, before main; abort
+  // with a plain message instead of throwing through a dynamic
+  // initializer (which would terminate without context).
+  if (spec.name.empty() || !spec.run) {
+    std::fprintf(stderr, "BenchRegistry: empty name or missing run function\n");
+    std::abort();
+  }
+  const auto [it, inserted] = specs_.emplace(spec.name, std::move(spec));
+  if (!inserted) {
+    std::fprintf(stderr, "BenchRegistry: duplicate bench '%s'\n",
+                 it->first.c_str());
+    std::abort();
+  }
+  return true;
+}
+
+std::vector<const BenchSpec*> BenchRegistry::all() const {
+  std::vector<const BenchSpec*> out;
+  out.reserve(specs_.size());
+  for (const auto& [name, spec] : specs_) out.push_back(&spec);
+  return out;
+}
+
+const BenchSpec* BenchRegistry::find(const std::string& name) const {
+  const auto it = specs_.find(name);
+  return it == specs_.end() ? nullptr : &it->second;
+}
+
+}  // namespace smerge::bench

@@ -1,0 +1,44 @@
+// Execution and reporting for registered benches: the engine behind the
+// `smerge_bench` CLI and the registry smoke test.
+#ifndef SMERGE_BENCH_RUNNER_H
+#define SMERGE_BENCH_RUNNER_H
+
+#include <string>
+#include <vector>
+
+#include "bench/registry.h"
+
+namespace smerge::bench {
+
+/// One completed bench execution.
+struct BenchRun {
+  const BenchSpec* spec = nullptr;
+  BenchResult result;
+  double elapsed_ms = 0.0;
+  std::string error;  ///< non-empty when the bench threw; result is empty
+
+  [[nodiscard]] bool ok() const { return error.empty() && result.ok; }
+};
+
+/// Runs one bench, timing it and capturing exceptions into `error`.
+[[nodiscard]] BenchRun run_bench(const BenchSpec& spec, const BenchContext& ctx);
+
+/// Renders runs as the stable `smerge-bench-v1` JSON document:
+/// `{"schema", "quick", "threads", "benches": [{"name", "description",
+/// "ok", "elapsed_ms", "series": {...}, "metrics": {...}}]}`.
+[[nodiscard]] std::string to_json(const std::vector<BenchRun>& runs,
+                                  const BenchContext& ctx);
+
+/// The `smerge_bench` command line:
+///   --list          print all registered benches and exit
+///   --only=a,b      run a subset (comma-separated registry names)
+///   --json=PATH     also write the JSON document to PATH
+///   --threads=N     parallel_for fan-out width (default: all cores)
+///   --quick         reduced parameters (sub-second smoke run)
+/// Returns the process exit code: 0 on success, 1 when a bench fails or
+/// throws, 2 on usage errors.
+[[nodiscard]] int run_cli(int argc, const char* const* argv);
+
+}  // namespace smerge::bench
+
+#endif  // SMERGE_BENCH_RUNNER_H

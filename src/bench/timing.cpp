@@ -1,0 +1,51 @@
+#include "bench/timing.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+
+namespace smerge::bench {
+
+double time_ns_per_call(const std::function<void()>& fn, double min_ms) {
+  using Clock = std::chrono::steady_clock;
+  fn();  // warm-up (first-touch allocations, caches)
+  std::int64_t batch = 1;
+  while (true) {
+    const auto start = Clock::now();
+    for (std::int64_t i = 0; i < batch; ++i) fn();
+    const double elapsed_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+    if (elapsed_ms >= min_ms) {
+      return elapsed_ms * 1e6 / static_cast<double>(batch);
+    }
+    // Re-time with a batch sized to overshoot min_ms, but at least 2x.
+    const double scale =
+        elapsed_ms > 0.0 ? (1.5 * min_ms / elapsed_ms) : 2.0;
+    batch = std::max<std::int64_t>(batch * 2,
+                                   static_cast<std::int64_t>(
+                                       static_cast<double>(batch) * scale));
+  }
+}
+
+double fitted_exponent(const std::vector<double>& sizes,
+                       const std::vector<double>& times) {
+  if (sizes.size() != times.size() || sizes.size() < 2) return 0.0;
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    if (sizes[i] <= 0.0 || times[i] <= 0.0) continue;
+    const double x = std::log(sizes[i]);
+    const double y = std::log(times[i]);
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+    ++count;
+  }
+  if (count < 2) return 0.0;
+  const double n = static_cast<double>(count);
+  const double denom = n * sxx - sx * sx;
+  return denom == 0.0 ? 0.0 : (n * sxy - sx * sy) / denom;
+}
+
+}  // namespace smerge::bench

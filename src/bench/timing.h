@@ -1,0 +1,27 @@
+// Wall-clock micro-timing for the complexity benches (the cpx_* family),
+// replacing the google-benchmark dependency the standalone mains used:
+// the registry harness owns the process, so benches time their kernels
+// directly and report ns/op series plus a fitted complexity exponent.
+#ifndef SMERGE_BENCH_TIMING_H
+#define SMERGE_BENCH_TIMING_H
+
+#include <functional>
+#include <vector>
+
+namespace smerge::bench {
+
+/// Calls `fn` repeatedly (doubling the batch size) until at least
+/// `min_ms` of wall clock has elapsed, then returns the mean
+/// nanoseconds per call. One untimed warm-up call precedes measurement.
+[[nodiscard]] double time_ns_per_call(const std::function<void()>& fn,
+                                      double min_ms);
+
+/// Least-squares slope of log(time) vs log(n): the empirical complexity
+/// exponent of a timing series (≈1 linear, ≈2 quadratic, ...). Requires
+/// at least two strictly positive points; returns 0.0 otherwise.
+[[nodiscard]] double fitted_exponent(const std::vector<double>& sizes,
+                                     const std::vector<double>& times);
+
+}  // namespace smerge::bench
+
+#endif  // SMERGE_BENCH_TIMING_H

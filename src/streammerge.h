@@ -45,6 +45,7 @@
 
 // Utilities.
 #include "util/cli.h"
+#include "util/json_writer.h"
 #include "util/parallel.h"
 #include "util/stats.h"
 #include "util/table.h"

@@ -1,0 +1,333 @@
+#include "util/json_writer.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace smerge::util {
+
+namespace {
+
+/// Shortest round-trip decimal rendering of a finite double.
+std::string render_double(double number) {
+  char buf[64];
+  // 17 significant digits round-trip any IEEE double; trim the common
+  // integral case so series of small integers stay readable.
+  std::snprintf(buf, sizeof(buf), "%.17g", number);
+  std::string text(buf);
+  if (text.find_first_of(".eE") == std::string::npos) text += ".0";
+  return text;
+}
+
+}  // namespace
+
+std::string json_escape(std::string_view text) {
+  std::string out_;
+  out_.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out_ += "\\\""; break;
+      case '\\': out_ += "\\\\"; break;
+      case '\b': out_ += "\\b"; break;
+      case '\f': out_ += "\\f"; break;
+      case '\n': out_ += "\\n"; break;
+      case '\r': out_ += "\\r"; break;
+      case '\t': out_ += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out_ += buf;
+        } else {
+          out_ += c;
+        }
+    }
+  }
+  return out_;
+}
+
+void JsonWriter::begin_value() {
+  if (done_) throw std::logic_error("JsonWriter: document already complete");
+  if (!scopes_.empty() && scopes_.back() == Scope::kObject && !key_pending_) {
+    throw std::logic_error("JsonWriter: value inside an object requires a key");
+  }
+  if (key_pending_) {
+    key_pending_ = false;  // the comma/indent was emitted with the key
+    return;
+  }
+  if (!scopes_.empty()) {
+    if (had_items_.back()) out_ += ',';
+    out_ += '\n';
+    out_.append(2 * scopes_.size(), ' ');
+    had_items_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  begin_value();
+  out_ += '{';
+  scopes_.push_back(Scope::kObject);
+  had_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  if (scopes_.empty() || scopes_.back() != Scope::kObject || key_pending_) {
+    throw std::logic_error("JsonWriter: end_object without matching object");
+  }
+  const bool had = had_items_.back();
+  scopes_.pop_back();
+  had_items_.pop_back();
+  if (had) {
+    out_ += '\n';
+    out_.append(2 * scopes_.size(), ' ');
+  }
+  out_ += '}';
+  if (scopes_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  begin_value();
+  out_ += '[';
+  scopes_.push_back(Scope::kArray);
+  had_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  if (scopes_.empty() || scopes_.back() != Scope::kArray) {
+    throw std::logic_error("JsonWriter: end_array without matching array");
+  }
+  const bool had = had_items_.back();
+  scopes_.pop_back();
+  had_items_.pop_back();
+  if (had) {
+    out_ += '\n';
+    out_.append(2 * scopes_.size(), ' ');
+  }
+  out_ += ']';
+  if (scopes_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  if (scopes_.empty() || scopes_.back() != Scope::kObject) {
+    throw std::logic_error("JsonWriter: key outside of an object");
+  }
+  if (key_pending_) throw std::logic_error("JsonWriter: two keys in a row");
+  if (had_items_.back()) out_ += ',';
+  out_ += '\n';
+  out_.append(2 * scopes_.size(), ' ');
+  had_items_.back() = true;
+  out_ += '"';
+  out_ += json_escape(name);
+  out_ += "\": ";
+  key_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view text) {
+  begin_value();
+  out_ += '"';
+  out_ += json_escape(text);
+  out_ += '"';
+  if (scopes_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double number) {
+  if (!std::isfinite(number)) return null();
+  begin_value();
+  out_ += render_double(number);
+  if (scopes_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t number) {
+  begin_value();
+  out_ += std::to_string(number);
+  if (scopes_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t number) {
+  begin_value();
+  out_ += std::to_string(number);
+  if (scopes_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool flag) {
+  begin_value();
+  out_ += flag ? "true" : "false";
+  if (scopes_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  begin_value();
+  out_ += "null";
+  if (scopes_.empty()) done_ = true;
+  return *this;
+}
+
+std::string JsonWriter::str() const {
+  if (!scopes_.empty()) {
+    throw std::logic_error("JsonWriter: unbalanced scopes at str()");
+  }
+  if (!done_) throw std::logic_error("JsonWriter: empty document");
+  std::string doc = out_;
+  doc += '\n';
+  return doc;
+}
+
+namespace {
+
+/// Recursive-descent validator over the emitted subset of RFC 8259.
+class Validator {
+ public:
+  explicit Validator(std::string_view text) : text_(text) {}
+
+  std::optional<std::string> run() {
+    skip_ws();
+    if (auto err = parse_value()) return err;
+    skip_ws();
+    if (pos_ != text_.size()) return fail("trailing content");
+    return std::nullopt;
+  }
+
+ private:
+  std::optional<std::string> fail(const std::string& what) const {
+    return what + " at byte " + std::to_string(pos_);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool at(char c) const {
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  bool consume(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  std::optional<std::string> parse_value() {
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return parse_string();
+      case 't': return consume("true") ? std::nullopt : fail("bad literal");
+      case 'f': return consume("false") ? std::nullopt : fail("bad literal");
+      case 'n': return consume("null") ? std::nullopt : fail("bad literal");
+      default: return parse_number();
+    }
+  }
+
+  std::optional<std::string> parse_object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (at('}')) { ++pos_; return std::nullopt; }
+    while (true) {
+      skip_ws();
+      if (!at('"')) return fail("expected object key");
+      if (auto err = parse_string()) return err;
+      skip_ws();
+      if (!at(':')) return fail("expected ':'");
+      ++pos_;
+      skip_ws();
+      if (auto err = parse_value()) return err;
+      skip_ws();
+      if (at(',')) { ++pos_; continue; }
+      if (at('}')) { ++pos_; return std::nullopt; }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  std::optional<std::string> parse_array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (at(']')) { ++pos_; return std::nullopt; }
+    while (true) {
+      skip_ws();
+      if (auto err = parse_value()) return err;
+      skip_ws();
+      if (at(',')) { ++pos_; continue; }
+      if (at(']')) { ++pos_; return std::nullopt; }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  std::optional<std::string> parse_string() {
+    ++pos_;  // '"'
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') { ++pos_; return std::nullopt; }
+      if (static_cast<unsigned char>(c) < 0x20) return fail("raw control char");
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return fail("truncated escape");
+        const char e = text_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= text_.size() || !std::isxdigit(static_cast<unsigned char>(text_[pos_]))) {
+              return fail("bad \\u escape");
+            }
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' &&
+                   e != 'n' && e != 'r' && e != 't') {
+          return fail("bad escape");
+        }
+      }
+      ++pos_;
+    }
+    return fail("unterminated string");
+  }
+
+  std::size_t eat_digits() {
+    std::size_t count = 0;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+      ++count;
+    }
+    return count;
+  }
+
+  std::optional<std::string> parse_number() {
+    if (at('-')) ++pos_;
+    if (eat_digits() == 0) return fail("malformed number");
+    if (at('.')) {
+      ++pos_;
+      if (eat_digits() == 0) return fail("malformed fraction");
+    }
+    if (at('e') || at('E')) {
+      ++pos_;
+      if (at('+') || at('-')) ++pos_;
+      if (eat_digits() == 0) return fail("malformed exponent");
+    }
+    return std::nullopt;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<std::string> json_error(std::string_view text) {
+  return Validator(text).run();
+}
+
+}  // namespace smerge::util

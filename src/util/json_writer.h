@@ -1,0 +1,80 @@
+// Minimal streaming JSON writer (and validator) for the benchmark
+// harness.
+//
+// The writer produces machine-readable `BENCH_*.json` trajectories so
+// successive PRs can diff benchmark results; the validator lets tests
+// check emitted documents without a third-party JSON dependency. Both
+// cover exactly the subset of RFC 8259 this project emits: objects,
+// arrays, strings, finite numbers, booleans and null.
+#ifndef SMERGE_UTIL_JSON_WRITER_H
+#define SMERGE_UTIL_JSON_WRITER_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace smerge::util {
+
+/// Escapes a string for inclusion inside JSON quotes (quotes, backslash,
+/// control characters; everything else passes through as UTF-8).
+[[nodiscard]] std::string json_escape(std::string_view text);
+
+/// Builds a JSON document incrementally. Scope methods must be balanced;
+/// the writer inserts commas and (two-space) indentation automatically.
+///
+///   JsonWriter w;
+///   w.begin_object();
+///   w.key("name").value("fig01");
+///   w.key("points").begin_array().value(1.0).value(2.5).end_array();
+///   w.end_object();
+///   std::string doc = w.str();
+///
+/// Misuse (a key outside an object, unbalanced scopes at `str()`, two
+/// keys in a row) throws std::logic_error so harness bugs fail loudly
+/// instead of emitting unparseable files.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emits an object key; the next call must produce its value.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view text);
+  JsonWriter& value(const char* text) { return value(std::string_view(text)); }
+  JsonWriter& value(double number);  ///< non-finite values render as null
+  JsonWriter& value(std::int64_t number);
+  JsonWriter& value(std::uint64_t number);
+  JsonWriter& value(int number) { return value(static_cast<std::int64_t>(number)); }
+  JsonWriter& value(unsigned number) {
+    return value(static_cast<std::uint64_t>(number));
+  }
+  JsonWriter& value(bool flag);
+  JsonWriter& null();
+
+  /// The finished document. Throws std::logic_error if scopes are open.
+  [[nodiscard]] std::string str() const;
+
+ private:
+  enum class Scope { kObject, kArray };
+  void begin_value();  // comma/indent bookkeeping shared by all emitters
+
+  std::string out_;
+  std::vector<Scope> scopes_;
+  std::vector<bool> had_items_;  // parallel to scopes_
+  bool key_pending_ = false;     // a key was written, value expected
+  bool done_ = false;            // a complete top-level value exists
+};
+
+/// Validates that `text` is one complete JSON value (with the usual
+/// whitespace allowances). Returns std::nullopt on success, otherwise a
+/// human-readable description of the first error with its byte offset.
+[[nodiscard]] std::optional<std::string> json_error(std::string_view text);
+
+}  // namespace smerge::util
+
+#endif  // SMERGE_UTIL_JSON_WRITER_H

@@ -48,7 +48,7 @@ TEST(BatchArrivals, Validation) {
 TEST(Baselines, UnicastCost) {
   EXPECT_DOUBLE_EQ(unicast_cost({0.1, 0.2, 0.3}, 1.0), 3.0);
   EXPECT_DOUBLE_EQ(unicast_cost({}, 1.0), 0.0);
-  EXPECT_THROW(unicast_cost({0.1}, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)unicast_cost({0.1}, 0.0), std::invalid_argument);
 }
 
 TEST(Baselines, BatchingCost) {

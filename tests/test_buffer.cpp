@@ -35,8 +35,8 @@ TEST(BufferRequirement, SymmetricAroundMidpoint) {
 }
 
 TEST(BufferRequirement, RangeChecked) {
-  EXPECT_THROW(buffer_requirement(-1, 15), std::invalid_argument);
-  EXPECT_THROW(buffer_requirement(15, 15), std::invalid_argument);
+  EXPECT_THROW((void)buffer_requirement(-1, 15), std::invalid_argument);
+  EXPECT_THROW((void)buffer_requirement(15, 15), std::invalid_argument);
 }
 
 TEST(MaxBufferRequirement, TreeAndForest) {
@@ -48,7 +48,7 @@ TEST(MaxBufferRequirement, TreeAndForest) {
 
 TEST(MaxBufferRequirement, RejectsOversizedTree) {
   const MergeTree chain = MergeTree::chain(10);
-  EXPECT_THROW(max_buffer_requirement(chain, 5), std::invalid_argument);
+  EXPECT_THROW((void)max_buffer_requirement(chain, 5), std::invalid_argument);
 }
 
 class ForestBufferSweep : public ::testing::TestWithParam<std::tuple<Index, Index>> {};

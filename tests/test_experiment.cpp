@@ -147,10 +147,10 @@ TEST(Experiment, EdgeCasesAndValidation) {
   const BandwidthResult zero_off = run_offline_optimal(0.01, 0.0);
   EXPECT_DOUBLE_EQ(zero_off.streams_served, 0.0);
   // Delay outside (0, 1] rejected.
-  EXPECT_THROW(run_delay_guaranteed(0.0, 10.0), std::invalid_argument);
-  EXPECT_THROW(run_delay_guaranteed(1.5, 10.0), std::invalid_argument);
-  EXPECT_THROW(run_offline_optimal(-0.1, 10.0), std::invalid_argument);
-  EXPECT_THROW(run_delay_guaranteed(0.01, -1.0), std::invalid_argument);
+  EXPECT_THROW((void)run_delay_guaranteed(0.0, 10.0), std::invalid_argument);
+  EXPECT_THROW((void)run_delay_guaranteed(1.5, 10.0), std::invalid_argument);
+  EXPECT_THROW((void)run_offline_optimal(-0.1, 10.0), std::invalid_argument);
+  EXPECT_THROW((void)run_delay_guaranteed(0.01, -1.0), std::invalid_argument);
   // Empty arrival traces are fine for the trace-driven policies.
   EXPECT_DOUBLE_EQ(run_dyadic({}).streams_served, 0.0);
   EXPECT_DOUBLE_EQ(run_batched_dyadic({}, 0.01).streams_served, 0.0);

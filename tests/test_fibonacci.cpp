@@ -34,8 +34,8 @@ TEST(Fibonacci, LargestRepresentableTerm) {
 }
 
 TEST(Fibonacci, IndexOutOfRangeThrows) {
-  EXPECT_THROW(fibonacci(-1), std::out_of_range);
-  EXPECT_THROW(fibonacci(kMaxIndex + 1), std::out_of_range);
+  EXPECT_THROW((void)fibonacci(-1), std::out_of_range);
+  EXPECT_THROW((void)fibonacci(kMaxIndex + 1), std::out_of_range);
 }
 
 TEST(Fibonacci, SumIdentity) {
@@ -60,8 +60,8 @@ TEST(BracketIndex, SmallValues) {
 }
 
 TEST(BracketIndex, RequiresPositive) {
-  EXPECT_THROW(bracket_index(0), std::invalid_argument);
-  EXPECT_THROW(bracket_index(-5), std::invalid_argument);
+  EXPECT_THROW((void)bracket_index(0), std::invalid_argument);
+  EXPECT_THROW((void)bracket_index(-5), std::invalid_argument);
 }
 
 class BracketProperty : public ::testing::TestWithParam<std::int64_t> {};
@@ -106,8 +106,8 @@ TEST(LogPhi, GoldenRatioPowers) {
   EXPECT_NEAR(log_phi(1.0), 0.0, 1e-12);
   EXPECT_NEAR(log_phi(kGoldenRatio), 1.0, 1e-12);
   EXPECT_NEAR(log_phi(kGoldenRatio * kGoldenRatio), 2.0, 1e-12);
-  EXPECT_THROW(log_phi(0.0), std::invalid_argument);
-  EXPECT_THROW(log_phi(-1.0), std::invalid_argument);
+  EXPECT_THROW((void)log_phi(0.0), std::invalid_argument);
+  EXPECT_THROW((void)log_phi(-1.0), std::invalid_argument);
 }
 
 TEST(LogPhi, ApproximatesFibonacciGrowth) {

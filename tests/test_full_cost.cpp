@@ -48,7 +48,7 @@ TEST(FullCost, TheoremTwelveIndexExamples) {
   EXPECT_EQ(theorem12_index(2), 3);
   EXPECT_EQ(theorem12_index(4), 4);
   EXPECT_EQ(theorem12_index(15), 6);
-  EXPECT_THROW(theorem12_index(0), std::invalid_argument);
+  EXPECT_THROW((void)theorem12_index(0), std::invalid_argument);
 }
 
 TEST(FullCost, DegenerateMediaLengths) {
@@ -64,15 +64,15 @@ TEST(FullCost, MinStreams) {
   EXPECT_EQ(min_streams(15, 16), 2);
   EXPECT_EQ(min_streams(1, 7), 7);
   EXPECT_EQ(min_streams(4, 16), 4);
-  EXPECT_THROW(min_streams(0, 5), std::invalid_argument);
-  EXPECT_THROW(min_streams(5, 0), std::invalid_argument);
+  EXPECT_THROW((void)min_streams(0, 5), std::invalid_argument);
+  EXPECT_THROW((void)min_streams(5, 0), std::invalid_argument);
 }
 
 TEST(FullCost, GivenStreamsValidatesRange) {
-  EXPECT_THROW(full_cost_given_streams(15, 8, 0), std::invalid_argument);
-  EXPECT_THROW(full_cost_given_streams(15, 8, 9), std::invalid_argument);
-  EXPECT_THROW(full_cost_given_streams(4, 16, 3), std::invalid_argument);
-  EXPECT_NO_THROW(full_cost_given_streams(4, 16, 16));
+  EXPECT_THROW((void)full_cost_given_streams(15, 8, 0), std::invalid_argument);
+  EXPECT_THROW((void)full_cost_given_streams(15, 8, 9), std::invalid_argument);
+  EXPECT_THROW((void)full_cost_given_streams(4, 16, 3), std::invalid_argument);
+  EXPECT_NO_THROW((void)full_cost_given_streams(4, 16, 16));
 }
 
 class TheoremTwelveSweep
@@ -135,7 +135,7 @@ TEST(FullCost, TheoremTwelveTieCases) {
   // L=2, n=9 (odd): s0 = s1+1 = 5 is optimal, s1=4 infeasible (> ceil? no:
   // 4 >= ceil(9/2)=5 fails feasibility).
   EXPECT_EQ(optimal_stream_count(2, 9).streams, 5);
-  EXPECT_THROW(full_cost_given_streams(2, 9, 4), std::invalid_argument);
+  EXPECT_THROW((void)full_cost_given_streams(2, 9, 4), std::invalid_argument);
   // L=4, n=16: both s1=5 and s1+1=6 cost 38 (the paper's example).
   EXPECT_EQ(full_cost_given_streams(4, 16, 5), full_cost_given_streams(4, 16, 6));
 }
@@ -251,8 +251,8 @@ TEST(BoundedBuffer, CostDecreasesWithBuffer) {
 }
 
 TEST(BoundedBuffer, Validation) {
-  EXPECT_THROW(full_cost_bounded(15, 8, 0), std::invalid_argument);
-  EXPECT_THROW(full_cost_bounded(15, 8, 16), std::invalid_argument);
+  EXPECT_THROW((void)full_cost_bounded(15, 8, 0), std::invalid_argument);
+  EXPECT_THROW((void)full_cost_bounded(15, 8, 16), std::invalid_argument);
 }
 
 // --- Section 3.4: receive-all full costs ----------------------------------

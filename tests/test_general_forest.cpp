@@ -40,7 +40,7 @@ TEST(GeneralMergeForest, RejectsMalformedAppends) {
   EXPECT_THROW(f.add_stream(0.6, 5), std::invalid_argument);    // bad parent
   EXPECT_THROW(f.add_stream(0.5, 0), std::invalid_argument);    // parent not earlier
   EXPECT_THROW(GeneralMergeForest(0.0), std::invalid_argument);
-  EXPECT_THROW(f.stream(3), std::out_of_range);
+  EXPECT_THROW((void)f.stream(3), std::out_of_range);
 }
 
 TEST(GeneralMergeForest, PeakConcurrency) {

@@ -81,9 +81,9 @@ TEST(Hybrid, DeterministicForFixedInput) {
 }
 
 TEST(Hybrid, Validation) {
-  EXPECT_THROW(run_hybrid({}, 1.0, HybridParams{0.0, 3, {}}), std::invalid_argument);
-  EXPECT_THROW(run_hybrid({}, 1.0, HybridParams{0.01, 0, {}}), std::invalid_argument);
-  EXPECT_THROW(run_hybrid({0.5, 0.2}, 1.0, default_params()), std::invalid_argument);
+  EXPECT_THROW((void)run_hybrid({}, 1.0, HybridParams{0.0, 3, {}}), std::invalid_argument);
+  EXPECT_THROW((void)run_hybrid({}, 1.0, HybridParams{0.01, 0, {}}), std::invalid_argument);
+  EXPECT_THROW((void)run_hybrid({0.5, 0.2}, 1.0, default_params()), std::invalid_argument);
 }
 
 }  // namespace

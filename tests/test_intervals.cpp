@@ -35,8 +35,8 @@ TEST(LastMergeInterval, FibonacciHorizonsAreSingletons) {
 }
 
 TEST(LastMergeInterval, RequiresAtLeastTwoArrivals) {
-  EXPECT_THROW(last_merge_interval(1), std::invalid_argument);
-  EXPECT_THROW(last_merge_interval(0), std::invalid_argument);
+  EXPECT_THROW((void)last_merge_interval(1), std::invalid_argument);
+  EXPECT_THROW((void)last_merge_interval(0), std::invalid_argument);
 }
 
 TEST(LastMergeInterval, MatchesDpArgminSets) {

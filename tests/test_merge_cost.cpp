@@ -39,9 +39,9 @@ TEST(MergeCost, TrivialCases) {
 }
 
 TEST(MergeCost, RejectsOutOfRange) {
-  EXPECT_THROW(merge_cost(-1), std::invalid_argument);
-  EXPECT_THROW(merge_cost(kMaxHorizon + 1), std::invalid_argument);
-  EXPECT_THROW(merge_cost_receive_all(-1), std::invalid_argument);
+  EXPECT_THROW((void)merge_cost(-1), std::invalid_argument);
+  EXPECT_THROW((void)merge_cost(kMaxHorizon + 1), std::invalid_argument);
+  EXPECT_THROW((void)merge_cost_receive_all(-1), std::invalid_argument);
 }
 
 TEST(MergeCost, ModelDispatch) {
@@ -106,9 +106,9 @@ TEST(LastMergeCost, DefinitionMatchesEquation7) {
   // H(n,h) = M(h) + M(n-h) + 2n - h - 2.
   EXPECT_EQ(last_merge_cost(8, 5), merge_cost(5) + merge_cost(3) + 2 * 8 - 5 - 2);
   EXPECT_EQ(last_merge_cost(2, 1), 1);
-  EXPECT_THROW(last_merge_cost(2, 0), std::invalid_argument);
-  EXPECT_THROW(last_merge_cost(2, 2), std::invalid_argument);
-  EXPECT_THROW(last_merge_cost(1, 1), std::invalid_argument);
+  EXPECT_THROW((void)last_merge_cost(2, 0), std::invalid_argument);
+  EXPECT_THROW((void)last_merge_cost(2, 2), std::invalid_argument);
+  EXPECT_THROW((void)last_merge_cost(1, 1), std::invalid_argument);
 }
 
 TEST(LastMergeCost, MinimizesToMergeCost) {

@@ -25,8 +25,8 @@ TEST(MergeForest, LayoutAndOffsets) {
   EXPECT_EQ(f.media_length(), 15);
   EXPECT_EQ(f.tree_offset(0), 0);
   EXPECT_EQ(f.tree_offset(1), 7);
-  EXPECT_THROW(f.tree(2), std::out_of_range);
-  EXPECT_THROW(f.tree_offset(-1), std::out_of_range);
+  EXPECT_THROW((void)f.tree(2), std::out_of_range);
+  EXPECT_THROW((void)f.tree_offset(-1), std::out_of_range);
 }
 
 TEST(MergeForest, TreeOfBoundaries) {
@@ -35,8 +35,8 @@ TEST(MergeForest, TreeOfBoundaries) {
   EXPECT_EQ(f.tree_of(6), 0);
   EXPECT_EQ(f.tree_of(7), 1);
   EXPECT_EQ(f.tree_of(13), 1);
-  EXPECT_THROW(f.tree_of(14), std::out_of_range);
-  EXPECT_THROW(f.tree_of(-1), std::out_of_range);
+  EXPECT_THROW((void)f.tree_of(14), std::out_of_range);
+  EXPECT_THROW((void)f.tree_of(-1), std::out_of_range);
 }
 
 TEST(MergeForest, StreamLengthsRootsAndLocals) {

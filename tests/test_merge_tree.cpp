@@ -118,10 +118,10 @@ TEST(MergeTree, SubtreeExtraction) {
 
 TEST(MergeTree, AccessorsRangeCheck) {
   const MergeTree t = MergeTree::chain(3);
-  EXPECT_THROW(t.parent(3), std::out_of_range);
-  EXPECT_THROW(t.children(-1), std::out_of_range);
-  EXPECT_THROW(t.last_descendant(5), std::out_of_range);
-  EXPECT_THROW(t.length(0), std::invalid_argument);  // root has length L
+  EXPECT_THROW((void)t.parent(3), std::out_of_range);
+  EXPECT_THROW((void)t.children(-1), std::out_of_range);
+  EXPECT_THROW((void)t.last_descendant(5), std::out_of_range);
+  EXPECT_THROW((void)t.length(0), std::invalid_argument);  // root has length L
 }
 
 TEST(MergeTree, LeafLengthIsGapToParent) {

@@ -87,8 +87,8 @@ TEST(DelayGuaranteedOnline, TheoremTwentyTwoRatio) {
           << "L=" << L << " n=" << n;
     }
   }
-  EXPECT_THROW(DelayGuaranteedOnline::theorem22_bound(6, 1000), std::invalid_argument);
-  EXPECT_THROW(DelayGuaranteedOnline::theorem22_bound(7, 51), std::invalid_argument);
+  EXPECT_THROW((void)DelayGuaranteedOnline::theorem22_bound(6, 1000), std::invalid_argument);
+  EXPECT_THROW((void)DelayGuaranteedOnline::theorem22_bound(7, 51), std::invalid_argument);
 }
 
 TEST(DelayGuaranteedOnline, RatioApproachesOneWithHorizon) {
@@ -132,8 +132,8 @@ TEST(DelayGuaranteedOnline, StreamLengthLookup) {
   // The final partial block clips z: template node 3 has z=4, but with
   // only arrivals 16..19 alive, node 3's subtree is {3} -> leaf length 3.
   EXPECT_EQ(dg.stream_length(19, horizon), 3);
-  EXPECT_THROW(dg.stream_length(20, horizon), std::invalid_argument);
-  EXPECT_THROW(dg.stream_length(-1, horizon), std::invalid_argument);
+  EXPECT_THROW((void)dg.stream_length(20, horizon), std::invalid_argument);
+  EXPECT_THROW((void)dg.stream_length(-1, horizon), std::invalid_argument);
 }
 
 TEST(DelayGuaranteedOnline, StreamLengthsSumToCost) {
@@ -151,7 +151,7 @@ TEST(DelayGuaranteedOnline, Validation) {
   EXPECT_THROW(DelayGuaranteedOnline(0), std::invalid_argument);
   EXPECT_THROW(DelayGuaranteedOnline(-5), std::invalid_argument);
   const DelayGuaranteedOnline dg(15);
-  EXPECT_THROW(dg.cost(-1), std::invalid_argument);
+  EXPECT_THROW((void)dg.cost(-1), std::invalid_argument);
   EXPECT_THROW(dg.forest(0), std::invalid_argument);
 }
 

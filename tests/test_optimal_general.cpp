@@ -112,15 +112,15 @@ TEST(OptimalGeneral, MatchesBatchedSlotGrid) {
 }
 
 TEST(OptimalGeneral, Validation) {
-  EXPECT_THROW(optimal_general_cost({0.2, 0.1}, 1.0), std::invalid_argument);
-  EXPECT_THROW(optimal_general_cost({0.1, 0.1}, 1.0), std::invalid_argument);
-  EXPECT_THROW(optimal_general_cost({0.1}, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)optimal_general_cost({0.2, 0.1}, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)optimal_general_cost({0.1, 0.1}, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)optimal_general_cost({0.1}, 0.0), std::invalid_argument);
   std::vector<double> too_many(
       static_cast<std::size_t>(kMaxGeneralArrivals) + 1);
   for (std::size_t i = 0; i < too_many.size(); ++i) {
     too_many[i] = static_cast<double>(i);
   }
-  EXPECT_THROW(optimal_general_cost(too_many, 10.0), std::invalid_argument);
+  EXPECT_THROW((void)optimal_general_cost(too_many, 10.0), std::invalid_argument);
 }
 
 }  // namespace

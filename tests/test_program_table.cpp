@@ -54,8 +54,8 @@ TEST(ProgramTable, AbsoluteProgramsMatchForestPrograms) {
 
 TEST(ProgramTable, LookupValidation) {
   const ProgramTable table{DelayGuaranteedOnline(15)};
-  EXPECT_THROW(table.lookup(-1), std::out_of_range);
-  EXPECT_THROW(table.lookup(8), std::out_of_range);
+  EXPECT_THROW((void)table.lookup(-1), std::out_of_range);
+  EXPECT_THROW((void)table.lookup(8), std::out_of_range);
   EXPECT_THROW(table.program_at(-1), std::out_of_range);
 }
 

@@ -76,8 +76,8 @@ TEST(StreamSchedule, RejectsInfeasibleForest) {
 TEST(StreamSchedule, AccessorRangeChecks) {
   const MergeForest forest = optimal_merge_forest(15, 8);
   const StreamSchedule sched(forest);
-  EXPECT_THROW(sched.stream(-1), std::out_of_range);
-  EXPECT_THROW(sched.stream(8), std::out_of_range);
+  EXPECT_THROW((void)sched.stream(-1), std::out_of_range);
+  EXPECT_THROW((void)sched.stream(8), std::out_of_range);
 }
 
 TEST(StreamSchedule, PeakBandwidthBelowStreamCount) {

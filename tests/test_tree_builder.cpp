@@ -22,8 +22,8 @@ TEST(TreeBuilder, CountMatchesCatalan) {
     });
     EXPECT_EQ(seen, kCatalan[n - 1]) << "n=" << n;
   }
-  EXPECT_THROW(count_merge_trees(0), std::invalid_argument);
-  EXPECT_THROW(count_merge_trees(35), std::invalid_argument);
+  EXPECT_THROW((void)count_merge_trees(0), std::invalid_argument);
+  EXPECT_THROW((void)count_merge_trees(35), std::invalid_argument);
 }
 
 class ExhaustiveOptimality : public ::testing::TestWithParam<Index> {};

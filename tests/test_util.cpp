@@ -76,8 +76,8 @@ TEST(ArgParser, RejectsUnknownAndMalformed) {
   q.add_int("n", 1, "count");
   const char* bad_value[] = {"prog", "--n=abc"};
   ASSERT_TRUE(q.parse(2, bad_value));
-  EXPECT_THROW(q.get_int("n"), std::invalid_argument);
-  EXPECT_THROW(q.get_int("nope"), std::out_of_range);
+  EXPECT_THROW((void)q.get_int("n"), std::invalid_argument);
+  EXPECT_THROW((void)q.get_int("nope"), std::out_of_range);
 }
 
 TEST(RunningStats, MomentsMatchDirectComputation) {
