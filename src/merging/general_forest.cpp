@@ -33,7 +33,16 @@ Index GeneralMergeForest::add_stream(double time, Index parent) {
     ++roots_;
   }
   streams_.push_back(GeneralStream{time, parent});
-  cache_valid_ = false;
+  z_cache_.push_back(time);
+  // `time` is the forest's latest arrival, so it becomes z for every
+  // ancestor of the new stream. Walk the chain until an ancestor already
+  // carries it (another just-appended sibling at the same time), which
+  // makes growth O(depth) amortized instead of an O(n) rescan per query
+  // batch — build-then-query loops stay near-linear.
+  for (Index a = parent; a != -1 && z_cache_[index_of(a)] < time;
+       a = streams_[index_of(a)].parent) {
+    z_cache_[index_of(a)] = time;
+  }
   return size() - 1;
 }
 
@@ -42,51 +51,43 @@ const GeneralStream& GeneralMergeForest::stream(Index id) const {
   return streams_[index_of(id)];
 }
 
-void GeneralMergeForest::refresh_cache() const {
-  if (cache_valid_) return;
-  z_cache_.resize(streams_.size());
-  for (Index i = size() - 1; i >= 0; --i) {
-    z_cache_[index_of(i)] = streams_[index_of(i)].time;
-  }
-  for (Index i = size() - 1; i >= 1; --i) {
-    const Index p = streams_[index_of(i)].parent;
-    if (p != -1) {
-      z_cache_[index_of(p)] = std::max(z_cache_[index_of(p)], z_cache_[index_of(i)]);
-    }
-  }
-  cache_valid_ = true;
-}
-
 double GeneralMergeForest::last_descendant_time(Index id) const {
   if (id < 0 || id >= size()) {
     throw std::out_of_range("GeneralMergeForest::last_descendant_time");
   }
-  refresh_cache();
   return z_cache_[index_of(id)];
 }
 
-double GeneralMergeForest::stream_duration(Index id) const {
-  const GeneralStream& s = stream(id);
+double GeneralMergeForest::duration_unchecked(std::size_t id) const {
+  const GeneralStream& s = streams_[id];
   if (s.parent == -1) return media_length_;
-  refresh_cache();
-  const double z = z_cache_[index_of(id)];
-  const double p = streams_[index_of(s.parent)].time;
-  return 2.0 * z - s.time - p;  // Lemma 1 in continuous time
+  return 2.0 * z_cache_[id] - s.time - streams_[index_of(s.parent)].time;
+}
+
+double GeneralMergeForest::stream_duration(Index id) const {
+  if (id < 0 || id >= size()) {
+    throw std::out_of_range("GeneralMergeForest::stream_duration");
+  }
+  return duration_unchecked(index_of(id));
 }
 
 double GeneralMergeForest::total_cost() const {
+  // One flat pass over the stream and z arrays — no per-stream bounds
+  // or cache checks on this hot path (it closes every sim round).
   double total = 0.0;
-  for (Index i = 0; i < size(); ++i) total += stream_duration(i);
+  const std::size_t n = streams_.size();
+  for (std::size_t i = 0; i < n; ++i) total += duration_unchecked(i);
   return total;
 }
 
 Index GeneralMergeForest::peak_concurrency() const {
+  const std::size_t n = streams_.size();
   std::vector<std::pair<double, int>> events;
-  events.reserve(streams_.size() * 2);
-  for (Index i = 0; i < size(); ++i) {
-    const double start = streams_[index_of(i)].time;
+  events.reserve(n * 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double start = streams_[i].time;
     events.emplace_back(start, +1);
-    events.emplace_back(start + stream_duration(i), -1);
+    events.emplace_back(start + duration_unchecked(i), -1);
   }
   // Ends sort before starts at equal times (a zero-length overlap is not
   // an overlap).
@@ -104,15 +105,15 @@ Index GeneralMergeForest::peak_concurrency() const {
 }
 
 bool GeneralMergeForest::merges_complete_in_time() const {
-  refresh_cache();
-  for (Index i = 0; i < size(); ++i) {
-    const GeneralStream& s = streams_[index_of(i)];
+  const std::size_t n = streams_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const GeneralStream& s = streams_[i];
     if (s.parent == -1) continue;
-    const GeneralStream& par = streams_[index_of(s.parent)];
+    const std::size_t p = index_of(s.parent);
     // The subtree of i finishes merging into the parent at 2 z(i) - p;
     // the parent transmits until p + duration(parent).
-    const double merge_point = 2.0 * z_cache_[index_of(i)] - par.time;
-    const double parent_end = par.time + stream_duration(s.parent);
+    const double merge_point = 2.0 * z_cache_[i] - streams_[p].time;
+    const double parent_end = streams_[p].time + duration_unchecked(p);
     if (merge_point > parent_end + 1e-9) return false;
   }
   return true;

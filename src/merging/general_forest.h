@@ -46,8 +46,9 @@ class GeneralMergeForest {
   /// Media length.
   [[nodiscard]] double media_length() const noexcept { return media_length_; }
 
-  /// Last arrival time in the subtree of `id` (z in Lemma 1). O(n) on
-  /// first call after growth, cached until the forest grows again.
+  /// Last arrival time in the subtree of `id` (z in Lemma 1). O(1):
+  /// `add_stream` maintains the z values incrementally by walking the
+  /// new stream's ancestor chain, so queries never rescan the forest.
   [[nodiscard]] double last_descendant_time(Index id) const;
 
   /// Transmission duration of stream `id`: media length for roots,
@@ -70,13 +71,17 @@ class GeneralMergeForest {
   [[nodiscard]] bool merges_complete_in_time() const;
 
  private:
-  void refresh_cache() const;
+  /// Lemma-1 transmission duration of `id`, no bounds checks: callers
+  /// iterate validated index ranges over the flat arrays.
+  [[nodiscard]] double duration_unchecked(std::size_t id) const;
 
   double media_length_;
   std::vector<GeneralStream> streams_;
   Index roots_ = 0;
-  mutable std::vector<double> z_cache_;
-  mutable bool cache_valid_ = false;
+  /// z_cache_[i] = latest arrival in the subtree of i, maintained
+  /// incrementally on append (O(depth) amortized, and depth is bounded
+  /// by the L-tree band width for feasible forests).
+  std::vector<double> z_cache_;
 };
 
 }  // namespace smerge::merging

@@ -2,8 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "util/thread_pool.h"
 
 namespace smerge::merging {
 
@@ -20,7 +25,7 @@ void check_input(const std::vector<double>& t, double L, const char* fn) {
     throw std::invalid_argument(std::string(fn) + ": media length must be positive");
   }
   if (static_cast<Index>(t.size()) > kMaxGeneralArrivals) {
-    throw std::invalid_argument(std::string(fn) + ": too many arrivals (quadratic DP)");
+    throw std::invalid_argument(std::string(fn) + ": too many arrivals");
   }
   for (std::size_t i = 1; i < t.size(); ++i) {
     if (!(t[i - 1] < t[i])) {
@@ -30,127 +35,283 @@ void check_input(const std::vector<double>& t, double L, const char* fn) {
   }
 }
 
-// Shared state of the quadratic solver: interval costs M, max-argmin
-// splits K, and prefix forest costs G with their split points.
-struct Tables {
-  Index n = 0;
-  std::vector<double> m;   // n*n, M[i][j] at i*n+j
-  std::vector<Index> k;    // n*n, K[i][j]
-  std::vector<double> g;   // n+1 prefix costs
-  std::vector<Index> g_split;  // forest reconstruction
-
-  [[nodiscard]] double& M(Index i, Index j) { return m[index_of(i * n + j)]; }
-  [[nodiscard]] Index& K(Index i, Index j) { return k[index_of(i * n + j)]; }
+// The L-feasible band. M[i][j] can be finite only when t_j - t_i < L
+// (the root of [i..j] must still be transmitting at the last arrival),
+// so row i of the interval table holds columns [i, end[i]) only. Both
+// bounds are monotone in i, which also makes the set of rows covering a
+// fixed column j the contiguous range [row_lo[j], j].
+struct Band {
+  std::size_t n = 0;
+  std::size_t width = 0;              ///< max row width (incl. diagonal)
+  std::vector<std::size_t> end;       ///< row i spans columns [i, end[i])
+  std::vector<std::size_t> row_lo;    ///< first row whose band covers j
 };
 
-// Fills the interval tables using split-point monotonicity
-// (K[i][j-1] <= K[i][j] <= K[i+1][j]), the [6] quadratic scheme. The
-// L-tree constraint restricts feasible splits to the suffix where the
-// glue 2 t_j - t_h - t_i fits in L.
-Tables solve(const std::vector<double>& t, double L) {
-  Tables tab;
-  tab.n = static_cast<Index>(t.size());
-  const Index n = tab.n;
-  tab.m.assign(index_of(n * n), 0.0);
-  tab.k.assign(index_of(n * n), 0);
-
-  for (Index len = 1; len < n; ++len) {
-    for (Index i = 0; i + len < n; ++i) {
-      const Index j = i + len;
-      if (!(t[index_of(j)] - t[index_of(i)] < L - kFeasEps)) {
-        // The root cannot serve the last arrival: infeasible tree.
-        tab.M(i, j) = kInf;
-        tab.K(i, j) = j;
-        continue;
-      }
-      const Index lo = len == 1 ? i + 1 : std::max(i + 1, tab.K(i, j - 1));
-      const Index hi = len == 1 ? j : std::min(j, tab.K(i + 1, j));
-      double best = kInf;
-      Index best_h = j;
-      for (Index h = lo; h <= hi; ++h) {
-        const double glue =
-            2.0 * t[index_of(j)] - t[index_of(h)] - t[index_of(i)];
-        if (glue > L + kFeasEps) continue;  // last root child too long
-        const double left = h == i + 1 ? 0.0 : tab.M(i, h - 1);
-        const double right = tab.M(h, j);
-        const double cost = left + right + glue;
-        if (cost < best - kTieEps) {
-          best = cost;
-          best_h = h;
-        } else if (cost <= best + kTieEps) {
-          best_h = std::max(best_h, h);  // canonical: largest optimal split
-        }
-      }
-      tab.M(i, j) = best;
-      tab.K(i, j) = best_h;
-    }
+Band band_of(const std::vector<double>& t, double L) {
+  Band band;
+  band.n = t.size();
+  band.end.resize(band.n);
+  band.row_lo.resize(band.n);
+  std::size_t e = 0;
+  for (std::size_t i = 0; i < band.n; ++i) {
+    if (e < i + 1) e = i + 1;  // the diagonal is always stored
+    while (e < band.n && t[e] - t[i] < L - kFeasEps) ++e;
+    band.end[i] = e;
+    band.width = std::max(band.width, e - i);
   }
-
-  // Forest DP over prefixes.
-  tab.g.assign(index_of(n) + 1, kInf);
-  tab.g_split.assign(index_of(n) + 1, 0);
-  tab.g[0] = 0.0;
-  for (Index kk = 1; kk <= n; ++kk) {
-    for (Index m0 = 0; m0 < kk; ++m0) {
-      const double tree = m0 == kk - 1 ? 0.0 : tab.M(m0, kk - 1);
-      if (tree == kInf || tab.g[index_of(m0)] == kInf) continue;
-      const double cost = tab.g[index_of(m0)] + L + tree;
-      if (cost < tab.g[index_of(kk)] - kTieEps) {
-        tab.g[index_of(kk)] = cost;
-        tab.g_split[index_of(kk)] = m0;
-      }
-    }
+  std::size_t lo = 0;
+  for (std::size_t j = 0; j < band.n; ++j) {
+    while (lo < j && !(t[j] - t[lo] < L - kFeasEps)) ++lo;
+    band.row_lo[j] = lo;
   }
-  return tab;
+  return band;
 }
 
-// Parent assignment for the tree block [i..j] from the split table.
-void rebuild(const Tables& tab, Index i, Index j, std::vector<Index>& parent) {
-  if (i == j) return;
-  const Index h = tab.k[index_of(i * tab.n + j)];
-  parent[index_of(h)] = i;
-  if (h > i + 1) rebuild(tab, i, h - 1, parent);
-  rebuild(tab, h, j, parent);
+// One interval cell via the split-monotone scan (K[i][j-1] <= K[i][j]
+// <= K[i+1][j], the [6] Observation-4 property). `m_at`/`k_at` abstract
+// the storage so the full band table and the rolling window share the
+// scan; every (row, col) they are asked for lies inside the band
+// whenever (i, j) does, because t_{h-1} - t_i and t_j - t_h are both
+// bounded by t_j - t_i.
+struct CellResult {
+  double cost = kInf;
+  std::size_t split = 0;
+};
+
+template <typename MAt, typename KAt>
+CellResult solve_cell(const std::vector<double>& t, double L, std::size_t i,
+                      std::size_t j, const MAt& m_at, const KAt& k_at) {
+  const bool adjacent = j == i + 1;
+  const std::size_t lo = adjacent ? i + 1 : std::max(i + 1, k_at(i, j - 1));
+  const std::size_t hi = adjacent ? j : std::min(j, k_at(i + 1, j));
+  CellResult out;
+  out.split = j;
+  for (std::size_t h = lo; h <= hi; ++h) {
+    const double glue = 2.0 * t[j] - t[h] - t[i];
+    if (glue > L + kFeasEps) continue;  // last root child too long
+    const double left = h == i + 1 ? 0.0 : m_at(i, h - 1);
+    const double cost = left + m_at(h, j) + glue;
+    if (cost < out.cost - kTieEps) {
+      out.cost = cost;
+      out.split = h;
+    } else if (cost <= out.cost + kTieEps) {
+      out.split = std::max(out.split, h);  // canonical: largest optimal split
+    }
+  }
+  return out;
+}
+
+// Ragged band storage of the interval tables: cell (i, j) lives at
+// offset[i] + (j - i). All index arithmetic is std::size_t, so the
+// flattened position cannot overflow an Index even at the arrival cap
+// (the historical dense layout computed i*n+j in Index first).
+struct BandTable {
+  std::vector<std::size_t> offset;  ///< n+1 prefix sums of row widths
+  std::vector<double> m;
+  std::vector<std::int32_t> k;  ///< split indices; n < 2^31 by the cap
+
+  void allocate(const Band& band, const char* fn) {
+    offset.resize(band.n + 1);
+    offset[0] = 0;
+    for (std::size_t i = 0; i < band.n; ++i) {
+      offset[i + 1] = offset[i] + (band.end[i] - i);
+    }
+    if (offset[band.n] > kMaxGeneralBandCells) {
+      throw std::invalid_argument(
+          std::string(fn) + ": feasible band too large to materialize (" +
+          std::to_string(offset[band.n]) + " cells > " +
+          std::to_string(kMaxGeneralBandCells) +
+          "); the instance is too dense for its size — shorten the trace "
+          "or tighten L");
+    }
+    m.assign(offset[band.n], 0.0);
+    k.assign(offset[band.n], 0);
+  }
+
+  [[nodiscard]] std::size_t at(std::size_t i, std::size_t j) const {
+    return offset[i] + (j - i);
+  }
+};
+
+// Fills the band in diagonal wavefronts: every cell of length `len`
+// depends only on strictly shorter intervals (the split bounds K[i][j-1]
+// and K[i+1][j] are length len-1), so all rows of one wavefront are
+// independent and fan out over the shared ThreadPool. Serial and
+// threaded fills are bit-identical: each cell's scan is sequential and
+// self-contained.
+void fill_band(const std::vector<double>& t, double L, const Band& band,
+               BandTable& tab, unsigned threads) {
+  const auto m_at = [&tab](std::size_t a, std::size_t b) {
+    return tab.m[tab.at(a, b)];
+  };
+  const auto k_at = [&tab](std::size_t a, std::size_t b) {
+    return static_cast<std::size_t>(tab.k[tab.at(a, b)]);
+  };
+  // Below this many rows a wavefront is cheaper to fill inline than to
+  // dispatch (tests cross it deliberately to cover the pooled path).
+  constexpr std::int64_t kMinRowsForPool = 4096;
+  for (std::size_t len = 1; len < band.width; ++len) {
+    const auto rows = static_cast<std::int64_t>(band.n - len);
+    const auto body = [&, len](std::int64_t row) {
+      const auto i = static_cast<std::size_t>(row);
+      const std::size_t j = i + len;
+      if (j >= band.end[i]) return;  // outside the band: stays infeasible
+      const CellResult cell = solve_cell(t, L, i, j, m_at, k_at);
+      tab.m[tab.at(i, j)] = cell.cost;
+      tab.k[tab.at(i, j)] = static_cast<std::int32_t>(cell.split);
+    };
+    if (threads > 1 && rows >= kMinRowsForPool) {
+      util::ThreadPool::shared().run(0, rows, 1024, threads, body);
+    } else {
+      for (std::int64_t row = 0; row < rows; ++row) body(row);
+    }
+  }
+}
+
+// Forest DP over prefixes: g[kk] = min over root blocks [m0..kk-1]. The
+// band bounds the inner loop to the rows covering column kk-1, so the
+// prefix pass is O(sum w_i) like the fill (the dense original scanned
+// all m0 < kk).
+struct PrefixDP {
+  std::vector<double> g;
+  std::vector<std::size_t> split;
+};
+
+template <typename MAt>
+PrefixDP forest_dp(double L, const Band& band, const MAt& m_at) {
+  PrefixDP dp;
+  dp.g.assign(band.n + 1, kInf);
+  dp.split.assign(band.n + 1, 0);
+  dp.g[0] = 0.0;
+  for (std::size_t kk = 1; kk <= band.n; ++kk) {
+    const std::size_t j = kk - 1;
+    for (std::size_t m0 = band.row_lo[j]; m0 < kk; ++m0) {
+      const double tree = m0 == j ? 0.0 : m_at(m0, j);
+      if (tree == kInf || dp.g[m0] == kInf) continue;
+      const double cost = dp.g[m0] + L + tree;
+      if (cost < dp.g[kk] - kTieEps) {
+        dp.g[kk] = cost;
+        dp.split[kk] = m0;
+      }
+    }
+  }
+  return dp;
+}
+
+// Cost-only solve keeping a rolling window of the most recent rows:
+// row i is written at columns [i, end[i]) and never read after column
+// end[i]-1 < i + width, so a width x width ring (indexed i mod width)
+// holds every live cell — O(n + w^2) transient state independent of n.
+// Columns advance left to right; within a column rows fill bottom-up so
+// K[i+1][j] is ready when row i needs it, and the prefix DP consumes
+// column j before it can be overwritten.
+double rolling_cost(const std::vector<double>& t, double L, const Band& band) {
+  const std::size_t w = band.width;
+  std::vector<double> m(w * w, 0.0);
+  std::vector<std::int32_t> k(w * w, 0);
+  const auto at = [w](std::size_t i, std::size_t j) {
+    return (i % w) * w + (j - i);
+  };
+  const auto m_at = [&m, at](std::size_t a, std::size_t b) { return m[at(a, b)]; };
+  const auto k_at = [&k, at](std::size_t a, std::size_t b) {
+    return static_cast<std::size_t>(k[at(a, b)]);
+  };
+
+  std::vector<double> g(band.n + 1, kInf);
+  g[0] = 0.0;
+  for (std::size_t j = 0; j < band.n; ++j) {
+    m[at(j, j)] = 0.0;  // activate row j
+    for (std::size_t i = j; i-- > band.row_lo[j];) {
+      const CellResult cell = solve_cell(t, L, i, j, m_at, k_at);
+      m[at(i, j)] = cell.cost;
+      k[at(i, j)] = static_cast<std::int32_t>(cell.split);
+    }
+    for (std::size_t m0 = band.row_lo[j]; m0 <= j; ++m0) {
+      const double tree = m0 == j ? 0.0 : m_at(m0, j);
+      if (tree == kInf || g[m0] == kInf) continue;
+      const double cost = g[m0] + L + tree;
+      if (cost < g[j + 1] - kTieEps) g[j + 1] = cost;
+    }
+  }
+  return g[band.n];
 }
 
 }  // namespace
 
 GeneralOptimum optimal_general_forest(const std::vector<double>& arrivals,
-                                      double media_length) {
+                                      double media_length, unsigned threads) {
   check_input(arrivals, media_length, "optimal_general_forest");
   GeneralOptimum out{0.0, GeneralMergeForest(media_length)};
   if (arrivals.empty()) return out;
 
-  const Tables tab = solve(arrivals, media_length);
-  const Index n = tab.n;
-  if (tab.g[index_of(n)] == kInf) {
+  const Band band = band_of(arrivals, media_length);
+  BandTable tab;
+  tab.allocate(band, "optimal_general_forest");
+  fill_band(arrivals, media_length, band, tab, threads);
+  const auto m_at = [&tab](std::size_t a, std::size_t b) {
+    return tab.m[tab.at(a, b)];
+  };
+  const PrefixDP dp = forest_dp(media_length, band, m_at);
+  const std::size_t n = band.n;
+  if (dp.g[n] == kInf) {
     throw std::logic_error("optimal_general_forest: no feasible forest (unexpected)");
   }
-  out.cost = tab.g[index_of(n)];
+  out.cost = dp.g[n];
 
-  // Recover the root blocks, then each block's tree.
-  std::vector<Index> parent(index_of(n), -1);
-  std::vector<Index> blocks;  // block starts, reversed
-  for (Index kk = n; kk > 0; kk = tab.g_split[index_of(kk)]) {
-    blocks.push_back(tab.g_split[index_of(kk)]);
+  // Recover the root blocks, then each block's tree. The per-tree
+  // parent assignment walks the split table iteratively (trees can be
+  // hundreds of levels deep at large n; no recursion).
+  std::vector<Index> parent(n, -1);
+  std::vector<std::size_t> blocks;  // block starts, reversed
+  for (std::size_t kk = n; kk > 0; kk = dp.split[kk]) {
+    blocks.push_back(dp.split[kk]);
   }
   std::reverse(blocks.begin(), blocks.end());
+  std::vector<std::pair<std::size_t, std::size_t>> stack;
   for (std::size_t b = 0; b < blocks.size(); ++b) {
-    const Index i = blocks[b];
-    const Index j = (b + 1 < blocks.size() ? blocks[b + 1] : n) - 1;
-    if (i < j) rebuild(tab, i, j, parent);
+    const std::size_t i = blocks[b];
+    const std::size_t j = (b + 1 < blocks.size() ? blocks[b + 1] : n) - 1;
+    if (i < j) stack.emplace_back(i, j);
   }
-  for (Index x = 0; x < n; ++x) {
-    out.forest.add_stream(arrivals[index_of(x)], parent[index_of(x)]);
+  while (!stack.empty()) {
+    const auto [i, j] = stack.back();
+    stack.pop_back();
+    const auto h = static_cast<std::size_t>(tab.k[tab.at(i, j)]);
+    parent[h] = static_cast<Index>(i);
+    if (h > i + 1) stack.emplace_back(i, h - 1);
+    if (h < j) stack.emplace_back(h, j);
+  }
+  for (std::size_t x = 0; x < n; ++x) {
+    out.forest.add_stream(arrivals[x], parent[x]);
   }
   return out;
 }
 
-double optimal_general_cost(const std::vector<double>& arrivals, double media_length) {
+double optimal_general_cost(const std::vector<double>& arrivals,
+                            double media_length, unsigned threads) {
   check_input(arrivals, media_length, "optimal_general_cost");
   if (arrivals.empty()) return 0.0;
-  const Tables tab = solve(arrivals, media_length);
-  return tab.g[index_of(tab.n)];
+  const Band band = band_of(arrivals, media_length);
+  std::size_t total_cells = 0;
+  for (std::size_t i = 0; i < band.n; ++i) total_cells += band.end[i] - i;
+  const bool rolling_fits =
+      band.width * band.width <= kMaxGeneralBandCells;
+  // Materialize the band when the caller wants the fill fanned out (and
+  // it fits) or when the rolling ring itself would blow the cell cap
+  // (a dense instance, where materializing costs no more than the
+  // ring); otherwise stay on the rolling path — its memory is
+  // independent of n, so a huge-but-narrow instance that can never be
+  // materialized still solves serially rather than throwing.
+  if ((threads > 1 && total_cells <= kMaxGeneralBandCells) || !rolling_fits) {
+    BandTable tab;
+    tab.allocate(band, "optimal_general_cost");
+    fill_band(arrivals, media_length, band, tab, threads);
+    const auto m_at = [&tab](std::size_t a, std::size_t b) {
+      return tab.m[tab.at(a, b)];
+    };
+    return forest_dp(media_length, band, m_at).g[band.n];
+  }
+  return rolling_cost(arrivals, media_length, band);
 }
 
 double optimal_general_cost_cubic(const std::vector<double>& arrivals,
@@ -161,9 +322,9 @@ double optimal_general_cost_cubic(const std::vector<double>& arrivals,
   const double L = media_length;
   const auto& t = arrivals;
 
-  std::vector<double> m(index_of(n * n), 0.0);
+  std::vector<double> m(index_of(n) * index_of(n), 0.0);
   const auto M = [&m, n](Index i, Index j) -> double& {
-    return m[index_of(i * n + j)];
+    return m[index_of(i) * index_of(n) + index_of(j)];
   };
   for (Index len = 1; len < n; ++len) {
     for (Index i = 0; i + len < n; ++i) {
@@ -192,6 +353,72 @@ double optimal_general_cost_cubic(const std::vector<double>& arrivals,
     }
   }
   return g[index_of(n)];
+}
+
+double optimal_general_cost_dense(const std::vector<double>& arrivals,
+                                  double media_length) {
+  check_input(arrivals, media_length, "optimal_general_cost_dense");
+  const Index n = static_cast<Index>(arrivals.size());
+  if (n == 0) return 0.0;
+  if (n > kMaxGeneralArrivalsDense) {
+    throw std::invalid_argument(
+        "optimal_general_cost_dense: too many arrivals (dense quadratic oracle)");
+  }
+  const double L = media_length;
+  const auto& t = arrivals;
+
+  // The historical dense layout: two n*n tables filled with the same
+  // split-monotone scan the banded solver uses, kept verbatim as an
+  // oracle (and as the cpx_general_scaling "before" baseline).
+  const std::size_t un = index_of(n);
+  std::vector<double> m(un * un, 0.0);
+  std::vector<Index> k(un * un, 0);
+  const auto M = [&m, un](Index i, Index j) -> double& {
+    return m[index_of(i) * un + index_of(j)];
+  };
+  const auto K = [&k, un](Index i, Index j) -> Index& {
+    return k[index_of(i) * un + index_of(j)];
+  };
+  for (Index len = 1; len < n; ++len) {
+    for (Index i = 0; i + len < n; ++i) {
+      const Index j = i + len;
+      if (!(t[index_of(j)] - t[index_of(i)] < L - kFeasEps)) {
+        M(i, j) = kInf;
+        K(i, j) = j;
+        continue;
+      }
+      const Index lo = len == 1 ? i + 1 : std::max(i + 1, K(i, j - 1));
+      const Index hi = len == 1 ? j : std::min(j, K(i + 1, j));
+      double best = kInf;
+      Index best_h = j;
+      for (Index h = lo; h <= hi; ++h) {
+        const double glue =
+            2.0 * t[index_of(j)] - t[index_of(h)] - t[index_of(i)];
+        if (glue > L + kFeasEps) continue;
+        const double left = h == i + 1 ? 0.0 : M(i, h - 1);
+        const double cost = left + M(h, j) + glue;
+        if (cost < best - kTieEps) {
+          best = cost;
+          best_h = h;
+        } else if (cost <= best + kTieEps) {
+          best_h = std::max(best_h, h);
+        }
+      }
+      M(i, j) = best;
+      K(i, j) = best_h;
+    }
+  }
+  std::vector<double> g(un + 1, kInf);
+  g[0] = 0.0;
+  for (Index kk = 1; kk <= n; ++kk) {
+    for (Index m0 = 0; m0 < kk; ++m0) {
+      const double tree = m0 == kk - 1 ? 0.0 : M(m0, kk - 1);
+      if (tree == kInf || g[index_of(m0)] == kInf) continue;
+      const double cost = g[index_of(m0)] + L + tree;
+      if (cost < g[index_of(kk)] - kTieEps) g[index_of(kk)] = cost;
+    }
+  }
+  return g[un];
 }
 
 }  // namespace smerge::merging

@@ -14,23 +14,45 @@
 // so the L-tree constraint is enforced by skipping splits whose glue
 // exceeds L. A forest DP over prefixes adds the root costs.
 //
-// Two implementations are provided:
-//  * an O(n^2) DP using the monotonicity of the optimal split point
-//    (the Observation-4 property [6] exploits; the delay-guaranteed
-//    instance makes it visible as the I(n) interval table of Fig. 8), and
-//  * an O(n^3) plain interval DP used as ground truth in tests.
+// The L-tree constraint also *bounds the table*: M[i][j] is finite only
+// when t_j - t_i < L, i.e. only inside a ragged band of per-row width
+// w_i = #{j >= i : t_j - t_i < L}. The production solver therefore
+// stores and fills nothing outside the band — O(sum w_i) = O(n w) time
+// and memory where w = max_i w_i — and parallelizes each diagonal
+// wavefront of the fill over the shared util::ThreadPool (all cells of
+// one `len` depend only on shorter intervals, so they are independent).
+// The cost-only entry point additionally drops to a rolling window of
+// the most recent w rows (O(n + w^2) transient state), independent of n.
+//
+// Two dense reference implementations are kept as test oracles:
+//  * the historical O(n^2) split-monotone DP (the Observation-4 property
+//    [6] exploits; the delay-guaranteed instance makes it visible as the
+//    I(n) interval table of Fig. 8), capped at kMaxGeneralArrivalsDense,
+//  * an O(n^3) plain interval DP with no monotonicity assumption.
+// The banded solver is bit-identical to both on feasible instances.
 #ifndef SMERGE_MERGING_OPTIMAL_GENERAL_H
 #define SMERGE_MERGING_OPTIMAL_GENERAL_H
 
+#include <cstddef>
 #include <vector>
 
 #include "merging/general_forest.h"
 
 namespace smerge::merging {
 
-/// Largest instance the quadratic DP accepts (O(n^2) memory: two n*n
+/// Sanity cap on the number of arrivals the banded solver accepts (the
+/// real resource guard is kMaxGeneralBandCells below).
+inline constexpr Index kMaxGeneralArrivals = 1'000'000;
+
+/// Largest total band size (sum of per-row widths) the banded solver
+/// will materialize: 2^26 cells, ~0.75 GiB for the M + K tables. A
+/// fully dense band (every arrival within one media length) stays under
+/// this up to n ~ 11,500; a width-200 band up to n ~ 335,000.
+inline constexpr std::size_t kMaxGeneralBandCells = std::size_t{1} << 26;
+
+/// Largest instance the dense O(n^2) test oracle accepts (two n*n
 /// tables, ~64 MiB at the cap).
-inline constexpr Index kMaxGeneralArrivals = 2000;
+inline constexpr Index kMaxGeneralArrivalsDense = 2000;
 
 /// Result of the general off-line optimization.
 struct GeneralOptimum {
@@ -39,19 +61,32 @@ struct GeneralOptimum {
 };
 
 /// Computes an optimal feasible merge forest for the given strictly
-/// increasing arrival times. O(n^2) time and memory. Throws
-/// std::invalid_argument on unsorted/duplicate arrivals, non-positive L
-/// or more than kMaxGeneralArrivals arrivals.
+/// increasing arrival times. O(n w) time and memory (banded DP);
+/// `threads > 1` fans the fill's diagonal wavefronts out over the shared
+/// ThreadPool without changing the result. Throws std::invalid_argument
+/// on unsorted/duplicate arrivals, non-positive L, more than
+/// kMaxGeneralArrivals arrivals, or a band exceeding
+/// kMaxGeneralBandCells.
 [[nodiscard]] GeneralOptimum optimal_general_forest(const std::vector<double>& arrivals,
-                                                    double media_length);
+                                                    double media_length,
+                                                    unsigned threads = 1);
 
-/// Cost-only variant of `optimal_general_forest`.
+/// Cost-only variant of `optimal_general_forest`. With `threads <= 1`
+/// it keeps only a rolling window of band rows — O(n + w^2) transient
+/// memory — so instance size is bounded by time, not table storage.
 [[nodiscard]] double optimal_general_cost(const std::vector<double>& arrivals,
-                                          double media_length);
+                                          double media_length,
+                                          unsigned threads = 1);
 
 /// Ground-truth O(n^3) interval DP (no split-monotonicity assumption).
-/// Tests cross-check the quadratic solver against this.
+/// Tests cross-check the banded solver against this.
 [[nodiscard]] double optimal_general_cost_cubic(const std::vector<double>& arrivals,
+                                                double media_length);
+
+/// The historical dense O(n^2) split-monotone DP, retained as a second
+/// test oracle and as the "before" baseline of the cpx_general_scaling
+/// bench. Capped at kMaxGeneralArrivalsDense arrivals.
+[[nodiscard]] double optimal_general_cost_dense(const std::vector<double>& arrivals,
                                                 double media_length);
 
 }  // namespace smerge::merging

@@ -1,10 +1,9 @@
 #include "util/parallel.h"
 
 #include <algorithm>
-#include <exception>
-#include <mutex>
 #include <thread>
-#include <vector>
+
+#include "util/thread_pool.h"
 
 namespace smerge::util {
 
@@ -18,33 +17,16 @@ void parallel_for(std::int64_t begin, std::int64_t end,
                   unsigned threads) {
   if (begin >= end) return;
   const std::int64_t count = end - begin;
-  const auto workers = static_cast<std::int64_t>(std::max(1u, threads));
-  if (workers == 1 || count < 2) {
+  if (threads <= 1 || count < 2) {
     for (std::int64_t i = begin; i < end; ++i) body(i);
     return;
   }
-
-  const std::int64_t used = std::min<std::int64_t>(workers, count);
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<std::size_t>(used));
-  std::mutex error_mutex;
-  std::exception_ptr first_error;
-
-  for (std::int64_t w = 0; w < used; ++w) {
-    // Contiguous block partitioning: worker w handles [lo, hi).
-    const std::int64_t lo = begin + count * w / used;
-    const std::int64_t hi = begin + count * (w + 1) / used;
-    pool.emplace_back([&, lo, hi] {
-      try {
-        for (std::int64_t i = lo; i < hi; ++i) body(i);
-      } catch (...) {
-        const std::scoped_lock lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-      }
-    });
-  }
-  for (auto& t : pool) t.join();
-  if (first_error) std::rethrow_exception(first_error);
+  // Chunks a few times smaller than an even split keep stragglers busy
+  // when per-index work is uneven (typical for size-ladder sweeps).
+  const auto participants =
+      static_cast<std::int64_t>(std::max(1u, std::min(threads, 64u)));
+  const std::int64_t grain = std::max<std::int64_t>(1, count / (participants * 4));
+  ThreadPool::shared().run(begin, end, grain, threads, body);
 }
 
 }  // namespace smerge::util

@@ -41,8 +41,9 @@ TEST(BenchRegistry, AllMigratedBenchesAreRegistered) {
       "abl_buffer_sweep",     "abl_dyadic_params",
       "abl_general_offline",  "abl_hybrid",
       "abl_multi_object",     "cpx_general",
-      "cpx_offline",          "cpx_online",
-      "cpx_parallel_scaling", "fig01_delay_sweep",
+      "cpx_general_scaling",  "cpx_offline",
+      "cpx_online",           "cpx_parallel_scaling",
+      "fig01_delay_sweep",
       "fig08_root_intervals", "fig09_online_ratio",
       "fig11_constant_arrivals", "fig12_poisson_arrivals",
       "tab01_merge_cost",     "tab02_full_cost",
@@ -85,6 +86,33 @@ TEST(BenchRegistry, DeclaredSeriesAreEmittedWithData) {
       EXPECT_GE(it->values.size(), 2u)
           << run.spec->name << " series " << declared
           << " must keep >= 2 points even in --quick mode";
+    }
+  }
+}
+
+TEST(BenchRegistry, DataSeriesDeterministicAcrossThreadCounts) {
+  // The ThreadPool fan-out must not change what a bench computes: every
+  // non-timing series of the parallel_for-heavy data benches is
+  // bit-identical under --threads=1 and --threads=4. (Timing series
+  // cpx_* emit are inherently run-dependent and excluded.)
+  for (const std::string name :
+       {"abl_general_offline", "fig12_poisson_arrivals", "tab02_full_cost"}) {
+    const BenchSpec* spec = BenchRegistry::instance().find(name);
+    ASSERT_NE(spec, nullptr) << name;
+    BenchContext serial = quick_context();
+    serial.threads = 1;
+    BenchContext pooled = quick_context();
+    pooled.threads = 4;
+    const BenchRun a = smerge::bench::run_bench(*spec, serial);
+    const BenchRun b = smerge::bench::run_bench(*spec, pooled);
+    ASSERT_TRUE(a.error.empty()) << name << ": " << a.error;
+    ASSERT_TRUE(b.error.empty()) << name << ": " << b.error;
+    ASSERT_EQ(a.result.series.size(), b.result.series.size()) << name;
+    for (std::size_t s = 0; s < a.result.series.size(); ++s) {
+      EXPECT_EQ(a.result.series[s].name, b.result.series[s].name) << name;
+      EXPECT_EQ(a.result.series[s].values, b.result.series[s].values)
+          << name << " series " << a.result.series[s].name
+          << " differs between --threads=1 and --threads=4";
     }
   }
 }

@@ -6,7 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <random>
 #include <stdexcept>
 
 #include "core/full_cost.h"
@@ -109,6 +111,124 @@ TEST(OptimalGeneral, MatchesBatchedSlotGrid) {
   const double opt = optimal_general_cost(starts, 1.0);
   EXPECT_NEAR(opt, optimal_general_cost_cubic(starts, 1.0), 1e-9);
   EXPECT_LT(opt, static_cast<double>(starts.size()) * 1.0);
+}
+
+TEST(OptimalGeneral, BeyondTheOldDenseCap) {
+  // Regression for the historical hard cap (and the i*n+j flattening
+  // done in Index arithmetic): the banded solver must sail past the old
+  // kMaxGeneralArrivals = 2000 boundary and still reproduce the
+  // delay-guaranteed closed form on the slotted instance t_i = i.
+  for (const Index n : {2000, 2001, 2048}) {
+    const double L = 34.0;
+    EXPECT_DOUBLE_EQ(optimal_general_cost(slotted(n), L),
+                     static_cast<double>(full_cost(static_cast<Index>(L), n)))
+        << "n=" << n;
+  }
+  // The dense oracle keeps the old cap.
+  EXPECT_THROW((void)optimal_general_cost_dense(slotted(2001), 34.0),
+               std::invalid_argument);
+  EXPECT_DOUBLE_EQ(optimal_general_cost_dense(slotted(2000), 34.0),
+                   optimal_general_cost(slotted(2000), 34.0));
+}
+
+TEST(OptimalGeneral, BandCellCapGuardsDenseInstances) {
+  // ~11.6k arrivals all inside one media length: the band is the full
+  // triangle (> kMaxGeneralBandCells cells), which the materializing
+  // paths must refuse rather than allocate.
+  const std::size_t n = 11700;
+  std::vector<double> t(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    t[i] = 0.9 * static_cast<double>(i) / static_cast<double>(n);
+  }
+  EXPECT_THROW((void)optimal_general_forest(t, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)optimal_general_cost(t, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW((void)optimal_general_cost(t, 1.0), std::invalid_argument);
+}
+
+TEST(OptimalGeneral, ThreadedCostFallsBackToRollingWhenBandTooLarge) {
+  // A narrow band over many arrivals: sum of widths exceeds
+  // kMaxGeneralBandCells (no materialized table possible) while the
+  // w x w rolling ring is tiny. threads > 1 must fall back to the
+  // serial rolling path and still solve — on the slotted instance the
+  // delay-guaranteed closed form is the independent anchor.
+  const Index n = 700000;
+  const Index L = 100;  // slotted band width 100 -> 70M cells > 2^26
+  const std::vector<double> t = slotted(n);
+  const auto expected = static_cast<double>(full_cost(L, n));
+  EXPECT_DOUBLE_EQ(optimal_general_cost(t, static_cast<double>(L), 4), expected);
+}
+
+TEST(OptimalGeneral, ThreadedFillBitIdenticalToSerial) {
+  const std::vector<double> arrivals = sim::poisson_arrivals(0.08, 8.0, 99);
+  for (const double L : {0.3, 1.0, 2.5}) {
+    EXPECT_DOUBLE_EQ(optimal_general_cost(arrivals, L),
+                     optimal_general_cost(arrivals, L, 4))
+        << "L=" << L;
+    const GeneralOptimum serial = optimal_general_forest(arrivals, L);
+    const GeneralOptimum pooled = optimal_general_forest(arrivals, L, 4);
+    EXPECT_DOUBLE_EQ(serial.cost, pooled.cost) << "L=" << L;
+    for (Index i = 0; i < serial.forest.size(); ++i) {
+      EXPECT_EQ(serial.forest.stream(i).parent, pooled.forest.stream(i).parent)
+          << "L=" << L << " i=" << i;
+    }
+  }
+}
+
+TEST(OptimalGeneral, PooledWavefrontFillMatchesSerialAtScale) {
+  // Large enough that every early wavefront clears the fill's
+  // pool-dispatch threshold (4096 rows), so this actually runs the
+  // cross-thread chunked fill (the shared pool keeps >= 1 worker even
+  // on single-core hosts). Anchored to the closed form and to the
+  // serial fill, parent by parent.
+  const Index n = 8192;
+  const double L = 16.0;
+  const std::vector<double> t = slotted(n);
+  EXPECT_DOUBLE_EQ(optimal_general_cost(t, L, 4),
+                   static_cast<double>(full_cost(16, n)));
+  const GeneralOptimum serial = optimal_general_forest(t, L);
+  const GeneralOptimum pooled = optimal_general_forest(t, L, 4);
+  EXPECT_DOUBLE_EQ(serial.cost, pooled.cost);
+  for (Index i = 0; i < n; ++i) {
+    ASSERT_EQ(serial.forest.stream(i).parent, pooled.forest.stream(i).parent) << i;
+  }
+}
+
+TEST(OptimalGeneral, FuzzBandedMatchesCubicAndDenseOracles) {
+  // 540 random (arrivals, L) instances spanning the band-shape extremes:
+  // L so small every stream is a root (width-1 band), L so large the
+  // band is the whole table, and a mid regime where the constraint
+  // genuinely prunes. The banded solver must agree with the O(n^3)
+  // ground truth and the dense split-monotone oracle on all of them.
+  std::mt19937_64 rng(20260728);
+  std::uniform_int_distribution<std::size_t> size_dist(0, 24);
+  std::uniform_real_distribution<double> time_dist(0.0, 8.0);
+  int instances = 0;
+  for (int trial = 0; trial < 180; ++trial) {
+    const std::size_t n = size_dist(rng);
+    std::vector<double> t(n);
+    for (double& x : t) x = time_dist(rng);
+    std::sort(t.begin(), t.end());
+    t.erase(std::unique(t.begin(), t.end()), t.end());
+    for (const double L : {1e-6, 0.75, 100.0}) {
+      ++instances;
+      const double banded = optimal_general_cost(t, L);
+      const double cubic = optimal_general_cost_cubic(t, L);
+      const double dense = optimal_general_cost_dense(t, L);
+      EXPECT_NEAR(banded, cubic, 1e-9 * std::max(1.0, cubic))
+          << "trial=" << trial << " n=" << t.size() << " L=" << L;
+      EXPECT_DOUBLE_EQ(banded, dense)
+          << "trial=" << trial << " n=" << t.size() << " L=" << L;
+      // The forest must attain the cost it claims.
+      const GeneralOptimum opt = optimal_general_forest(t, L);
+      EXPECT_NEAR(opt.forest.total_cost(), banded, 1e-9)
+          << "trial=" << trial << " n=" << t.size() << " L=" << L;
+      if (L == 1e-6) {
+        // Every stream is its own root: n full streams.
+        EXPECT_EQ(opt.forest.num_roots(), static_cast<Index>(t.size()));
+      }
+    }
+  }
+  EXPECT_GE(instances, 500);
 }
 
 TEST(OptimalGeneral, Validation) {
