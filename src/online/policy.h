@@ -1,0 +1,120 @@
+// Pluggable on-line policies for the multi-object simulation engine.
+//
+// The engine (src/sim/engine.h) drives each media object through one
+// ObjectPolicy: arrivals are delivered in nondecreasing time order and
+// the policy answers by emitting admissions (arrival -> playback start)
+// and multicast streams (start + duration) into a PolicySink. Three of
+// the paper's algorithms plug in behind the same interface:
+//
+//  * DelayGuaranteedPolicy — Section 4.1, refactored out of
+//    online/delay_guaranteed + online/server: a stream per slot with
+//    template-tree truncation, demand-independent, wait <= delay;
+//  * BatchingPolicy — one full stream at the end of every nonempty
+//    delay-interval (the Theorem-14 baseline), wait <= delay;
+//  * GreedyMergePolicy — the (alpha,beta)-dyadic merger of Section 4.2,
+//    immediate (wait 0) or batched to slot ends (wait <= delay).
+//
+// Contract: on_arrival may only emit streams starting at or after the
+// current arrival time; finish may emit anywhere in [0, horizon] (used
+// by policies whose schedule is fixed, like Delay Guaranteed, or whose
+// stream truncations resolve only at the horizon, like the merger's).
+// Media length is the paper's normalized 1.0; delay and horizon are
+// fractions/multiples of it.
+#ifndef SMERGE_ONLINE_POLICY_H
+#define SMERGE_ONLINE_POLICY_H
+
+#include <memory>
+#include <string>
+
+#include "merging/dyadic.h"
+#include "online/delay_guaranteed.h"
+
+namespace smerge {
+
+/// Where a policy records its decisions; implemented by the engine.
+class PolicySink {
+ public:
+  virtual ~PolicySink() = default;
+  /// A multicast stream transmitting [start, start + duration).
+  virtual void start_stream(double start, double duration) = 0;
+  /// A client admission; wait = playback_start - arrival >= 0.
+  virtual void admit(double arrival, double playback_start) = 0;
+};
+
+/// Per-object policy state; one instance per simulated media object.
+class ObjectPolicy {
+ public:
+  virtual ~ObjectPolicy() = default;
+  /// One client arrival, times nondecreasing across calls. Must admit
+  /// the client; may emit streams starting at or after `time`.
+  virtual void on_arrival(double time, PolicySink& sink) = 0;
+  /// End of the run at `horizon`: flush fixed schedules and streams
+  /// whose truncation resolved late.
+  virtual void finish(double horizon, PolicySink& sink) = 0;
+};
+
+/// A policy family: a name plus a factory for per-object state.
+class OnlinePolicy {
+ public:
+  virtual ~OnlinePolicy() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// Called once, single-threaded, before any object policies exist —
+  /// the hook for shared precomputation (DG's template tree).
+  virtual void prepare(double delay, double horizon);
+  /// Fresh per-object state; called concurrently by engine shards, so
+  /// it must not mutate the policy object.
+  [[nodiscard]] virtual std::unique_ptr<ObjectPolicy> make_object_policy(
+      double delay, double horizon) const = 0;
+};
+
+/// Section 4.1: a stream per slot, truncated per the Fibonacci template
+/// tree; the cost is demand-independent and the wait is always < delay.
+/// Requires delay = 1/L for an integer L (the slotted model's premise);
+/// other delays throw from prepare/make_object_policy.
+class DelayGuaranteedPolicy final : public OnlinePolicy {
+ public:
+  [[nodiscard]] std::string name() const override;
+  void prepare(double delay, double horizon) override;
+  [[nodiscard]] std::unique_ptr<ObjectPolicy> make_object_policy(
+      double delay, double horizon) const override;
+
+  /// L = round(1/delay), the media length in slots (>= 1). Throws
+  /// std::invalid_argument unless delay is 1/L within rounding.
+  [[nodiscard]] static Index media_slots(double delay);
+
+ private:
+  std::shared_ptr<const DelayGuaranteedOnline> shared_;  ///< built in prepare
+};
+
+/// Batching alone: one full stream at the end of each nonempty
+/// delay-interval (no merging) — the Theorem-14 comparison point.
+class BatchingPolicy final : public OnlinePolicy {
+ public:
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<ObjectPolicy> make_object_policy(
+      double delay, double horizon) const override;
+};
+
+/// The (alpha,beta)-dyadic greedy merger, immediate or batched.
+class GreedyMergePolicy final : public OnlinePolicy {
+ public:
+  /// `batched` quantizes arrivals to the ends of delay-intervals before
+  /// merging (Section 4.2's batched variant); immediate serves at the
+  /// arrival instant with zero wait.
+  explicit GreedyMergePolicy(merging::DyadicParams params = {},
+                             bool batched = false);
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<ObjectPolicy> make_object_policy(
+      double delay, double horizon) const override;
+  [[nodiscard]] const merging::DyadicParams& params() const noexcept {
+    return params_;
+  }
+
+ private:
+  merging::DyadicParams params_;
+  bool batched_;
+};
+
+}  // namespace smerge
+
+#endif  // SMERGE_ONLINE_POLICY_H

@@ -5,6 +5,12 @@
 
 namespace smerge {
 
+Index dg_slot_of(double arrival_time, double slot_duration) {
+  const double slots = arrival_time / slot_duration;
+  const auto rounded = static_cast<Index>(std::ceil(slots - 1e-12));
+  return rounded == 0 ? Index{0} : rounded - 1;
+}
+
 DelayGuaranteedServer::DelayGuaranteedServer(Index media_slots, double slot_duration)
     : policy_(media_slots), table_(policy_), slot_duration_(slot_duration) {
   if (!(slot_duration > 0.0)) {
@@ -21,13 +27,7 @@ ClientTicket DelayGuaranteedServer::admit(double arrival_time) {
   }
   last_arrival_ = arrival_time;
 
-  // A client arriving during slot t (the interval (t*D, (t+1)*D]) is
-  // served by the stream starting at the slot's end. An arrival exactly
-  // on a boundary joins the stream starting right there (zero wait).
-  const double slots = arrival_time / slot_duration_;
-  const auto slot = static_cast<Index>(std::ceil(slots - 1e-12)) == 0
-                        ? Index{0}
-                        : static_cast<Index>(std::ceil(slots - 1e-12)) - 1;
+  const Index slot = dg_slot_of(arrival_time, slot_duration_);
   ClientTicket ticket;
   ticket.slot = slot;
   ticket.playback_start = static_cast<double>(slot + 1) * slot_duration_;

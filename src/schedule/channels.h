@@ -27,6 +27,30 @@ struct ChannelAssignment {
 /// exactly `schedule.peak_bandwidth()` channels (interval scheduling).
 [[nodiscard]] ChannelAssignment assign_channels(const StreamSchedule& schedule);
 
+/// A continuous-time transmission interval [start, end), the channel
+/// occupancy unit of the simulation engine (src/sim/engine.h).
+struct StreamInterval {
+  double start = 0.0;
+  double end = 0.0;
+};
+
+/// Greedy channel assignment over raw intervals, sorted by start time by
+/// the caller (ties allowed): the continuous-time analogue of the
+/// schedule overload, again using exactly the peak-overlap many channels.
+[[nodiscard]] ChannelAssignment assign_channels(
+    const std::vector<StreamInterval>& intervals);
+
+/// A +-1 occupancy edge at `time` (+1 = a stream starts, -1 = it ends).
+struct ChannelEvent {
+  double time = 0.0;
+  int delta = 0;
+};
+
+/// Peak simultaneous occupancy of the half-open intervals described by
+/// `events`. Sorts `events` in place (time ascending, ends before starts
+/// at equal times, so back-to-back hops reuse a channel).
+[[nodiscard]] Index peak_overlap(std::vector<ChannelEvent>& events);
+
 /// Renders a per-channel timeline: one row per channel listing the
 /// streams it carries as "name[start,end)" hops.
 [[nodiscard]] std::string render_channel_plan(const StreamSchedule& schedule,

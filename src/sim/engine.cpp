@@ -1,0 +1,223 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+#include <utility>
+
+#include "schedule/channels.h"
+#include "util/parallel.h"
+#include "util/stats.h"
+
+namespace smerge::sim {
+
+namespace {
+
+std::size_t index_of(Index x) { return static_cast<std::size_t>(x); }
+
+/// The engine-side PolicySink: records one object's client timeline and
+/// transmission intervals as +-1 channel events.
+class ShardSink final : public PolicySink {
+ public:
+  ShardSink(double delay, bool collect_intervals)
+      : delay_(delay), collect_intervals_(collect_intervals) {}
+
+  void start_stream(double start, double duration) override {
+    if (start < 0.0 || !(duration >= 0.0)) {
+      throw std::invalid_argument("engine: policy emitted a bad stream interval");
+    }
+    ++outcome.streams;
+    outcome.cost += duration;
+    events.push_back({start, +1});
+    events.push_back({start + duration, -1});
+    if (collect_intervals_) intervals.push_back({start, start + duration});
+  }
+
+  void admit(double arrival, double playback_start) override {
+    double wait = playback_start - arrival;
+    if (wait < 0.0) {
+      if (wait < -1e-9) {
+        throw std::invalid_argument("engine: playback before arrival");
+      }
+      wait = 0.0;  // boundary rounding, not time travel
+    }
+    waits.push_back(wait);
+    wait_sum += wait;
+    if (wait > outcome.max_wait) outcome.max_wait = wait;
+    if (violates_guarantee(wait, delay_)) ++outcome.violations;
+  }
+
+  ObjectOutcome outcome;
+  std::vector<ChannelEvent> events;
+  std::vector<StreamInterval> intervals;
+  std::vector<double> waits;
+  double wait_sum = 0.0;
+
+ private:
+  double delay_;
+  bool collect_intervals_;
+};
+
+/// One object's completed shard: outcome + time-ordered channel events.
+struct Shard {
+  ObjectOutcome outcome;
+  std::vector<ChannelEvent> events;  ///< sorted (time, ends-before-starts)
+  std::vector<StreamInterval> intervals;  ///< sorted by start (collected only)
+  std::vector<double> waits;         ///< in arrival order
+  double wait_sum = 0.0;
+};
+
+/// Simulates one object: a pure function of (config, object, weight),
+/// safe to run on any shard thread.
+Shard simulate_object(const EngineConfig& config, const OnlinePolicy& policy,
+                      Index object, double weight) {
+  const std::vector<double> arrivals =
+      generate_arrivals(config.workload, object, weight);
+  const std::unique_ptr<ObjectPolicy> state =
+      policy.make_object_policy(config.delay, config.workload.horizon);
+
+  ShardSink sink(config.delay, config.collect_stream_intervals);
+  for (const double t : arrivals) state->on_arrival(t, sink);
+  state->finish(config.workload.horizon, sink);
+
+  Shard shard;
+  shard.outcome = sink.outcome;
+  shard.outcome.arrivals = static_cast<Index>(arrivals.size());
+  shard.events = std::move(sink.events);
+  shard.intervals = std::move(sink.intervals);
+  shard.waits = std::move(sink.waits);
+  shard.wait_sum = sink.wait_sum;
+  // peak_overlap sorts the events — the order the global merge relies on.
+  shard.outcome.peak_concurrency = peak_overlap(shard.events);
+  std::stable_sort(shard.intervals.begin(), shard.intervals.end(),
+                   [](const StreamInterval& a, const StreamInterval& b) {
+                     return a.start < b.start;
+                   });
+  return shard;
+}
+
+/// A position in one shard's sorted event sequence (k-way merge input).
+struct Cursor {
+  const ChannelEvent* it = nullptr;
+  const ChannelEvent* end = nullptr;
+  Index object = 0;
+};
+
+}  // namespace
+
+bool violates_guarantee(double wait, double delay) noexcept {
+  // Absolute + relative slack: admissions sit on slot boundaries
+  // computed in floating point, so an exact comparison against `delay`
+  // would flag rounding, not policy bugs.
+  return wait > delay * (1.0 + 1e-9) + 1e-12;
+}
+
+EngineResult run_engine(const EngineConfig& config, OnlinePolicy& policy) {
+  validate(config.workload);
+  if (config.threads < 1) {
+    throw std::invalid_argument("engine: threads must be >= 1");
+  }
+  if (config.channel_capacity < 0) {
+    throw std::invalid_argument("engine: channel_capacity must be >= 0");
+  }
+  // Single-threaded shared precomputation; also validates delay/horizon.
+  policy.prepare(config.delay, config.workload.horizon);
+
+  const std::vector<double> weights =
+      zipf_weights(config.workload.objects, config.workload.zipf_exponent);
+  const auto n_objects = index_of(config.workload.objects);
+
+  // Shard objects across the pool. Each shard is independent and
+  // deterministic, and lands in its own slot, so the fan-out width
+  // cannot change any result bit.
+  std::vector<Shard> shards(n_objects);
+  util::parallel_for(
+      0, static_cast<std::int64_t>(n_objects),
+      [&](std::int64_t i) {
+        const auto m = static_cast<std::size_t>(i);
+        shards[m] =
+            simulate_object(config, policy, static_cast<Index>(i), weights[m]);
+      },
+      config.threads);
+
+  // --- Deterministic serial reduction, in object order. ---
+  EngineResult result;
+  result.per_object.reserve(n_objects);
+  std::size_t total_waits = 0;
+  for (const Shard& shard : shards) {
+    result.total_arrivals += shard.outcome.arrivals;
+    result.total_streams += shard.outcome.streams;
+    result.streams_served += shard.outcome.cost;
+    result.guarantee_violations += shard.outcome.violations;
+    if (shard.outcome.max_wait > result.wait.max) {
+      result.wait.max = shard.outcome.max_wait;
+    }
+    result.per_object.push_back(shard.outcome);
+    total_waits += shard.waits.size();
+  }
+
+  // Server-wide channel occupancy: one time-ordered event queue over all
+  // objects' sorted event sequences (k-way merge; ties broken end-first,
+  // then by object id, so the scan order is fully specified).
+  const auto cmp = [](const Cursor& a, const Cursor& b) {
+    if (a.it->time != b.it->time) return a.it->time > b.it->time;
+    if (a.it->delta != b.it->delta) return a.it->delta > b.it->delta;
+    return a.object > b.object;
+  };
+  std::priority_queue<Cursor, std::vector<Cursor>, decltype(cmp)> queue(cmp);
+  for (std::size_t m = 0; m < shards.size(); ++m) {
+    if (!shards[m].events.empty()) {
+      queue.push(Cursor{shards[m].events.data(),
+                        shards[m].events.data() + shards[m].events.size(),
+                        static_cast<Index>(m)});
+    }
+  }
+  Index depth = 0;
+  while (!queue.empty()) {
+    Cursor cursor = queue.top();
+    queue.pop();
+    depth += cursor.it->delta;
+    if (depth > result.peak_concurrency) result.peak_concurrency = depth;
+    if (config.channel_capacity > 0 && cursor.it->delta > 0 &&
+        depth > config.channel_capacity) {
+      ++result.capacity_violations;
+    }
+    if (++cursor.it != cursor.end) queue.push(cursor);
+  }
+
+  // Channel-plan input: all intervals, globally start-ordered. The
+  // stable sort over the object-ordered concatenation keeps ties in
+  // object-id order, so the plan is deterministic too.
+  if (config.collect_stream_intervals) {
+    result.stream_intervals.reserve(static_cast<std::size_t>(result.total_streams));
+    for (const Shard& shard : shards) {
+      result.stream_intervals.insert(result.stream_intervals.end(),
+                                     shard.intervals.begin(),
+                                     shard.intervals.end());
+    }
+    std::stable_sort(result.stream_intervals.begin(),
+                     result.stream_intervals.end(),
+                     [](const StreamInterval& a, const StreamInterval& b) {
+                       return a.start < b.start;
+                     });
+  }
+
+  // Exact delay percentiles over every client of the run.
+  if (total_waits > 0) {
+    std::vector<double> all_waits;
+    all_waits.reserve(total_waits);
+    double wait_sum = 0.0;
+    for (const Shard& shard : shards) {
+      all_waits.insert(all_waits.end(), shard.waits.begin(), shard.waits.end());
+      wait_sum += shard.wait_sum;
+    }
+    std::sort(all_waits.begin(), all_waits.end());
+    result.wait.mean = wait_sum / static_cast<double>(total_waits);
+    result.wait.p50 = util::quantile_sorted(all_waits, 0.50);
+    result.wait.p95 = util::quantile_sorted(all_waits, 0.95);
+    result.wait.p99 = util::quantile_sorted(all_waits, 0.99);
+  }
+  return result;
+}
+
+}  // namespace smerge::sim

@@ -1,0 +1,101 @@
+// The discrete-event multi-object simulation engine.
+//
+// One run drives a catalogue of N media objects (each of normalized
+// length 1.0) under a pluggable on-line policy (src/online/policy.h) and
+// a pluggable workload (src/sim/workload.h):
+//
+//  1. Per object, a discrete-event loop delivers the object's arrivals
+//     to its ObjectPolicy in time order; the admissions become the
+//     per-client timeline (arrival -> playback start -> wait) and every
+//     stream the policy schedules becomes a +-1 channel-event pair,
+//     time-ordered within the object.
+//  2. Objects are sharded over the persistent util::ThreadPool. Every
+//     shard is a pure function of (config, object) — the workload gives
+//     each object its own split RNG substream — so the sharding is
+//     embarrassingly parallel AND the result is bit-identical for any
+//     thread count.
+//  3. A deterministic serial reduction merges the per-object event
+//     sequences through one time-ordered queue (k-way merge) to compute
+//     the server-wide channel occupancy: peak concurrent channels and,
+//     when a channel capacity is configured, the number of stream starts
+//     that found the server saturated. Waits reduce to exact delay
+//     percentiles (p50/p95/p99/max) and guarantee-violation counts.
+//
+// The engine is the ROADMAP's scenario substrate: a new experiment is a
+// workload or policy plug-in, not a hand-rolled loop.
+#ifndef SMERGE_SIM_ENGINE_H
+#define SMERGE_SIM_ENGINE_H
+
+#include <vector>
+
+#include "online/policy.h"
+#include "schedule/channels.h"
+#include "sim/workload.h"
+
+namespace smerge::sim {
+
+/// One engine run: workload x policy x server model.
+struct EngineConfig {
+  WorkloadConfig workload;
+  double delay = 0.01;         ///< guaranteed start-up delay (fraction of media)
+  Index channel_capacity = 0;  ///< server channels; 0 = unbounded
+  unsigned threads = 1;        ///< object-shard fan-out width
+  /// Also return every transmission interval (start-ordered), the input
+  /// `assign_channels` needs for a concrete channel plan. Off by
+  /// default: it is O(total streams) extra memory.
+  bool collect_stream_intervals = false;
+};
+
+/// Exact client start-up delay distribution (nearest-rank percentiles).
+struct DelayProfile {
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+/// Per-object outcome (index = object id).
+struct ObjectOutcome {
+  Index arrivals = 0;
+  Index streams = 0;
+  double cost = 0.0;            ///< transmitted media units (media length 1.0)
+  double max_wait = 0.0;
+  Index peak_concurrency = 0;   ///< this object's own channel peak
+  Index violations = 0;         ///< clients whose wait exceeded the delay
+
+  friend bool operator==(const ObjectOutcome&, const ObjectOutcome&) = default;
+};
+
+/// Aggregate outcome of a run. Deterministic for a fixed config —
+/// including `threads`, which never changes any field.
+struct EngineResult {
+  Index total_arrivals = 0;
+  Index total_streams = 0;
+  double streams_served = 0.0;      ///< total cost / media length
+  DelayProfile wait;
+  Index peak_concurrency = 0;       ///< server-wide channel peak
+  Index guarantee_violations = 0;   ///< sum of per-object violations
+  Index capacity_violations = 0;    ///< stream starts above channel_capacity
+  std::vector<ObjectOutcome> per_object;
+  /// All transmission intervals sorted by start time (deterministic:
+  /// ties keep object-id order); empty unless
+  /// `EngineConfig::collect_stream_intervals` is set. Feed to
+  /// `assign_channels` for a physical channel plan.
+  std::vector<StreamInterval> stream_intervals;
+};
+
+/// True when `wait` exceeds `delay` beyond floating-point slot-boundary
+/// rounding — the single definition of a guarantee violation, shared by
+/// the engine, the benches and the tests.
+[[nodiscard]] bool violates_guarantee(double wait, double delay) noexcept;
+
+/// Runs the simulation. `policy.prepare(delay, horizon)` is invoked
+/// once (single-threaded) before objects are sharded. Throws
+/// std::invalid_argument on a bad config.
+[[nodiscard]] EngineResult run_engine(const EngineConfig& config,
+                                      OnlinePolicy& policy);
+
+}  // namespace smerge::sim
+
+#endif  // SMERGE_SIM_ENGINE_H

@@ -1,117 +1,48 @@
 #include "sim/multi_object.h"
 
-#include <algorithm>
-#include <cmath>
-#include <random>
-#include <stdexcept>
-
-#include "merging/batching.h"
-#include "online/delay_guaranteed.h"
-#include "sim/arrivals.h"
+#include "sim/engine.h"
 
 namespace smerge::sim {
 
-namespace {
+MultiObjectResult run_multi_object(const MultiObjectConfig& config, Policy policy,
+                                   unsigned threads) {
+  EngineConfig engine_config;
+  engine_config.workload.process = ArrivalProcess::kPoisson;
+  engine_config.workload.objects = config.objects;
+  engine_config.workload.zipf_exponent = config.zipf_exponent;
+  engine_config.workload.mean_gap = config.mean_gap;
+  engine_config.workload.horizon = config.horizon;
+  engine_config.workload.seed = config.seed;
+  engine_config.delay = config.delay;
+  engine_config.threads = threads;
 
-std::size_t index_of(Index x) { return static_cast<std::size_t>(x); }
-
-void add_window_events(std::vector<std::pair<double, int>>& events, double start,
-                       double duration) {
-  events.emplace_back(start, +1);
-  events.emplace_back(start + duration, -1);
-}
-
-Index sweep_peak(std::vector<std::pair<double, int>>& events) {
-  std::sort(events.begin(), events.end(), [](const auto& a, const auto& b) {
-    if (a.first != b.first) return a.first < b.first;
-    return a.second < b.second;
-  });
-  Index depth = 0;
-  Index peak = 0;
-  for (const auto& [t, delta] : events) {
-    depth += delta;
-    peak = std::max(peak, depth);
-  }
-  return peak;
-}
-
-}  // namespace
-
-std::vector<double> zipf_weights(Index objects, double exponent) {
-  if (objects < 1) throw std::invalid_argument("zipf_weights: objects >= 1");
-  std::vector<double> w(index_of(objects));
-  double sum = 0.0;
-  for (Index i = 0; i < objects; ++i) {
-    w[index_of(i)] = 1.0 / std::pow(static_cast<double>(i + 1), exponent);
-    sum += w[index_of(i)];
-  }
-  for (double& x : w) x /= sum;
-  return w;
-}
-
-MultiObjectResult run_multi_object(const MultiObjectConfig& config, Policy policy) {
-  if (!(config.delay > 0.0) || config.delay > 1.0) {
-    throw std::invalid_argument("run_multi_object: delay must be in (0, 1]");
-  }
-  // Aggregate Poisson arrivals, then a categorical object choice per
-  // arrival — equivalent to independent thinned Poisson processes.
-  const std::vector<double> all =
-      poisson_arrivals(config.mean_gap, config.horizon, config.seed);
-  const std::vector<double> weights = zipf_weights(config.objects, config.zipf_exponent);
-  std::mt19937_64 rng(config.seed ^ 0x9e3779b97f4a7c15ULL);
-  std::discrete_distribution<int> pick(weights.begin(), weights.end());
-
-  std::vector<std::vector<double>> per_object(index_of(config.objects));
-  for (const double t : all) {
-    per_object[static_cast<std::size_t>(pick(rng))].push_back(t);
-  }
-
-  MultiObjectResult result;
-  result.per_object.resize(index_of(config.objects), 0.0);
-  result.arrivals_per_object.resize(index_of(config.objects), 0);
-  std::vector<std::pair<double, int>> events;
-
-  const double D = config.delay;
-  const Index L = std::max<Index>(1, static_cast<Index>(std::llround(1.0 / D)));
-
-  for (Index m = 0; m < config.objects; ++m) {
-    const std::vector<double>& arrivals = per_object[index_of(m)];
-    result.arrivals_per_object[index_of(m)] = static_cast<Index>(arrivals.size());
-    double cost = 0.0;
-
+  const EngineResult outcome = [&] {
     switch (policy) {
       case Policy::kDelayGuaranteed: {
-        // DG transmits on every slot regardless of demand.
-        const DelayGuaranteedOnline dg(L);
-        const Index n = static_cast<Index>(
-            std::llround(config.horizon * static_cast<double>(L)));
-        cost = static_cast<double>(dg.cost(n)) / static_cast<double>(L);
-        for (Index t = 0; t < n; ++t) {
-          add_window_events(events, static_cast<double>(t + 1) * D,
-                            static_cast<double>(dg.stream_length(t, n)) * D);
-        }
-        break;
+        DelayGuaranteedPolicy dg;
+        return run_engine(engine_config, dg);
+      }
+      case Policy::kDyadicBatched: {
+        GreedyMergePolicy batched(merging::DyadicParams{}, /*batched=*/true);
+        return run_engine(engine_config, batched);
       }
       case Policy::kDyadicImmediate:
-      case Policy::kDyadicBatched: {
-        merging::DyadicMerger merger(1.0, merging::DyadicParams{});
-        const std::vector<double> feed =
-            policy == Policy::kDyadicImmediate
-                ? arrivals
-                : merging::batch_arrivals(arrivals, D);
-        for (const double t : feed) merger.arrive(t);
-        const merging::GeneralMergeForest& forest = merger.forest();
-        cost = forest.total_cost();
-        for (Index i = 0; i < forest.size(); ++i) {
-          add_window_events(events, forest.stream(i).time, forest.stream_duration(i));
-        }
-        break;
+      default: {
+        GreedyMergePolicy immediate(merging::DyadicParams{}, /*batched=*/false);
+        return run_engine(engine_config, immediate);
       }
     }
-    result.per_object[index_of(m)] = cost;
-    result.streams_served += cost;
+  }();
+
+  MultiObjectResult result;
+  result.streams_served = outcome.streams_served;
+  result.peak_concurrency = outcome.peak_concurrency;
+  result.per_object.reserve(outcome.per_object.size());
+  result.arrivals_per_object.reserve(outcome.per_object.size());
+  for (const ObjectOutcome& object : outcome.per_object) {
+    result.per_object.push_back(object.cost);
+    result.arrivals_per_object.push_back(object.arrivals);
   }
-  result.peak_concurrency = sweep_peak(events);
   return result;
 }
 

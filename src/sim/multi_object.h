@@ -6,16 +6,17 @@
 // Delay Guaranteed algorithm caps the *peak* bandwidth (it never starts
 // more than one stream per object per slot and never declines a request).
 //
-// This module simulates M objects with Zipf-distributed popularity under
-// a shared Poisson arrival process and compares per-object policies by
-// aggregate bandwidth and aggregate peak concurrency.
+// This module is now a thin adapter over the discrete-event engine
+// (src/sim/engine.h): it maps the historical per-object `Policy` enum to
+// the pluggable OnlinePolicy implementations and a Zipf/Poisson workload,
+// preserving the original comparison API for the Section-5 ablation.
 #ifndef SMERGE_SIM_MULTI_OBJECT_H
 #define SMERGE_SIM_MULTI_OBJECT_H
 
 #include <cstdint>
 #include <vector>
 
-#include "sim/experiment.h"
+#include "sim/workload.h"
 
 namespace smerge::sim {
 
@@ -44,13 +45,12 @@ struct MultiObjectResult {
   std::vector<Index> arrivals_per_object;
 };
 
-/// Runs the simulation under `policy`. Deterministic for a fixed config.
+/// Runs the simulation under `policy` through the discrete-event engine.
+/// Deterministic for a fixed config (any `threads`); `threads` widens
+/// the engine's object sharding.
 [[nodiscard]] MultiObjectResult run_multi_object(const MultiObjectConfig& config,
-                                                 Policy policy);
-
-/// Zipf popularity weights for M objects with the given exponent,
-/// normalized to sum to 1 (object 0 most popular).
-[[nodiscard]] std::vector<double> zipf_weights(Index objects, double exponent);
+                                                 Policy policy,
+                                                 unsigned threads = 1);
 
 }  // namespace smerge::sim
 

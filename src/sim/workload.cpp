@@ -1,0 +1,173 @@
+#include "sim/workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace smerge::sim {
+
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+std::size_t index_of(Index x) { return static_cast<std::size_t>(x); }
+
+/// Homogeneous Poisson arrivals at rate `rate` on (0, horizon].
+void poisson_into(std::vector<double>& out, util::SplitMix64& rng, double rate,
+                  double horizon) {
+  const double mean = 1.0 / rate;
+  for (double t = rng.next_exponential(mean); t <= horizon;
+       t += rng.next_exponential(mean)) {
+    out.push_back(t);
+  }
+}
+
+/// Inhomogeneous Poisson arrivals by thinning: candidates at `peak_rate`,
+/// kept with probability rate(t) / peak_rate. `accept` returns that
+/// probability; it must never exceed 1.
+template <typename AcceptFn>
+void thinned_into(std::vector<double>& out, util::SplitMix64& rng,
+                  double peak_rate, double horizon, AcceptFn accept) {
+  const double mean = 1.0 / peak_rate;
+  for (double t = rng.next_exponential(mean); t <= horizon;
+       t += rng.next_exponential(mean)) {
+    // One uniform per candidate, drawn unconditionally so the candidate
+    // stream and the thinning stream stay aligned.
+    if (rng.next_double() < accept(t)) out.push_back(t);
+  }
+}
+
+}  // namespace
+
+const char* to_string(ArrivalProcess process) noexcept {
+  switch (process) {
+    case ArrivalProcess::kPoisson: return "poisson";
+    case ArrivalProcess::kConstantRate: return "constant-rate";
+    case ArrivalProcess::kFlashCrowd: return "flash-crowd";
+    case ArrivalProcess::kDiurnal: return "diurnal";
+  }
+  return "unknown";
+}
+
+std::vector<double> zipf_weights(Index objects, double exponent) {
+  if (objects < 1) throw std::invalid_argument("zipf_weights: objects >= 1");
+  std::vector<double> w(index_of(objects));
+  double sum = 0.0;
+  for (Index i = 0; i < objects; ++i) {
+    w[index_of(i)] = 1.0 / std::pow(static_cast<double>(i + 1), exponent);
+    sum += w[index_of(i)];
+  }
+  for (double& x : w) x /= sum;
+  return w;
+}
+
+void validate(const WorkloadConfig& config) {
+  if (config.objects < 1) {
+    throw std::invalid_argument("workload: objects must be >= 1");
+  }
+  if (!(config.mean_gap > 0.0)) {
+    throw std::invalid_argument("workload: mean_gap must be positive");
+  }
+  if (config.horizon < 0.0) {
+    throw std::invalid_argument("workload: horizon must be nonnegative");
+  }
+  if (config.process == ArrivalProcess::kFlashCrowd) {
+    if (config.burst_duration < 0.0 || !(config.burst_multiplier >= 1.0)) {
+      throw std::invalid_argument(
+          "workload: flash crowd needs burst_duration >= 0 and multiplier >= 1");
+    }
+  }
+  if (config.process == ArrivalProcess::kDiurnal) {
+    if (config.diurnal_amplitude < 0.0 || config.diurnal_amplitude >= 1.0 ||
+        !(config.diurnal_period > 0.0)) {
+      throw std::invalid_argument(
+          "workload: diurnal needs amplitude in [0, 1) and period > 0");
+    }
+  }
+}
+
+std::vector<double> generate_arrivals(const WorkloadConfig& config, Index object) {
+  const std::vector<double> weights =
+      zipf_weights(config.objects, config.zipf_exponent);
+  if (object < 0 || object >= config.objects) {
+    throw std::invalid_argument("generate_arrivals: object outside catalogue");
+  }
+  return generate_arrivals(config, object, weights[index_of(object)]);
+}
+
+std::vector<double> generate_arrivals(const WorkloadConfig& config, Index object,
+                                      double weight) {
+  validate(config);
+  if (object < 0 || object >= config.objects) {
+    throw std::invalid_argument("generate_arrivals: object outside catalogue");
+  }
+  if (!(weight > 0.0)) {
+    throw std::invalid_argument("generate_arrivals: weight must be positive");
+  }
+  const double rate = weight / config.mean_gap;
+
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(rate * config.horizon) + 8);
+  util::SplitMix64 rng =
+      util::SplitMix64(config.seed).split(static_cast<std::uint64_t>(object));
+
+  switch (config.process) {
+    case ArrivalProcess::kConstantRate: {
+      const double gap = 1.0 / rate;
+      for (double t = gap; t <= config.horizon; t += gap) out.push_back(t);
+      break;
+    }
+    case ArrivalProcess::kPoisson:
+      poisson_into(out, rng, rate, config.horizon);
+      break;
+    case ArrivalProcess::kFlashCrowd: {
+      const double lo = config.burst_start;
+      const double hi = config.burst_start + config.burst_duration;
+      const double mult = config.burst_multiplier;
+      thinned_into(out, rng, rate * mult, config.horizon,
+                   [lo, hi, mult](double t) {
+                     return (t >= lo && t < hi) ? 1.0 : 1.0 / mult;
+                   });
+      break;
+    }
+    case ArrivalProcess::kDiurnal: {
+      const double amp = config.diurnal_amplitude;
+      const double period = config.diurnal_period;
+      thinned_into(out, rng, rate * (1.0 + amp), config.horizon,
+                   [amp, period](double t) {
+                     return (1.0 + amp * std::sin(kTwoPi * t / period)) /
+                            (1.0 + amp);
+                   });
+      break;
+    }
+  }
+  return out;
+}
+
+double expected_arrivals(const WorkloadConfig& config) {
+  validate(config);
+  const double base = config.horizon / config.mean_gap;
+  switch (config.process) {
+    case ArrivalProcess::kConstantRate:
+    case ArrivalProcess::kPoisson:
+      return base;
+    case ArrivalProcess::kFlashCrowd: {
+      // The elevated window only matters where arrivals can occur:
+      // clamp it to (0, horizon] before integrating.
+      const double lo =
+          std::clamp(config.burst_start, 0.0, config.horizon);
+      const double hi = std::clamp(config.burst_start + config.burst_duration,
+                                   0.0, config.horizon);
+      return base + (config.burst_multiplier - 1.0) * (hi - lo) / config.mean_gap;
+    }
+    case ArrivalProcess::kDiurnal: {
+      // Integral of A sin(2 pi t / P) over [0, H].
+      const double phase = kTwoPi * config.horizon / config.diurnal_period;
+      return base + config.diurnal_amplitude * config.diurnal_period /
+                        kTwoPi * (1.0 - std::cos(phase)) / config.mean_gap;
+    }
+  }
+  return base;
+}
+
+}  // namespace smerge::sim

@@ -1,0 +1,90 @@
+// Pluggable workload generators for the multi-object simulation engine.
+//
+// A workload describes *who asks for what, when*: an arrival process in
+// continuous time (the paper's constant-rate and Poisson processes of
+// Section 4.2, plus a flash-crowd burst and a diurnal rate modulation
+// motivated by the heterogeneous-access and QoE literature) spread over
+// a catalogue of N media objects with Zipf-skewed popularity. Every
+// object draws from its own splittable RNG substream
+// (`util::SplitMix64::split(object)`), so the arrival trace of object m
+// is a pure function of (config, m) — independent of how objects are
+// sharded across threads, which is what makes whole runs reproducible
+// from a single seed.
+//
+// All quantities follow the paper's normalization: the media length is
+// 1.0 time unit, gaps and horizons are expressed in media lengths.
+#ifndef SMERGE_SIM_WORKLOAD_H
+#define SMERGE_SIM_WORKLOAD_H
+
+#include <cstdint>
+#include <vector>
+
+#include "fib/fibonacci.h"
+#include "util/rng.h"
+
+namespace smerge::sim {
+
+/// The shape of the client arrival process.
+enum class ArrivalProcess {
+  kPoisson,       ///< memoryless gaps around the mean (Fig. 12 setup)
+  kConstantRate,  ///< exact gaps (Fig. 11 setup)
+  kFlashCrowd,    ///< Poisson with a rate-multiplied burst window
+  kDiurnal,       ///< Poisson with sinusoidal rate-of-day modulation
+};
+
+/// Human-readable process name.
+[[nodiscard]] const char* to_string(ArrivalProcess process) noexcept;
+
+/// One workload: an arrival process over a Zipf-weighted catalogue.
+struct WorkloadConfig {
+  ArrivalProcess process = ArrivalProcess::kPoisson;
+  Index objects = 1;           ///< catalogue size N
+  double zipf_exponent = 1.0;  ///< popularity skew (0 = uniform)
+  double mean_gap = 0.01;      ///< aggregate mean inter-arrival gap
+  double horizon = 100.0;      ///< simulated time, in media lengths
+  std::uint64_t seed = 42;     ///< master seed; objects get substreams
+
+  // Flash crowd: inside [burst_start, burst_start + burst_duration) the
+  // arrival rate is multiplied by burst_multiplier.
+  double burst_start = 10.0;
+  double burst_duration = 2.0;
+  double burst_multiplier = 10.0;
+
+  // Diurnal: rate(t) = base * (1 + amplitude * sin(2*pi*t / period)).
+  double diurnal_amplitude = 0.5;  ///< in [0, 1)
+  double diurnal_period = 24.0;    ///< in media lengths
+};
+
+/// Zipf popularity weights for `objects` objects with the given exponent,
+/// normalized to sum to 1 (object 0 most popular). Throws
+/// std::invalid_argument when objects < 1.
+[[nodiscard]] std::vector<double> zipf_weights(Index objects, double exponent);
+
+/// Validates a workload config; throws std::invalid_argument with the
+/// offending field on failure.
+void validate(const WorkloadConfig& config);
+
+/// Sorted arrival times of one object on (0, horizon]. Deterministic:
+/// a pure function of (config, object), whatever thread calls it.
+/// Object m runs the process at rate zipf_weights[m] / mean_gap; for
+/// the Poisson-based processes this thinning is exact (the aggregate
+/// over all objects is the configured process at rate 1 / mean_gap);
+/// for constant rate each object is its own regular comb, matching the
+/// aggregate rate but not a single merged comb.
+[[nodiscard]] std::vector<double> generate_arrivals(const WorkloadConfig& config,
+                                                    Index object);
+
+/// Same, with the object's popularity weight already computed by the
+/// caller (the engine computes `zipf_weights` once per run instead of
+/// once per object).
+[[nodiscard]] std::vector<double> generate_arrivals(const WorkloadConfig& config,
+                                                    Index object, double weight);
+
+/// Expected aggregate arrival count over the horizon (all objects) —
+/// the mean of the process (a sanity anchor for sizing scenarios and
+/// for the generator statistics tests).
+[[nodiscard]] double expected_arrivals(const WorkloadConfig& config);
+
+}  // namespace smerge::sim
+
+#endif  // SMERGE_SIM_WORKLOAD_H

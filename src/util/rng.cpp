@@ -1,0 +1,32 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace smerge::util {
+
+namespace {
+
+// Finalizing mix (Stafford variant 13): decorrelates seed/key pairs so
+// substreams of adjacent keys share no low-bit structure.
+std::uint64_t mix64(std::uint64_t z) noexcept {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+double SplitMix64::next_exponential(double mean) noexcept {
+  return -mean * std::log(1.0 - next_double());
+}
+
+SplitMix64 SplitMix64::split(std::uint64_t key) const noexcept {
+  // Two rounds of mixing over (seed, key); a single round leaves seed 0
+  // with visibly correlated small-key substreams.
+  const std::uint64_t derived =
+      mix64(mix64(seed_ + 0x9e3779b97f4a7c15ULL) ^
+            mix64(key + 0xd1342543de82ef95ULL));
+  return SplitMix64(derived);
+}
+
+}  // namespace smerge::util

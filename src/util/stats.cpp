@@ -1,6 +1,7 @@
 #include "util/stats.h"
 
 #include <cmath>
+#include <stdexcept>
 
 namespace smerge::util {
 
@@ -37,6 +38,17 @@ void RunningStats::merge(const RunningStats& other) noexcept {
   n_ += other.n_;
   if (other.min_ < min_) min_ = other.min_;
   if (other.max_ > max_) max_ = other.max_;
+}
+
+double quantile_sorted(const std::vector<double>& sorted, double q) {
+  if (!(q >= 0.0) || q > 1.0) {
+    throw std::invalid_argument("quantile_sorted: q must lie in [0, 1]");
+  }
+  if (sorted.empty()) return 0.0;
+  const auto n = sorted.size();
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(n)));
+  return sorted[rank == 0 ? 0 : rank - 1];
 }
 
 }  // namespace smerge::util

@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <vector>
 
 namespace smerge::util {
 
@@ -40,6 +41,12 @@ class RunningStats {
   double min_ = std::numeric_limits<double>::infinity();
   double max_ = -std::numeric_limits<double>::infinity();
 };
+
+/// Exact nearest-rank q-quantile of `sorted` (ascending): the value at
+/// rank ceil(q * n). `sorted` MUST already be ascending (callers sort
+/// once and query several quantiles). Returns 0 for an empty vector;
+/// requires q in [0, 1].
+[[nodiscard]] double quantile_sorted(const std::vector<double>& sorted, double q);
 
 }  // namespace smerge::util
 

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "core/full_cost.h"
 #include "online/delay_guaranteed.h"
 
@@ -65,6 +67,42 @@ TEST(Channels, OnlineForestAssignment) {
   const ChannelAssignment asg = assign_channels(schedule);
   expect_valid(schedule, asg);
   EXPECT_EQ(asg.channels_used, schedule.peak_bandwidth());
+}
+
+TEST(Channels, IntervalOverloadMatchesPeakOverlap) {
+  // Continuous-time intervals from a small engine-style run: the greedy
+  // assignment must use exactly the peak-overlap many channels and keep
+  // channels conflict-free.
+  const std::vector<StreamInterval> intervals{
+      {0.0, 1.0}, {0.1, 0.4}, {0.2, 0.3}, {0.4, 0.9}, {1.0, 2.0}, {1.5, 1.8}};
+  const ChannelAssignment asg = assign_channels(intervals);
+  std::vector<ChannelEvent> events;
+  for (const StreamInterval& w : intervals) {
+    events.push_back({w.start, +1});
+    events.push_back({w.end, -1});
+  }
+  EXPECT_EQ(asg.channels_used, peak_overlap(events));
+  EXPECT_EQ(asg.channels_used, 3);
+  for (std::size_t a = 0; a < intervals.size(); ++a) {
+    for (std::size_t b = a + 1; b < intervals.size(); ++b) {
+      if (asg.channel_of[a] != asg.channel_of[b]) continue;
+      EXPECT_TRUE(intervals[a].end <= intervals[b].start ||
+                  intervals[b].end <= intervals[a].start);
+    }
+  }
+}
+
+TEST(Channels, IntervalOverloadRejectsUnsortedStarts) {
+  const std::vector<StreamInterval> unsorted{{1.0, 2.0}, {0.0, 3.0}};
+  EXPECT_THROW((void)assign_channels(unsorted), std::invalid_argument);
+}
+
+TEST(Channels, PeakOverlapCountsBackToBackOnce) {
+  // A stream ending exactly when another starts frees its channel first.
+  std::vector<ChannelEvent> events{{0.0, +1}, {1.0, -1}, {1.0, +1}, {2.0, -1}};
+  EXPECT_EQ(peak_overlap(events), 1);
+  std::vector<ChannelEvent> empty;
+  EXPECT_EQ(peak_overlap(empty), 0);
 }
 
 TEST(Channels, RenderPlanListsEveryStream) {

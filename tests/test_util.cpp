@@ -1,7 +1,8 @@
-// Tests for the util substrate: tables, CLI parsing, statistics and the
-// parallel-for helper.
+// Tests for the util substrate: tables, CLI parsing, statistics, the
+// parallel-for helper and the splittable RNG.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <stdexcept>
@@ -9,6 +10,7 @@
 
 #include "util/cli.h"
 #include "util/parallel.h"
+#include "util/rng.h"
 #include "util/stats.h"
 #include "util/table.h"
 
@@ -170,6 +172,64 @@ TEST(DefaultThreadCount, Sane) {
   const unsigned t = default_thread_count();
   EXPECT_GE(t, 1u);
   EXPECT_LE(t, 64u);
+}
+
+TEST(SplitMix64, DeterministicAndSeedSensitive) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a.next(), b.next());
+  SplitMix64 c(43);
+  EXPECT_NE(SplitMix64(42).next(), c.next());
+}
+
+TEST(SplitMix64, SplitIgnoresParentPosition) {
+  // split derives from the initial seed, not the current state: a parent
+  // that has already produced values splits to the same substream.
+  SplitMix64 fresh(7);
+  SplitMix64 advanced(7);
+  for (int i = 0; i < 100; ++i) (void)advanced.next();
+  SplitMix64 sub_fresh = fresh.split(3);
+  SplitMix64 sub_advanced = advanced.split(3);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(sub_fresh.next(), sub_advanced.next());
+  // Distinct keys give distinct substreams.
+  EXPECT_NE(fresh.split(3).next(), fresh.split(4).next());
+}
+
+TEST(SplitMix64, DoublesInUnitIntervalWithSaneMean) {
+  SplitMix64 rng(1234);
+  double sum = 0.0;
+  constexpr int kDraws = 10000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double u = rng.next_double();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.02);
+}
+
+TEST(SplitMix64, ExponentialHasConfiguredMean) {
+  SplitMix64 rng(99);
+  double sum = 0.0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = rng.next_exponential(2.5);
+    ASSERT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / kDraws, 2.5, 0.1);
+}
+
+TEST(QuantileSorted, NearestRankConventions) {
+  std::vector<double> values{5.0, 1.0, 4.0, 2.0, 3.0};
+  std::sort(values.begin(), values.end());
+  EXPECT_DOUBLE_EQ(quantile_sorted(values, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(values, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(values, 0.6), 3.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(values, 0.61), 4.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(values, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted({}, 0.5), 0.0);
+  EXPECT_THROW((void)quantile_sorted(values, 1.5), std::invalid_argument);
 }
 
 }  // namespace
