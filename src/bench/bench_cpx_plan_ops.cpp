@@ -1,0 +1,166 @@
+// Complexity — the flat MergePlan IR vs the legacy per-structure walks.
+//
+// Every producer used to carry its own cost / peak-bandwidth traversal:
+// `MergeForest::full_cost` walks trees through bounds-checked
+// `MergeTree` accessors, and the general forest's peak sweep
+// materialized and sorted 2n (time, delta) event pairs. The canonical
+// IR stores `{start, delay, parent, merge_time, length}` as contiguous
+// arena arrays, so the same queries become straight-line scans: cost is
+// one flat sum, and the peak sweep sorts only the end times (starts are
+// sorted by construction). This bench drives both representations on
+// identical structures — an off-line uniform-arrival optimal forest and
+// a dyadic general-arrivals forest — at n up to 100k, checks the
+// answers are identical, runs `plan::verify` over each plan, and
+// reports the speedups (asserted >= parity in full mode).
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "bench/registry.h"
+#include "bench/timing.h"
+#include "core/full_cost.h"
+#include "core/plan.h"
+#include "merging/dyadic.h"
+#include "sim/arrivals.h"
+
+namespace {
+
+using smerge::Index;
+
+/// The historical `GeneralMergeForest::peak_concurrency` walk, kept
+/// verbatim as the "before" baseline (the member now delegates to the
+/// flat IR, so the old event-pair sweep lives on only here).
+Index legacy_peak_sweep(const smerge::merging::GeneralMergeForest& forest) {
+  std::vector<std::pair<double, int>> events;
+  events.reserve(static_cast<std::size_t>(forest.size()) * 2);
+  for (Index i = 0; i < forest.size(); ++i) {
+    const double start = forest.stream(i).time;
+    events.emplace_back(start, +1);
+    events.emplace_back(start + forest.stream_duration(i), -1);
+  }
+  std::sort(events.begin(), events.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first < b.first;
+    return a.second < b.second;
+  });
+  Index depth = 0;
+  Index peak = 0;
+  for (const auto& [t, delta] : events) {
+    depth += delta;
+    peak = std::max(peak, depth);
+  }
+  return peak;
+}
+
+}  // namespace
+
+SMERGE_BENCH(cpx_plan_ops,
+             "Complexity — cost/peak traversal on the flat MergePlan IR vs "
+             "the legacy forest walks (uniform and general arrivals)",
+             "n", "forest_cost_ns", "plan_cost_ns", "general_cost_ns",
+             "general_plan_cost_ns", "legacy_peak_ns", "plan_peak_ns") {
+  const Index L = 512;  // slots; block size F_13 = 233 per Theorem 12
+  const double min_ms = ctx.quick ? 0.5 : 20.0;
+  const std::vector<Index> sizes = ctx.quick
+                                       ? std::vector<Index>{2000, 8000}
+                                       : std::vector<Index>{30000, 100000};
+
+  smerge::bench::BenchResult result;
+  auto& n_series = result.add_series("n");
+  auto& forest_cost_series = result.add_series("forest_cost_ns");
+  auto& plan_cost_series = result.add_series("plan_cost_ns");
+  auto& general_cost_series = result.add_series("general_cost_ns");
+  auto& general_plan_cost_series = result.add_series("general_plan_cost_ns");
+  auto& legacy_peak_series = result.add_series("legacy_peak_ns");
+  auto& plan_peak_series = result.add_series("plan_peak_ns");
+  smerge::util::TextTable table({"n", "forest cost (ns)", "plan cost (ns)",
+                                 "general cost (ns)", "plan cost (ns) ",
+                                 "legacy peak (ns)", "plan peak (ns)"});
+
+  double to_plan_ns = 0.0;
+  for (const Index n : sizes) {
+    // --- Off-line uniform arrivals: the Theorem-10 optimal forest. ---
+    const smerge::MergeForest forest = smerge::optimal_merge_forest(L, n);
+    const smerge::plan::MergePlan uniform = forest.to_plan();
+    const double forest_cost_ns = smerge::bench::time_ns_per_call(
+        [&forest] { (void)forest.full_cost(); }, min_ms);
+    const double plan_cost_ns = smerge::bench::time_ns_per_call(
+        [&uniform] { (void)uniform.total_cost(); }, min_ms);
+    to_plan_ns = smerge::bench::time_ns_per_call(
+        [&forest] { (void)forest.to_plan(); }, min_ms);
+    result.ok = result.ok &&
+                std::abs(uniform.total_cost() -
+                         static_cast<double>(forest.full_cost())) < 1e-6;
+
+    // --- General arrivals: a dyadic merge forest over Poisson. ---
+    const std::vector<double> arrivals = smerge::sim::poisson_arrivals(
+        20.0 / static_cast<double>(n), 20.0, static_cast<std::uint64_t>(ctx.seed));
+    smerge::merging::DyadicMerger merger(1.0, {});
+    for (const double t : arrivals) merger.arrive(t);
+    const smerge::merging::GeneralMergeForest& general = merger.forest();
+    const smerge::plan::MergePlan general_plan = general.to_plan();
+    const double general_cost_ns = smerge::bench::time_ns_per_call(
+        [&general] { (void)general.total_cost(); }, min_ms);
+    const double general_plan_cost_ns = smerge::bench::time_ns_per_call(
+        [&general_plan] { (void)general_plan.total_cost(); }, min_ms);
+    const double legacy_peak_ns = smerge::bench::time_ns_per_call(
+        [&general] { (void)legacy_peak_sweep(general); }, min_ms);
+    const double plan_peak_ns = smerge::bench::time_ns_per_call(
+        [&general_plan] { (void)general_plan.peak_bandwidth(); }, min_ms);
+    result.ok = result.ok &&
+                std::abs(general_plan.total_cost() - general.total_cost()) <=
+                    1e-9 * std::max(1.0, general.total_cost()) &&
+                general_plan.peak_bandwidth() == legacy_peak_sweep(general);
+
+    // Both producers must pass the universal verifier.
+    const smerge::plan::PlanReport uniform_report = smerge::plan::verify(uniform);
+    const smerge::plan::PlanReport general_report =
+        smerge::plan::verify(general_plan);
+    result.ok = result.ok && uniform_report.ok && general_report.ok;
+    if (!uniform_report.ok) result.notes.push_back(uniform_report.first_error);
+    if (!general_report.ok) result.notes.push_back(general_report.first_error);
+
+    n_series.values.push_back(static_cast<double>(n));
+    forest_cost_series.values.push_back(forest_cost_ns);
+    plan_cost_series.values.push_back(plan_cost_ns);
+    general_cost_series.values.push_back(general_cost_ns);
+    general_plan_cost_series.values.push_back(general_plan_cost_ns);
+    legacy_peak_series.values.push_back(legacy_peak_ns);
+    plan_peak_series.values.push_back(plan_peak_ns);
+    table.add_row(n, forest_cost_ns, plan_cost_ns, general_cost_ns,
+                  general_plan_cost_ns, legacy_peak_ns, plan_peak_ns);
+  }
+  result.tables.push_back(std::move(table));
+
+  const double cost_speedup = plan_cost_series.values.back() > 0.0
+                                  ? forest_cost_series.values.back() /
+                                        plan_cost_series.values.back()
+                                  : 0.0;
+  const double general_cost_speedup =
+      general_plan_cost_series.values.back() > 0.0
+          ? general_cost_series.values.back() /
+                general_plan_cost_series.values.back()
+          : 0.0;
+  const double peak_speedup =
+      plan_peak_series.values.back() > 0.0
+          ? legacy_peak_series.values.back() / plan_peak_series.values.back()
+          : 0.0;
+  result.add_metric("uniform_cost_speedup", cost_speedup);
+  result.add_metric("general_cost_speedup", general_cost_speedup);
+  result.add_metric("peak_speedup", peak_speedup);
+  result.add_metric("to_plan_ns", to_plan_ns);
+  // The acceptance bar: flat-IR traversals at least at parity with the
+  // legacy walks at the largest n (asserted with headroom for timer
+  // noise; quick-mode kernels are too short to time reliably).
+  if (!ctx.quick) {
+    result.ok = result.ok && cost_speedup > 0.9 &&
+                general_cost_speedup > 0.9 && peak_speedup > 0.9;
+  }
+  result.notes.push_back(
+      "flat-IR speedups at n = " +
+      std::to_string(sizes.back()) + ": uniform cost " +
+      smerge::util::format_fixed(cost_speedup, 2) + "x, general cost " +
+      smerge::util::format_fixed(general_cost_speedup, 2) + "x, peak " +
+      smerge::util::format_fixed(peak_speedup, 2) + "x");
+  return result;
+}

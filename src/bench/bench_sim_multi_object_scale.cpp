@@ -31,16 +31,16 @@ struct ScaleRow {
 };
 
 EngineConfig scale_config(Index objects, double mean_gap, double horizon,
-                          unsigned threads) {
+                          const smerge::bench::BenchContext& ctx) {
   EngineConfig config;
   config.workload.process = ArrivalProcess::kPoisson;
   config.workload.objects = objects;
   config.workload.zipf_exponent = 1.0;
   config.workload.mean_gap = mean_gap;
   config.workload.horizon = horizon;
-  config.workload.seed = 20260728;
+  config.workload.seed = ctx.seed;  // reproducible from the CLI (--seed)
   config.delay = kDelay;
-  config.threads = threads;
+  config.threads = ctx.threads;
   return config;
 }
 
@@ -65,8 +65,7 @@ SMERGE_BENCH(sim_multi_object_scale,
   for (const Index objects : catalogues) {
     ScaleRow row;
     row.objects = objects;
-    const EngineConfig config =
-        scale_config(objects, mean_gap, horizon, ctx.threads);
+    const EngineConfig config = scale_config(objects, mean_gap, horizon, ctx);
     const auto start = std::chrono::steady_clock::now();
     GreedyMergePolicy immediate(merging::DyadicParams{}, /*batched=*/false);
     row.immediate = run_engine(config, immediate);

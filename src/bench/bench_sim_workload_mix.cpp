@@ -35,7 +35,7 @@ SMERGE_BENCH(sim_workload_mix,
   base.zipf_exponent = 1.0;
   base.mean_gap = ctx.quick ? 5e-3 : 1e-3;
   base.horizon = ctx.quick ? 5.0 : 50.0;
-  base.seed = 7;
+  base.seed = ctx.seed;  // reproducible from the CLI (--seed)
   base.burst_start = base.horizon * 0.25;
   base.burst_duration = base.horizon * 0.1;
   base.burst_multiplier = 10.0;

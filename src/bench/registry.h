@@ -7,6 +7,7 @@
 #ifndef SMERGE_BENCH_REGISTRY_H
 #define SMERGE_BENCH_REGISTRY_H
 
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
@@ -17,6 +18,11 @@
 
 namespace smerge::bench {
 
+/// The master RNG seed benches default to when the CLI does not
+/// override it (kept equal to the historical sim_* seed so the
+/// committed BENCH_seed.json baseline stays reproducible).
+inline constexpr std::uint64_t kDefaultBenchSeed = 20260728;
+
 /// Runtime knobs every bench receives.
 struct BenchContext {
   /// Shrink sweeps/horizons so the bench finishes in well under a second
@@ -25,6 +31,10 @@ struct BenchContext {
   bool quick = false;
   /// Worker threads for util::parallel_for fan-out (>= 1).
   unsigned threads = 1;
+  /// Master seed for the stochastic (sim_*) benches, threaded into
+  /// `util::SplitMix64` via the workload configs so whole runs are
+  /// reproducible from the CLI (--seed). Recorded in the JSON header.
+  std::uint64_t seed = kDefaultBenchSeed;
 };
 
 /// A named numeric trajectory (one curve of a figure, one column of a

@@ -62,6 +62,7 @@ std::string to_json(const std::vector<BenchRun>& runs, const BenchContext& ctx) 
   w.key("schema").value("smerge-bench-v1");
   w.key("quick").value(ctx.quick);
   w.key("threads").value(static_cast<std::int64_t>(ctx.threads));
+  w.key("seed").value(ctx.seed);
   w.key("benches").begin_array();
   for (const BenchRun& run : runs) {
     w.begin_object();
@@ -100,6 +101,8 @@ int run_cli(int argc, const char* const* argv) {
   parser.add_int("threads", static_cast<std::int64_t>(util::default_thread_count()),
                  "worker threads for sweep fan-out");
   parser.add_bool("quick", false, "reduced parameters (sub-second smoke run)");
+  parser.add_int("seed", static_cast<std::int64_t>(kDefaultBenchSeed),
+                 "master RNG seed for the stochastic sim_* benches");
 
   try {
     if (!parser.parse(argc, argv)) {
@@ -148,6 +151,12 @@ int run_cli(int argc, const char* const* argv) {
     return 2;
   }
   ctx.threads = static_cast<unsigned>(threads);
+  const std::int64_t seed = parser.get_int("seed");
+  if (seed < 0) {
+    std::cerr << "error: --seed must be >= 0\n";
+    return 2;
+  }
+  ctx.seed = static_cast<std::uint64_t>(seed);
 
   std::vector<BenchRun> runs;
   runs.reserve(selected.size());

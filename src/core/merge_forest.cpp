@@ -64,4 +64,18 @@ bool MergeForest::feasible(Model model) const {
   return true;
 }
 
+plan::MergePlan MergeForest::to_plan(Model model) const {
+  plan::PlanBuilder builder(static_cast<double>(media_length_), model);
+  Index offset = 0;
+  for (const MergeTree& t : trees_) {
+    for (Index x = 0; x < t.size(); ++x) {
+      const Index p = t.parents()[static_cast<std::size_t>(x)];
+      builder.add_stream(static_cast<double>(offset + x),
+                         p == -1 ? Index{-1} : offset + p);
+    }
+    offset += t.size();
+  }
+  return builder.build();
+}
+
 }  // namespace smerge

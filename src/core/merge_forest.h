@@ -54,6 +54,12 @@ class MergeForest {
   /// the schedule/playback layer additionally requires this.
   [[nodiscard]] bool feasible(Model model = Model::kReceiveTwo) const;
 
+  /// The canonical-IR view: stream id = global arrival, start = arrival
+  /// slot, parents within each tree, lengths per Lemma 1 / Lemma 17 (L
+  /// for roots). `plan::verify` on the result checks the full paper
+  /// invariant set, subsuming the per-forest walks.
+  [[nodiscard]] plan::MergePlan to_plan(Model model = Model::kReceiveTwo) const;
+
  private:
   Index media_length_;
   Index total_ = 0;

@@ -140,6 +140,17 @@ MergeTree MergeTree::subtree(Index x) const {
   return MergeTree(std::move(parents));
 }
 
+plan::MergePlan MergeTree::to_plan(Index media_length, Model model,
+                                   Index offset) const {
+  plan::PlanBuilder builder(static_cast<double>(media_length), model);
+  for (Index x = 0; x < size(); ++x) {
+    const Index p = parents_[index_of(x)];
+    builder.add_stream(static_cast<double>(offset + x),
+                       p == -1 ? Index{-1} : p);
+  }
+  return builder.build();
+}
+
 std::string MergeTree::to_string() const {
   std::ostringstream os;
   // Iterative preorder rendering with explicit close-parens.

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "core/model.h"
+#include "core/plan.h"
 #include "fib/fibonacci.h"
 
 namespace smerge {
@@ -93,6 +94,14 @@ class MergeTree {
   /// preorder property this is the label interval [x, z(x)]. Used by the
   /// Lemma-2 decomposition T = T' + T'' + l(x).
   [[nodiscard]] MergeTree subtree(Index x) const;
+
+  /// The canonical-IR view of this tree standing alone at slot `offset`
+  /// with a root stream of `media_length` slots: stream i starts at
+  /// offset + i, lengths follow Lemma 1 / Lemma 17 (L for the root).
+  /// Feasibility is NOT required here — `plan::verify` reports it.
+  [[nodiscard]] plan::MergePlan to_plan(Index media_length,
+                                        Model model = Model::kReceiveTwo,
+                                        Index offset = 0) const;
 
   /// Structural equality (same parent vector).
   friend bool operator==(const MergeTree& a, const MergeTree& b) {

@@ -1,0 +1,494 @@
+#include "core/plan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "util/json_writer.h"
+
+namespace smerge::plan {
+
+namespace {
+
+std::size_t index_of(Index x) { return static_cast<std::size_t>(x); }
+
+/// Comparison slack, scaled so slot-unit plans (integer arithmetic in
+/// doubles, exact) and normalized plans (media length 1.0) both get a
+/// meaningful tolerance.
+double eps_of(double media_length) {
+  return 1e-9 * std::max(1.0, media_length);
+}
+
+/// z(x) for every stream in one reverse pass: parents precede children,
+/// so by the time a stream folds into its parent its own z is final.
+std::vector<double> last_arrivals(const MergePlan& plan) {
+  const auto start = plan.start();
+  const auto parent = plan.parent();
+  std::vector<double> z(start.begin(), start.end());
+  for (std::size_t i = z.size(); i-- > 1;) {
+    const Index p = parent[i];
+    if (p != -1 && z[index_of(p)] < z[i]) z[index_of(p)] = z[i];
+  }
+  return z;
+}
+
+void fail(PlanReport& report, Index client, const std::string& message) {
+  if (!report.ok) return;
+  report.ok = false;
+  std::ostringstream os;
+  if (client >= 0) os << "client " << client << ": ";
+  os << message;
+  report.first_error = os.str();
+}
+
+}  // namespace
+
+// --- MergePlan ------------------------------------------------------------
+
+std::size_t MergePlan::check(Index id) const {
+  if (id < 0 || id >= n_) throw std::out_of_range("MergePlan: stream id");
+  return static_cast<std::size_t>(id);
+}
+
+std::span<const Index> MergePlan::children(Index id) const {
+  const std::size_t i = check(id);
+  const auto lo = static_cast<std::size_t>(child_offset_[i]);
+  const auto hi = static_cast<std::size_t>(child_offset_[i + 1]);
+  return {child_ + lo, hi - lo};
+}
+
+std::vector<Index> MergePlan::root_path(Index id) const {
+  (void)check(id);
+  std::vector<Index> path;
+  for (Index v = id; v != -1; v = parent_[index_of(v)]) path.push_back(v);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+double MergePlan::total_cost() const noexcept {
+  double total = 0.0;
+  for (std::size_t i = 0; i < un(); ++i) total += length_[i];
+  return total;
+}
+
+Index MergePlan::peak_bandwidth() const {
+  const std::size_t n = un();
+  if (n == 0) return 0;
+  std::vector<double> ends(n);
+  for (std::size_t i = 0; i < n; ++i) ends[i] = start_[i] + length_[i];
+  std::sort(ends.begin(), ends.end());
+  Index depth = 0;
+  Index peak = 0;
+  std::size_t e = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    while (e < n && ends[e] <= start_[i]) {
+      --depth;
+      ++e;
+    }
+    ++depth;
+    if (depth > peak) peak = depth;
+  }
+  return peak;
+}
+
+// --- PlanBuilder ----------------------------------------------------------
+
+PlanBuilder::PlanBuilder(double media_length, Model model)
+    : media_length_(media_length), model_(model) {
+  if (!(media_length > 0.0) || !std::isfinite(media_length)) {
+    throw std::invalid_argument("PlanBuilder: media length must be positive");
+  }
+}
+
+Index PlanBuilder::add_stream(double start, Index parent) {
+  return add_stream(start, parent,
+                    std::numeric_limits<double>::quiet_NaN());
+}
+
+Index PlanBuilder::add_stream(double start, Index parent, double length) {
+  if (!std::isfinite(start)) {
+    throw std::invalid_argument("PlanBuilder: stream start must be finite");
+  }
+  if (!start_.empty() && start < start_.back()) {
+    throw std::invalid_argument("PlanBuilder: starts must be nondecreasing");
+  }
+  if (parent != -1) {
+    if (parent < 0 || parent >= size()) {
+      throw std::invalid_argument("PlanBuilder: parent id out of range");
+    }
+    if (!(start_[index_of(parent)] < start)) {
+      throw std::invalid_argument("PlanBuilder: parent must start strictly earlier");
+    }
+  }
+  if (!std::isnan(length) && (!std::isfinite(length) || length < 0.0)) {
+    throw std::invalid_argument("PlanBuilder: stream length must be >= 0");
+  }
+  start_.push_back(start);
+  delay_.push_back(0.0);
+  length_.push_back(length);
+  parent_.push_back(parent);
+  return size() - 1;
+}
+
+void PlanBuilder::record_wait(Index id, double wait) {
+  if (id < 0 || id >= size()) {
+    throw std::out_of_range("PlanBuilder::record_wait: stream id");
+  }
+  if (!(wait >= 0.0)) {
+    throw std::invalid_argument("PlanBuilder::record_wait: wait must be >= 0");
+  }
+  double& delay = delay_[index_of(id)];
+  if (wait > delay) delay = wait;
+}
+
+MergePlan PlanBuilder::build() {
+  const std::size_t n = start_.size();
+  MergePlan plan;
+  plan.media_length_ = media_length_;
+  plan.model_ = model_;
+  plan.n_ = static_cast<Index>(n);
+
+  Index roots = 0;
+  for (const Index p : parent_) roots += p == -1 ? 1 : 0;
+  plan.roots_ = roots;
+
+  // Carve the two arena blocks (see the header's layout comment).
+  const std::size_t edges = n - static_cast<std::size_t>(roots);
+  if (n > 0) {
+    plan.doubles_ = std::make_unique<double[]>(4 * n);
+    plan.indices_ = std::make_unique<Index[]>(2 * n + 1 + edges);
+  }
+  plan.start_ = plan.doubles_.get();
+  plan.delay_ = plan.start_ + n;
+  plan.length_ = plan.delay_ + n;
+  plan.merge_time_ = plan.length_ + n;
+  plan.parent_ = plan.indices_.get();
+  plan.child_offset_ = plan.parent_ + n;
+  plan.child_ = plan.child_offset_ + n + 1;
+  if (n == 0) {
+    start_.clear();
+    delay_.clear();
+    length_.clear();
+    parent_.clear();
+    return plan;
+  }
+
+  std::copy(start_.begin(), start_.end(), plan.start_);
+  std::copy(delay_.begin(), delay_.end(), plan.delay_);
+  std::copy(parent_.begin(), parent_.end(), plan.parent_);
+
+  // CSR children by counting: two passes, children land in ascending id
+  // order because ids are appended in order.
+  std::fill(plan.child_offset_, plan.child_offset_ + n + 1, Index{0});
+  for (const Index p : parent_) {
+    if (p != -1) ++plan.child_offset_[index_of(p) + 1];
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    plan.child_offset_[i + 1] += plan.child_offset_[i];
+  }
+  {
+    std::vector<Index> cursor(plan.child_offset_, plan.child_offset_ + n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const Index p = parent_[i];
+      if (p != -1) plan.child_[index_of(cursor[index_of(p)]++)] = static_cast<Index>(i);
+    }
+  }
+
+  // Subtree last arrivals, then lengths (where not explicit) and merge
+  // times from the Lemma-1 / Lemma-17 geometry.
+  std::vector<double> z(start_.begin(), start_.end());
+  for (std::size_t i = n; i-- > 1;) {
+    const Index p = parent_[i];
+    if (p != -1 && z[index_of(p)] < z[i]) z[index_of(p)] = z[i];
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const Index p = parent_[i];
+    double length = length_[i];
+    if (std::isnan(length)) {
+      if (p == -1) {
+        length = media_length_;
+      } else if (model_ == Model::kReceiveTwo) {
+        length = 2.0 * z[i] - start_[i] - start_[index_of(p)];
+      } else {
+        length = z[i] - start_[index_of(p)];
+      }
+    }
+    plan.length_[i] = length;
+    if (p == -1) {
+      plan.merge_time_[i] = start_[i] + length;
+    } else if (model_ == Model::kReceiveTwo) {
+      plan.merge_time_[i] = 2.0 * z[i] - start_[index_of(p)];
+    } else {
+      plan.merge_time_[i] = start_[i] + (z[i] - start_[index_of(p)]);
+    }
+  }
+
+  start_.clear();
+  delay_.clear();
+  length_.clear();
+  parent_.clear();
+  return plan;
+}
+
+// --- Receiving programs ---------------------------------------------------
+
+std::vector<Piece> client_program(const MergePlan& plan, Index client,
+                                  Model model) {
+  const std::vector<Index> path = plan.root_path(client);  // range-checks
+  const auto start = plan.start();
+  const double L = plan.media_length();
+  const double a = start[index_of(client)];
+  const double eps = eps_of(L);
+  const auto k = static_cast<Index>(path.size()) - 1;
+  const auto t = [&](Index m) { return start[index_of(path[index_of(m)])]; };
+
+  std::vector<Piece> out;
+  auto push = [&out, &path, eps](Index m, double from, double to) {
+    if (to > from + eps) out.push_back(Piece{path[index_of(m)], from, to});
+  };
+
+  if (k == 0) {
+    push(0, 0.0, L);
+    return out;
+  }
+  push(k, 0.0, a - t(k - 1));
+  if (model == Model::kReceiveTwo) {
+    for (Index m = k - 1; m >= 1; --m) {
+      push(m, 2.0 * a - t(m + 1) - t(m), 2.0 * a - t(m) - t(m - 1));
+    }
+    // Root reception capped at the media end (Lemma 15, case 2).
+    push(0, std::min(2.0 * a - t(1) - t(0), L), L);
+  } else {
+    for (Index m = k - 1; m >= 1; --m) {
+      push(m, a - t(m), a - t(m - 1));
+    }
+    push(0, std::min(a - t(0), L), L);
+  }
+  return out;
+}
+
+// --- The universal verifier ----------------------------------------------
+
+namespace {
+
+void client_fail(ClientReport& report, const std::string& message) {
+  if (!report.ok) return;
+  report.ok = false;
+  report.error = "client " + std::to_string(report.client) + ": " + message;
+}
+
+}  // namespace
+
+ClientReport verify_client(const MergePlan& plan, Index client, Model model) {
+  ClientReport report;
+  report.client = client;
+  const std::vector<Piece> pieces = client_program(plan, client, model);
+  const auto start = plan.start();
+  const auto length = plan.length();
+  const double L = plan.media_length();
+  const double eps = eps_of(L);
+  const double a = start[index_of(client)];
+
+  // The pieces partition (0, L].
+  double cursor = 0.0;
+  for (const Piece& p : pieces) {
+    if (std::abs(p.from - cursor) > eps) {
+      client_fail(report, "media gap before position " + std::to_string(p.from));
+    }
+    cursor = p.to;
+  }
+  if (std::abs(cursor - L) > eps) {
+    client_fail(report, "program ends at position " + std::to_string(cursor));
+  }
+
+  // Every piece lies within its source's transmitted duration, and no
+  // source starts after the client (reception would trail playback).
+  for (const Piece& p : pieces) {
+    if (p.to > length[index_of(p.stream)] + eps) {
+      client_fail(report,
+                  "stream " + std::to_string(p.stream) + " truncated at " +
+                      std::to_string(length[index_of(p.stream)]) +
+                      " but position " + std::to_string(p.to) + " requested");
+    }
+    if (start[index_of(p.stream)] > a + eps) {
+      client_fail(report, "source stream starts after the client");
+    }
+  }
+
+  // Concurrent reads. Window endpoints of adjacent pieces are the same
+  // quantity computed through different floating-point expressions, so
+  // events are resolved in eps-wide groups with closes before opens.
+  {
+    std::vector<std::pair<double, int>> events;
+    events.reserve(pieces.size() * 2);
+    for (const Piece& p : pieces) {
+      const double s = start[index_of(p.stream)];
+      events.emplace_back(s + p.from, +1);
+      events.emplace_back(s + p.to, -1);
+    }
+    std::sort(events.begin(), events.end());
+    Index depth = 0;
+    std::size_t i = 0;
+    while (i < events.size()) {
+      std::size_t j = i;
+      while (j < events.size() && events[j].first <= events[i].first + eps) ++j;
+      for (std::size_t e = i; e < j; ++e) {
+        if (events[e].second < 0) depth += events[e].second;
+      }
+      for (std::size_t e = i; e < j; ++e) {
+        if (events[e].second > 0) depth += events[e].second;
+      }
+      report.max_concurrent = std::max(report.max_concurrent, depth);
+      i = j;
+    }
+  }
+  if (model == Model::kReceiveTwo && report.max_concurrent > 2) {
+    client_fail(report, "reads " + std::to_string(report.max_concurrent) +
+                            " streams at once (receive-two model)");
+  }
+
+  // Peak buffered media, probed at every reception endpoint, against
+  // the Section-3.3 bound: min(d, L-d) under receive-two (Lemma 15), d
+  // under receive-all (every position is received at or after x_0 + p
+  // and played at a + p).
+  {
+    std::vector<double> probes;
+    probes.reserve(pieces.size() * 2);
+    for (const Piece& p : pieces) {
+      const double s = start[index_of(p.stream)];
+      probes.push_back(s + p.from);
+      probes.push_back(s + p.to);
+    }
+    for (const double T : probes) {
+      double received = 0.0;
+      for (const Piece& p : pieces) {
+        const double s = start[index_of(p.stream)];
+        received += std::clamp(T - s, p.from, p.to) - p.from;
+      }
+      const double played = std::clamp(T - a, 0.0, L);
+      report.peak_buffer = std::max(report.peak_buffer, received - played);
+    }
+  }
+  const auto parent = plan.parent();
+  Index root = client;
+  while (parent[index_of(root)] != -1) root = parent[index_of(root)];
+  const double d = a - start[index_of(root)];
+  report.buffer_bound = model == Model::kReceiveTwo ? std::min(d, L - d) : d;
+  if (report.peak_buffer > report.buffer_bound + eps) {
+    client_fail(report, "peak buffer " + std::to_string(report.peak_buffer) +
+                            " exceeds the Section-3.3 bound " +
+                            std::to_string(report.buffer_bound));
+  }
+  return report;
+}
+
+PlanReport verify(const MergePlan& plan, Model model) {
+  PlanReport report;
+  const Index n = plan.size();
+  const double L = plan.media_length();
+  const double eps = eps_of(L);
+  const auto start = plan.start();
+  const auto delay = plan.delay();
+  const auto length = plan.length();
+  const auto merge_time = plan.merge_time();
+  const auto parent = plan.parent();
+
+  // Structure + aggregates, one flat pass over the arrays (ends sort
+  // once inside peak_bandwidth).
+  const std::vector<double> z = last_arrivals(plan);
+  for (Index i = 0; i < n; ++i) {
+    const std::size_t u = index_of(i);
+    if (i > 0 && start[u] < start[u - 1]) {
+      fail(report, -1, "stream " + std::to_string(i) + " starts before its predecessor");
+    }
+    const Index p = parent[u];
+    if (p < -1 || p >= i) {
+      fail(report, -1, "stream " + std::to_string(i) + " has an invalid parent");
+    } else if (p != -1 && !(start[index_of(p)] < start[u])) {
+      fail(report, -1, "stream " + std::to_string(i) + "'s parent does not start earlier");
+    }
+    if (length[u] < 0.0 || length[u] > L + eps) {
+      fail(report, -1, "stream " + std::to_string(i) +
+                           " transmits for " + std::to_string(length[u]) +
+                           " (media length " + std::to_string(L) + ")");
+    }
+    if (delay[u] < 0.0) {
+      fail(report, -1, "stream " + std::to_string(i) + " has a negative delay");
+    }
+    // IR integrity: merge_time must match the structural geometry.
+    double expected;
+    if (p == -1) {
+      expected = start[u] + length[u];
+    } else if (model == Model::kReceiveTwo) {
+      expected = 2.0 * z[u] - start[index_of(p)];
+    } else {
+      expected = start[u] + (z[u] - start[index_of(p)]);
+    }
+    if (std::abs(merge_time[u] - expected) > eps) {
+      fail(report, -1, "stream " + std::to_string(i) + " merge_time " +
+                           std::to_string(merge_time[u]) + " != " +
+                           std::to_string(expected));
+    }
+    report.max_delay = std::max(report.max_delay, delay[u]);
+    report.total_cost += length[u];
+  }
+  report.peak_bandwidth = plan.peak_bandwidth();
+
+  // Per-client playback: every stream's start is (at least potentially)
+  // a client arrival, which is exactly the delay-guaranteed promise.
+  for (Index c = 0; c < n; ++c) {
+    const ClientReport client = verify_client(plan, c, model);
+    report.max_concurrent = std::max(report.max_concurrent, client.max_concurrent);
+    report.peak_buffer = std::max(report.peak_buffer, client.peak_buffer);
+    report.buffer_bound = std::max(report.buffer_bound, client.buffer_bound);
+    if (!client.ok && report.ok) {
+      report.ok = false;
+      report.first_error = client.error;
+    }
+    ++report.clients;
+  }
+  return report;
+}
+
+// --- JSON dump ------------------------------------------------------------
+
+std::string to_json(const MergePlan& plan) {
+  const PlanReport report = verify(plan);
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("smerge-plan-v1");
+  w.key("media_length").value(plan.media_length());
+  w.key("model").value(to_string(plan.model()));
+  w.key("streams").value(static_cast<std::int64_t>(plan.size()));
+  w.key("roots").value(static_cast<std::int64_t>(plan.num_roots()));
+  const auto dump_doubles = [&w](const char* name, std::span<const double> v) {
+    w.key(name).begin_array();
+    for (const double x : v) w.value(x);
+    w.end_array();
+  };
+  dump_doubles("start", plan.start());
+  dump_doubles("delay", plan.delay());
+  dump_doubles("length", plan.length());
+  dump_doubles("merge_time", plan.merge_time());
+  w.key("parent").begin_array();
+  for (const Index p : plan.parent()) w.value(static_cast<std::int64_t>(p));
+  w.end_array();
+  w.key("verify").begin_object();
+  w.key("ok").value(report.ok);
+  if (!report.ok) w.key("first_error").value(report.first_error);
+  w.key("clients").value(static_cast<std::int64_t>(report.clients));
+  w.key("total_cost").value(report.total_cost);
+  w.key("peak_bandwidth").value(static_cast<std::int64_t>(report.peak_bandwidth));
+  w.key("max_concurrent").value(static_cast<std::int64_t>(report.max_concurrent));
+  w.key("peak_buffer").value(report.peak_buffer);
+  w.key("buffer_bound").value(report.buffer_bound);
+  w.key("max_delay").value(report.max_delay);
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace smerge::plan

@@ -1,0 +1,257 @@
+// The canonical stream-plan IR ("MergePlan") and its universal verifier.
+//
+// Every subsystem of this repository ultimately describes the same
+// artifact — a forest of (possibly truncated) streams in which later
+// streams merge into earlier ones under the continuous-playback
+// constraint. Historically each layer encoded it its own way: the
+// slotted `core/merge_forest` trees, the continuous
+// `merging/general_forest`, and the `schedule/*` slot structures, each
+// with private cost / peak-bandwidth / traversal code. `MergePlan` is
+// the one flat format they all now emit and consume:
+//
+//  * SoA layout — parallel arrays `{start, delay, parent, merge_time,
+//    length}` indexed by stream id (ids are nondecreasing in start
+//    time), children stored as CSR-style ranges. The whole plan lives
+//    in two arena blocks (one per element type), no per-node
+//    allocation, so the hot cost/peak passes are straight-line scans
+//    over contiguous memory.
+//  * One verifier — `plan::verify` checks, for any producer, the
+//    paper's full invariant set in a single walk: continuous playback
+//    (the pieces of every client's receiving program partition
+//    (0, L]), the Section-3.3 buffer bound b(x) = min(d, L - d),
+//    receive-two vs receive-all legality, merge completion in time,
+//    and the exact total cost / peak bandwidth. It subsumes the
+//    continuous-forest checks of `merging/continuous_playback` and
+//    the per-forest `total_cost` / `peak_concurrency` walks.
+//
+// Units are whatever the producer used: slots for the delay-guaranteed
+// substrate (media length L, integer starts), normalized media lengths
+// for the simulation engine (media length 1.0). All formulas depend
+// only on differences, so the verifier never needs to know.
+#ifndef SMERGE_CORE_PLAN_H
+#define SMERGE_CORE_PLAN_H
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/model.h"
+#include "fib/fibonacci.h"
+
+namespace smerge::plan {
+
+class PlanBuilder;
+
+/// The flat, arena-backed merge-plan IR. Immutable once built (use
+/// `PlanBuilder`); movable but deliberately not copyable — plans can be
+/// large and every consumer reads through `std::span` views.
+class MergePlan {
+ public:
+  /// An empty plan (0 streams, media length 1).
+  MergePlan() = default;
+  MergePlan(MergePlan&&) noexcept = default;
+  MergePlan& operator=(MergePlan&&) noexcept = default;
+  MergePlan(const MergePlan&) = delete;
+  MergePlan& operator=(const MergePlan&) = delete;
+
+  /// Number of streams.
+  [[nodiscard]] Index size() const noexcept { return n_; }
+  /// Media length L in the producer's time unit.
+  [[nodiscard]] double media_length() const noexcept { return media_length_; }
+  /// Reception model the lengths were derived/validated under.
+  [[nodiscard]] Model model() const noexcept { return model_; }
+  /// Number of roots (full streams).
+  [[nodiscard]] Index num_roots() const noexcept { return roots_; }
+
+  /// Transmission start time of each stream (nondecreasing in id).
+  [[nodiscard]] std::span<const double> start() const noexcept {
+    return {start_, un()};
+  }
+  /// Start-up delay attributed to each stream: the largest wait of any
+  /// client it serves (0 for purely off-line plans, where clients start
+  /// playback at their arrival instant).
+  [[nodiscard]] std::span<const double> delay() const noexcept {
+    return {delay_, un()};
+  }
+  /// Transmission duration of each stream.
+  [[nodiscard]] std::span<const double> length() const noexcept {
+    return {length_, un()};
+  }
+  /// Merge completion time: for a non-root x with parent p and last
+  /// subtree arrival z, the instant its subtree has fully caught up
+  /// with p — 2 z - p in the receive-two model, x + (z - p) in
+  /// receive-all. For roots, the end of transmission.
+  [[nodiscard]] std::span<const double> merge_time() const noexcept {
+    return {merge_time_, un()};
+  }
+  /// Parent stream id (-1 for roots, always < the stream's own id).
+  [[nodiscard]] std::span<const Index> parent() const noexcept {
+    return {parent_, un()};
+  }
+  /// Children of `id`, ascending (a CSR range into one shared array).
+  [[nodiscard]] std::span<const Index> children(Index id) const;
+
+  /// End of transmission of stream `id`.
+  [[nodiscard]] double end(Index id) const {
+    return start_[check(id)] + length_[static_cast<std::size_t>(id)];
+  }
+  /// Root path x_0 < x_1 < ... < x_k = id (stream ids).
+  [[nodiscard]] std::vector<Index> root_path(Index id) const;
+
+  /// Total transmitted time-units: one flat pass over `length`. The
+  /// continuous analogue of Fcost; equals the slotted full cost for
+  /// slot-unit plans.
+  [[nodiscard]] double total_cost() const noexcept;
+
+  /// Peak number of simultaneously transmitting streams. Starts are
+  /// already sorted, so only the ends sort: O(n log n) with one
+  /// double-array sort, no event materialization. Ends count before
+  /// starts at equal times (back-to-back streams can share a channel).
+  [[nodiscard]] Index peak_bandwidth() const;
+
+ private:
+  friend class PlanBuilder;
+  [[nodiscard]] std::size_t un() const noexcept {
+    return static_cast<std::size_t>(n_);
+  }
+  [[nodiscard]] std::size_t check(Index id) const;
+
+  double media_length_ = 1.0;
+  Model model_ = Model::kReceiveTwo;
+  Index n_ = 0;
+  Index roots_ = 0;
+  // The arena: one block per element type (doubles / Index), carved
+  // into the parallel arrays below. Two allocations for the whole plan.
+  std::unique_ptr<double[]> doubles_;
+  std::unique_ptr<Index[]> indices_;
+  double* start_ = nullptr;
+  double* delay_ = nullptr;
+  double* length_ = nullptr;
+  double* merge_time_ = nullptr;
+  Index* parent_ = nullptr;
+  Index* child_offset_ = nullptr;  ///< n+1 CSR offsets
+  Index* child_ = nullptr;         ///< n - roots child ids
+};
+
+/// Append-only construction of a MergePlan. Producers that know their
+/// Lemma-1/Lemma-17 structure call the two-argument `add_stream` and
+/// let `build` derive lengths; producers with explicit truncations (the
+/// on-line policies, whose last block clips at the horizon only in
+/// spirit) pass lengths directly.
+class PlanBuilder {
+ public:
+  /// Throws std::invalid_argument unless media_length > 0.
+  explicit PlanBuilder(double media_length, Model model = Model::kReceiveTwo);
+
+  /// Appends a stream; returns its id. Length is derived at build():
+  /// L for roots, the Lemma-1 (receive-two) or Lemma-17 (receive-all)
+  /// truncation otherwise. Throws std::invalid_argument when `start`
+  /// precedes the previous stream or `parent` is not an earlier-starting
+  /// already-added stream (or -1).
+  Index add_stream(double start, Index parent);
+
+  /// As above with an explicit transmission duration (>= 0).
+  Index add_stream(double start, Index parent, double length);
+
+  /// Records a client wait served by stream `id`; the stream's `delay`
+  /// becomes the max over all recorded waits (default 0).
+  void record_wait(Index id, double wait);
+
+  /// Streams added so far.
+  [[nodiscard]] Index size() const noexcept {
+    return static_cast<Index>(start_.size());
+  }
+
+  /// Finalizes into the arena-backed plan: builds the CSR children
+  /// ranges, computes subtree last-arrivals in one reverse pass,
+  /// derives pending lengths and merge times. The builder is left
+  /// empty and reusable.
+  [[nodiscard]] MergePlan build();
+
+ private:
+  double media_length_;
+  Model model_;
+  std::vector<double> start_;
+  std::vector<double> delay_;
+  std::vector<double> length_;  ///< NaN = derive from the model at build()
+  std::vector<Index> parent_;
+};
+
+/// Outcome of `verify`: the first violated invariant plus the exact
+/// aggregate quantities every legacy walk used to compute separately.
+struct PlanReport {
+  bool ok = true;
+  std::string first_error;     ///< empty when ok
+  Index clients = 0;           ///< clients checked (= streams)
+  Index max_concurrent = 0;    ///< peak streams any client reads at once
+  double peak_buffer = 0.0;    ///< largest measured client buffer
+  double buffer_bound = 0.0;   ///< largest Lemma-15 bound min(d, L-d)
+  double max_delay = 0.0;      ///< largest per-stream start-up delay
+  double total_cost = 0.0;     ///< sum of transmitted durations
+  Index peak_bandwidth = 0;    ///< peak simultaneous streams
+};
+
+/// The universal verifier. Checks, for the client arriving at every
+/// stream's start:
+///   1. structure: id order follows start order, parents start strictly
+///      earlier, lengths lie in [0, L], delays are nonnegative;
+///   2. continuous playback: the receiving-program pieces partition
+///      (0, L], every piece lies within its source stream's transmitted
+///      duration, and reception never trails playback;
+///   3. model legality: at most two concurrent reads under receive-two
+///      (receive-all may read the whole root path);
+///   4. the Section-3.3 buffer bound: measured peak buffer is at most
+///      min(d, L - d) under receive-two (Lemma 15), d under
+///      receive-all, where d is the client's distance from its root;
+///   5. IR integrity: merge_time matches the plan's own Lemma-1 /
+///      Lemma-17 geometry;
+/// and reports the exact total cost and peak bandwidth computed in one
+/// flat pass over the arrays. Aggregate work is O(n log n) plus the
+/// per-client programs (O(depth^2) each, depth = root-path length).
+[[nodiscard]] PlanReport verify(const MergePlan& plan, Model model);
+
+/// Verifies under the model the plan was built with.
+[[nodiscard]] inline PlanReport verify(const MergePlan& plan) {
+  return verify(plan, plan.model());
+}
+
+/// Per-client verification outcome (one stream's client).
+struct ClientReport {
+  Index client = -1;
+  bool ok = true;
+  std::string error;         ///< first violated invariant, "client N: ..."
+  Index max_concurrent = 0;  ///< peak simultaneous stream reads
+  double peak_buffer = 0.0;  ///< peak buffered media (time units)
+  double buffer_bound = 0.0; ///< the Section-3.3 bound for this client
+};
+
+/// Verifies invariants 2-4 for the single client arriving at stream
+/// `client`'s start. Throws std::out_of_range on a bad id.
+[[nodiscard]] ClientReport verify_client(const MergePlan& plan, Index client,
+                                         Model model);
+
+/// One piece of a client's continuous receiving program: media
+/// positions (from, to] taken from `stream`, received over the time
+/// window [start(stream) + from, start(stream) + to].
+struct Piece {
+  Index stream = -1;
+  double from = 0.0;
+  double to = 0.0;
+};
+
+/// The continuous receiving program of the client arriving at stream
+/// `client`'s start (Section 2's stage rules / Lemma 17, in continuous
+/// time). Empty pieces are dropped. Throws std::out_of_range on a bad
+/// id.
+[[nodiscard]] std::vector<Piece> client_program(const MergePlan& plan,
+                                                Index client, Model model);
+
+/// Serializes a plan as a `smerge-plan-v1` JSON document (field arrays
+/// plus the verifier's aggregate report) — the dump format
+/// `tools/plan_dump.py` pretty-prints.
+[[nodiscard]] std::string to_json(const MergePlan& plan);
+
+}  // namespace smerge::plan
+
+#endif  // SMERGE_CORE_PLAN_H

@@ -66,6 +66,13 @@ MergeTree fibonacci_merge_tree(int k) {
   return optimal_merge_tree(fib::fibonacci(k));
 }
 
+plan::MergePlan optimal_merge_plan(Index media_length, Index n, Model model) {
+  if (media_length < 1) {
+    throw std::invalid_argument("optimal_merge_plan: media length >= 1 required");
+  }
+  return optimal_merge_tree(n, model).to_plan(media_length, model);
+}
+
 void enumerate_merge_trees(Index n, const std::function<void(const MergeTree&)>& fn) {
   if (n < 1) throw std::invalid_argument("enumerate_merge_trees: n >= 1 required");
   std::vector<Index> parents(index_of(n), -1);

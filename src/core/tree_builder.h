@@ -38,6 +38,12 @@ namespace smerge {
 /// 2 <= k <= fib::kMaxIndex.
 [[nodiscard]] MergeTree fibonacci_merge_tree(int k);
 
+/// The canonical-IR form of `optimal_merge_tree(n, model)` standing
+/// alone with a media length of L slots: the off-line uniform-arrival
+/// producer feeding `plan::verify` and the schedule layer.
+[[nodiscard]] plan::MergePlan optimal_merge_plan(Index media_length, Index n,
+                                                 Model model = Model::kReceiveTwo);
+
 /// Invokes `fn` on every merge tree over n arrivals, in lexicographic
 /// parent-vector order. There are Catalan(n-1) of them; keep n <= ~14.
 void enumerate_merge_trees(Index n, const std::function<void(const MergeTree&)>& fn);

@@ -1,166 +1,46 @@
 #include "merging/continuous_playback.h"
 
-#include <algorithm>
-#include <cmath>
-#include <sstream>
+#include "core/plan.h"
 
 namespace smerge::merging {
 
-namespace {
-
-constexpr double kEps = 1e-9;
-
-std::size_t index_of(Index x) { return static_cast<std::size_t>(x); }
-
-void fail(ContinuousClientReport& report, const std::string& message) {
-  if (report.ok) {
-    report.ok = false;
-    std::ostringstream os;
-    os << "client " << report.client << ": " << message;
-    report.error = os.str();
-  }
-}
-
-}  // namespace
+// The checks themselves live in the universal plan verifier
+// (core/plan.h); this translation unit only adapts the general-forest
+// API onto it, so the continuous and slotted worlds share one oracle.
 
 std::vector<ContinuousReception> continuous_program(const GeneralMergeForest& forest,
                                                     Index client) {
-  // Root path by parent chasing.
-  std::vector<Index> path;
-  for (Index v = client; v != -1; v = forest.stream(v).parent) path.push_back(v);
-  std::reverse(path.begin(), path.end());
-
-  const double L = forest.media_length();
-  const double a = forest.stream(client).time;
-  const auto k = static_cast<Index>(path.size()) - 1;
-  const auto t = [&](Index m) { return forest.stream(path[index_of(m)]).time; };
-
+  const plan::MergePlan p = forest.to_plan();
   std::vector<ContinuousReception> out;
-  auto push = [&out, &path](Index m, double from, double to) {
-    if (to > from + kEps) {
-      out.push_back(ContinuousReception{path[index_of(m)], from, to});
-    }
-  };
-
-  if (k == 0) {
-    push(0, 0.0, L);
-    return out;
+  for (const plan::Piece& piece :
+       plan::client_program(p, client, Model::kReceiveTwo)) {
+    out.push_back(ContinuousReception{piece.stream, piece.from, piece.to});
   }
-  push(k, 0.0, a - t(k - 1));
-  for (Index m = k - 1; m >= 1; --m) {
-    push(m, 2.0 * a - t(m + 1) - t(m), 2.0 * a - t(m) - t(m - 1));
-  }
-  // Root reception capped at the media end (Lemma 15 case 2's analogue).
-  push(0, std::min(2.0 * a - t(1) - t(0), L), L);
   return out;
 }
 
 ContinuousClientReport verify_continuous_client(const GeneralMergeForest& forest,
                                                 Index client) {
-  ContinuousClientReport report;
-  report.client = client;
-  const double L = forest.media_length();
-  const double a = forest.stream(client).time;
-  const std::vector<ContinuousReception> pieces = continuous_program(forest, client);
-
-  // Partition of (0, L].
-  double cursor = 0.0;
-  for (const ContinuousReception& r : pieces) {
-    if (std::abs(r.from - cursor) > kEps) {
-      fail(report, "media gap before position " + std::to_string(r.from));
-    }
-    cursor = r.to;
-  }
-  if (std::abs(cursor - L) > kEps) {
-    fail(report, "program ends at position " + std::to_string(cursor));
-  }
-
-  // Feasibility and deadlines.
-  for (const ContinuousReception& r : pieces) {
-    const GeneralStream& src = forest.stream(r.stream);
-    if (r.to > forest.stream_duration(r.stream) + kEps) {
-      fail(report, "stream " + std::to_string(r.stream) + " truncated at " +
-                       std::to_string(forest.stream_duration(r.stream)) +
-                       " but position " + std::to_string(r.to) + " requested");
-    }
-    // Position p received at src.time + p, played at a + p.
-    if (src.time > a + kEps) {
-      fail(report, "source stream starts after the client");
-    }
-  }
-
-  // Concurrency: reception intervals [src+from, src+to].
-  {
-    std::vector<std::pair<double, int>> events;
-    for (const ContinuousReception& r : pieces) {
-      const double s = forest.stream(r.stream).time;
-      events.emplace_back(s + r.from, +1);
-      events.emplace_back(s + r.to, -1);
-    }
-    std::sort(events.begin(), events.end(), [](const auto& x, const auto& y) {
-      if (x.first != y.first) return x.first < y.first;
-      return x.second < y.second;
-    });
-    // Adjacent windows share endpoints computed through different
-    // floating-point expressions (e.g. x_{m+2} + to vs x_{m+1} + to'),
-    // which can mis-order by an ulp. Resolve events in kEps-wide groups,
-    // applying closes before opens, and measure depth after each group.
-    Index depth = 0;
-    std::size_t i = 0;
-    while (i < events.size()) {
-      std::size_t j = i;
-      while (j < events.size() && events[j].first <= events[i].first + kEps) ++j;
-      for (std::size_t e = i; e < j; ++e) {
-        if (events[e].second < 0) depth += events[e].second;
-      }
-      for (std::size_t e = i; e < j; ++e) {
-        if (events[e].second > 0) depth += events[e].second;
-      }
-      report.max_concurrent = std::max(report.max_concurrent, depth);
-      i = j;
-    }
-    if (report.max_concurrent > 2) {
-      fail(report, "reads " + std::to_string(report.max_concurrent) +
-                       " streams at once (receive-two model)");
-    }
-  }
-
-  // Peak buffered media: at any time T the client has received
-  // sum over pieces of |{p in (from, to]: src + p <= T}| and has played
-  // min(max(T - a, 0), L). Evaluate at all reception endpoints.
-  {
-    std::vector<double> probes;
-    for (const ContinuousReception& r : pieces) {
-      const double s = forest.stream(r.stream).time;
-      probes.push_back(s + r.from);
-      probes.push_back(s + r.to);
-    }
-    for (const double T : probes) {
-      double received = 0.0;
-      for (const ContinuousReception& r : pieces) {
-        const double s = forest.stream(r.stream).time;
-        received += std::clamp(T - s, r.from, r.to) - r.from;
-      }
-      const double played = std::clamp(T - a, 0.0, L);
-      report.peak_buffer = std::max(report.peak_buffer, received - played);
-    }
-  }
-  return report;
+  const plan::ClientReport r =
+      plan::verify_client(forest.to_plan(), client, Model::kReceiveTwo);
+  ContinuousClientReport out;
+  out.client = r.client;
+  out.ok = r.ok;
+  out.error = r.error;
+  out.max_concurrent = r.max_concurrent;
+  out.peak_buffer = r.peak_buffer;
+  return out;
 }
 
 ContinuousForestReport verify_continuous_forest(const GeneralMergeForest& forest) {
-  ContinuousForestReport report;
-  for (Index c = 0; c < forest.size(); ++c) {
-    const ContinuousClientReport client = verify_continuous_client(forest, c);
-    ++report.clients;
-    report.max_concurrent = std::max(report.max_concurrent, client.max_concurrent);
-    report.peak_buffer = std::max(report.peak_buffer, client.peak_buffer);
-    if (!client.ok && report.ok) {
-      report.ok = false;
-      report.first_error = client.error;
-    }
-  }
-  return report;
+  const plan::PlanReport r = plan::verify(forest.to_plan(), Model::kReceiveTwo);
+  ContinuousForestReport out;
+  out.ok = r.ok;
+  out.first_error = r.first_error;
+  out.clients = r.clients;
+  out.max_concurrent = r.max_concurrent;
+  out.peak_buffer = r.peak_buffer;
+  return out;
 }
 
 }  // namespace smerge::merging

@@ -58,10 +58,17 @@ struct ContinuousForestReport {
 
 /// Builds the receiving pieces of the client served by stream `client`
 /// (the client arriving exactly at that stream's start).
+///
+/// NOTE: the per-client entry points below convert the whole forest to
+/// its canonical `plan::MergePlan` on every call (O(n) + two arena
+/// allocations). For one-shot queries that is fine; a loop over many
+/// clients should call `forest.to_plan()` once and use
+/// `plan::client_program` / `plan::verify_client` directly.
 [[nodiscard]] std::vector<ContinuousReception> continuous_program(
     const GeneralMergeForest& forest, Index client);
 
 /// Verifies one client against the forest's Lemma-1 stream durations.
+/// (Same per-call conversion cost as `continuous_program`; see above.)
 [[nodiscard]] ContinuousClientReport verify_continuous_client(
     const GeneralMergeForest& forest, Index client);
 

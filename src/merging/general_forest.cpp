@@ -81,27 +81,18 @@ double GeneralMergeForest::total_cost() const {
 }
 
 Index GeneralMergeForest::peak_concurrency() const {
-  const std::size_t n = streams_.size();
-  std::vector<std::pair<double, int>> events;
-  events.reserve(n * 2);
-  for (std::size_t i = 0; i < n; ++i) {
-    const double start = streams_[i].time;
-    events.emplace_back(start, +1);
-    events.emplace_back(start + duration_unchecked(i), -1);
+  // One home for the sweep: arrivals are already time-ordered, so the
+  // flat IR sorts only the ends (ends count before starts at equal
+  // times there too — a zero-length overlap is not an overlap).
+  return to_plan().peak_bandwidth();
+}
+
+plan::MergePlan GeneralMergeForest::to_plan() const {
+  plan::PlanBuilder builder(media_length_, Model::kReceiveTwo);
+  for (const GeneralStream& s : streams_) {
+    builder.add_stream(s.time, s.parent);
   }
-  // Ends sort before starts at equal times (a zero-length overlap is not
-  // an overlap).
-  std::sort(events.begin(), events.end(), [](const auto& a, const auto& b) {
-    if (a.first != b.first) return a.first < b.first;
-    return a.second < b.second;
-  });
-  Index depth = 0;
-  Index peak = 0;
-  for (const auto& [t, delta] : events) {
-    depth += delta;
-    peak = std::max(peak, depth);
-  }
-  return peak;
+  return builder.build();
 }
 
 bool GeneralMergeForest::merges_complete_in_time() const {

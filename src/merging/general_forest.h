@@ -12,6 +12,7 @@
 
 #include <vector>
 
+#include "core/plan.h"
 #include "fib/fibonacci.h"
 
 namespace smerge::merging {
@@ -60,8 +61,13 @@ class GeneralMergeForest {
   [[nodiscard]] double total_cost() const;
 
   /// Peak number of simultaneously transmitting streams (the maximum
-  /// channel requirement of Section 5's discussion).
+  /// channel requirement of Section 5's discussion). Delegates to the
+  /// flat IR's single sweep (`MergePlan::peak_bandwidth`).
   [[nodiscard]] Index peak_concurrency() const;
+
+  /// The canonical-IR view (receive-two: the general-arrivals substrate
+  /// is the Section-4.2 model): same stream ids, Lemma-1 lengths.
+  [[nodiscard]] plan::MergePlan to_plan() const;
 
   /// True iff every merge completes while its target is still alive:
   /// for every non-root x, 2 z(x) - x - p(x) <= duration(p(x)) + (p - x)

@@ -238,15 +238,26 @@ double rolling_cost(const std::vector<double>& t, double L, const Band& band) {
 
 }  // namespace
 
-GeneralOptimum optimal_general_forest(const std::vector<double>& arrivals,
-                                      double media_length, unsigned threads) {
-  check_input(arrivals, media_length, "optimal_general_forest");
-  GeneralOptimum out{0.0, GeneralMergeForest(media_length)};
+namespace {
+
+/// The shared solve-and-reconstruct core: fills the band, runs the
+/// prefix forest DP and recovers the optimal parent vector (-1 for
+/// roots). Every structured output — GeneralMergeForest or the flat
+/// MergePlan IR — is assembled from this one result.
+struct SolvedParents {
+  double cost = 0.0;
+  std::vector<Index> parent;
+};
+
+SolvedParents solve_parents(const std::vector<double>& arrivals,
+                            double media_length, unsigned threads,
+                            const char* fn) {
+  SolvedParents out;
   if (arrivals.empty()) return out;
 
   const Band band = band_of(arrivals, media_length);
   BandTable tab;
-  tab.allocate(band, "optimal_general_forest");
+  tab.allocate(band, fn);
   fill_band(arrivals, media_length, band, tab, threads);
   const auto m_at = [&tab](std::size_t a, std::size_t b) {
     return tab.m[tab.at(a, b)];
@@ -254,14 +265,14 @@ GeneralOptimum optimal_general_forest(const std::vector<double>& arrivals,
   const PrefixDP dp = forest_dp(media_length, band, m_at);
   const std::size_t n = band.n;
   if (dp.g[n] == kInf) {
-    throw std::logic_error("optimal_general_forest: no feasible forest (unexpected)");
+    throw std::logic_error(std::string(fn) + ": no feasible forest (unexpected)");
   }
   out.cost = dp.g[n];
 
   // Recover the root blocks, then each block's tree. The per-tree
   // parent assignment walks the split table iteratively (trees can be
   // hundreds of levels deep at large n; no recursion).
-  std::vector<Index> parent(n, -1);
+  out.parent.assign(n, -1);
   std::vector<std::size_t> blocks;  // block starts, reversed
   for (std::size_t kk = n; kk > 0; kk = dp.split[kk]) {
     blocks.push_back(dp.split[kk]);
@@ -277,14 +288,38 @@ GeneralOptimum optimal_general_forest(const std::vector<double>& arrivals,
     const auto [i, j] = stack.back();
     stack.pop_back();
     const auto h = static_cast<std::size_t>(tab.k[tab.at(i, j)]);
-    parent[h] = static_cast<Index>(i);
+    out.parent[h] = static_cast<Index>(i);
     if (h > i + 1) stack.emplace_back(i, h - 1);
     if (h < j) stack.emplace_back(h, j);
   }
-  for (std::size_t x = 0; x < n; ++x) {
-    out.forest.add_stream(arrivals[x], parent[x]);
+  return out;
+}
+
+}  // namespace
+
+GeneralOptimum optimal_general_forest(const std::vector<double>& arrivals,
+                                      double media_length, unsigned threads) {
+  check_input(arrivals, media_length, "optimal_general_forest");
+  GeneralOptimum out{0.0, GeneralMergeForest(media_length)};
+  const SolvedParents solved =
+      solve_parents(arrivals, media_length, threads, "optimal_general_forest");
+  out.cost = solved.cost;
+  for (std::size_t x = 0; x < arrivals.size(); ++x) {
+    out.forest.add_stream(arrivals[x], solved.parent[x]);
   }
   return out;
+}
+
+plan::MergePlan optimal_general_plan(const std::vector<double>& arrivals,
+                                     double media_length, unsigned threads) {
+  check_input(arrivals, media_length, "optimal_general_plan");
+  const SolvedParents solved =
+      solve_parents(arrivals, media_length, threads, "optimal_general_plan");
+  plan::PlanBuilder builder(media_length, Model::kReceiveTwo);
+  for (std::size_t x = 0; x < arrivals.size(); ++x) {
+    builder.add_stream(arrivals[x], solved.parent[x]);
+  }
+  return builder.build();
 }
 
 double optimal_general_cost(const std::vector<double>& arrivals,

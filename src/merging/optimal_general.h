@@ -71,6 +71,13 @@ struct GeneralOptimum {
                                                     double media_length,
                                                     unsigned threads = 1);
 
+/// As `optimal_general_forest`, but assembles the reconstructed parent
+/// vector directly into the canonical flat IR (core/plan.h) — the
+/// banded optimum as a `plan::verify`-able MergePlan.
+[[nodiscard]] plan::MergePlan optimal_general_plan(const std::vector<double>& arrivals,
+                                                   double media_length,
+                                                   unsigned threads = 1);
+
 /// Cost-only variant of `optimal_general_forest`. With `threads <= 1`
 /// it keeps only a rolling window of band rows — O(n + w^2) transient
 /// memory — so instance size is bounded by time, not table storage.

@@ -77,6 +77,10 @@ MergeForest DelayGuaranteedOnline::forest(Index n) const {
   return MergeForest(media_length_, std::move(trees));
 }
 
+plan::MergePlan DelayGuaranteedOnline::to_plan(Index n) const {
+  return forest(n).to_plan(Model::kReceiveTwo);
+}
+
 double DelayGuaranteedOnline::theorem22_bound(Index media_length, Index n) {
   if (media_length < 7 || n <= media_length * media_length + 2) {
     throw std::invalid_argument(

@@ -58,6 +58,10 @@ class DelayGuaranteedOnline {
   /// (s1 template copies plus a pruned final block).
   [[nodiscard]] MergeForest forest(Index n) const;
 
+  /// The same schedule as the canonical flat IR (slot units): the
+  /// on-line producer feeding `plan::verify` and the schedule layer.
+  [[nodiscard]] plan::MergePlan to_plan(Index n) const;
+
   /// Theorem-22 guarantee 1 + 2L/n on A/F; requires L >= 7, n > L^2+2.
   [[nodiscard]] static double theorem22_bound(Index media_length, Index n);
 

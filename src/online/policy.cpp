@@ -4,9 +4,13 @@
 #include <limits>
 #include <stdexcept>
 
-#include "online/server.h"
-
 namespace smerge {
+
+Index dg_slot_of(double arrival_time, double slot_duration) {
+  const double slots = arrival_time / slot_duration;
+  const auto rounded = static_cast<Index>(std::ceil(slots - 1e-12));
+  return rounded == 0 ? Index{0} : rounded - 1;
+}
 
 namespace {
 
@@ -40,15 +44,21 @@ class DgObjectPolicy final : public ObjectPolicy {
 
   void finish(double horizon, PolicySink& sink) override {
     const Index L = dg_->media_length();
+    const MergeTree& tmpl = dg_->template_tree();
+    const Index block = dg_->block_size();
     // Every slot that begins within the horizon gets its stream — the
     // ceil (with dg_slot_of's boundary guard) covers a fractional final
     // slot, so no admitted client can map past the emitted schedule.
+    // Parents follow the template tree (a prefix keeps its parents), so
+    // the emitted schedule round-trips into a verifiable MergePlan.
     const auto n = static_cast<Index>(
         std::ceil(horizon * static_cast<double>(L) - 1e-12));
     for (Index t = 0; t < n; ++t) {
-      sink.start_stream(
-          static_cast<double>(t + 1) * delay_,
-          static_cast<double>(dg_->stream_length(t, n)) * delay_);
+      const Index local = t % block;
+      const Index parent = local == 0 ? -1 : (t - local) + tmpl.parent(local);
+      sink.start_stream(static_cast<double>(t + 1) * delay_,
+                        static_cast<double>(dg_->stream_length(t, n)) * delay_,
+                        parent);
     }
   }
 
@@ -102,10 +112,12 @@ class GreedyObjectPolicy final : public ObjectPolicy {
 
   void finish(double, PolicySink& sink) override {
     // Truncations (Lemma-1 durations) are final only once the last
-    // arrival is known, so the stream intervals are emitted here.
+    // arrival is known, so the stream intervals are emitted here; the
+    // merger's parents pass straight through (ids = emission order).
     const merging::GeneralMergeForest& forest = merger_.forest();
     for (Index i = 0; i < forest.size(); ++i) {
-      sink.start_stream(forest.stream(i).time, forest.stream_duration(i));
+      sink.start_stream(forest.stream(i).time, forest.stream_duration(i),
+                        forest.stream(i).parent);
     }
   }
 

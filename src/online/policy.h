@@ -31,13 +31,27 @@
 
 namespace smerge {
 
+/// The slot whose stream serves a client arriving at `arrival_time`
+/// under the DG mapping: an arrival during slot t — the interval
+/// (t*D, (t+1)*D] — is served by the stream starting at the slot's end,
+/// and an arrival exactly on a boundary joins the stream starting right
+/// there (zero wait). The single home of the mapping, shared by
+/// DelayGuaranteedPolicy and the event-driven DelayGuaranteedServer
+/// (src/online/server.h).
+[[nodiscard]] Index dg_slot_of(double arrival_time, double slot_duration);
+
 /// Where a policy records its decisions; implemented by the engine.
 class PolicySink {
  public:
   virtual ~PolicySink() = default;
   /// A multicast stream transmitting [start, start + duration).
-  virtual void start_stream(double start, double duration) = 0;
-  /// A client admission; wait = playback_start - arrival >= 0.
+  /// `parent` is the stream this one merges into — the index of an
+  /// earlier `start_stream` call on this sink (emission order), or -1
+  /// for a full stream. It is what lets the engine assemble each
+  /// object's schedule into a verifiable `plan::MergePlan`.
+  virtual void start_stream(double start, double duration, Index parent = -1) = 0;
+  /// A client admission; wait = playback_start - arrival >= 0. The
+  /// playback start must coincide with some emitted stream's start.
   virtual void admit(double arrival, double playback_start) = 0;
 };
 

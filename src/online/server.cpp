@@ -5,12 +5,6 @@
 
 namespace smerge {
 
-Index dg_slot_of(double arrival_time, double slot_duration) {
-  const double slots = arrival_time / slot_duration;
-  const auto rounded = static_cast<Index>(std::ceil(slots - 1e-12));
-  return rounded == 0 ? Index{0} : rounded - 1;
-}
-
 DelayGuaranteedServer::DelayGuaranteedServer(Index media_slots, double slot_duration)
     : policy_(media_slots), table_(policy_), slot_duration_(slot_duration) {
   if (!(slot_duration > 0.0)) {

@@ -11,17 +11,13 @@
 #ifndef SMERGE_ONLINE_SERVER_H
 #define SMERGE_ONLINE_SERVER_H
 
+#include "online/policy.h"
 #include "online/program_table.h"
 
 namespace smerge {
 
-/// The slot whose stream serves a client arriving at `arrival_time`
-/// under the DG mapping: an arrival during slot t — the interval
-/// (t*D, (t+1)*D] — is served by the stream starting at the slot's end,
-/// and an arrival exactly on a boundary joins the stream starting right
-/// there (zero wait). Shared by DelayGuaranteedServer and the
-/// simulation engine's DelayGuaranteedPolicy (src/online/policy.h).
-[[nodiscard]] Index dg_slot_of(double arrival_time, double slot_duration);
+// The slot mapping shared with the policy layer lives in
+// online/policy.h (`dg_slot_of`), its single home.
 
 /// What a client receives back at admission.
 struct ClientTicket {

@@ -74,6 +74,17 @@ ChannelAssignment assign_channels(const std::vector<StreamInterval>& intervals) 
   return out;
 }
 
+ChannelAssignment assign_channels(const plan::MergePlan& plan) {
+  std::vector<StreamInterval> intervals;
+  const auto start = plan.start();
+  const auto length = plan.length();
+  intervals.reserve(start.size());
+  for (std::size_t i = 0; i < start.size(); ++i) {
+    intervals.push_back({start[i], start[i] + length[i]});
+  }
+  return assign_channels(intervals);
+}
+
 Index peak_overlap(std::vector<ChannelEvent>& events) {
   std::sort(events.begin(), events.end(),
             [](const ChannelEvent& a, const ChannelEvent& b) {

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "core/plan.h"
 #include "schedule/stream_schedule.h"
 
 namespace smerge {
@@ -39,6 +40,12 @@ struct StreamInterval {
 /// schedule overload, again using exactly the peak-overlap many channels.
 [[nodiscard]] ChannelAssignment assign_channels(
     const std::vector<StreamInterval>& intervals);
+
+/// Channel assignment straight off the canonical IR: works for any
+/// producer's plan (off-line forests, the banded general optimum, the
+/// on-line policies' engine output). Plan ids are already start-ordered,
+/// so the result uses exactly `plan.peak_bandwidth()` channels.
+[[nodiscard]] ChannelAssignment assign_channels(const plan::MergePlan& plan);
 
 /// A +-1 occupancy edge at `time` (+1 = a stream starts, -1 = it ends).
 struct ChannelEvent {

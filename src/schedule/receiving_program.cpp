@@ -1,9 +1,25 @@
 #include "schedule/receiving_program.h"
 
+#include <cmath>
 #include <sstream>
 #include <stdexcept>
 
 namespace smerge {
+
+namespace {
+
+/// Rounds a slot-aligned plan quantity to its integer slot value;
+/// throws when the plan is not slot-aligned.
+Index slot_value(double x, const char* what) {
+  const double rounded = std::nearbyint(x);
+  if (std::abs(x - rounded) > 1e-9) {
+    throw std::invalid_argument(std::string("ReceivingProgram: plan ") + what +
+                                " is not slot-aligned");
+  }
+  return static_cast<Index>(rounded);
+}
+
+}  // namespace
 
 ReceivingProgram::ReceivingProgram(const MergeForest& forest, Index arrival,
                                    Model model)
@@ -18,7 +34,39 @@ ReceivingProgram::ReceivingProgram(const MergeForest& forest, Index arrival,
   for (const Index local : tree.path_from_root(arrival - offset)) {
     path_.push_back(local + offset);
   }
-  const Index a = arrival;
+  assemble(model);
+}
+
+ReceivingProgram::ReceivingProgram(const plan::MergePlan& plan, Index client,
+                                   Model model)
+    : arrival_(0), media_length_(slot_value(plan.media_length(), "media length")) {
+  const auto start = plan.start();
+  const auto length = plan.length();
+  const std::vector<Index> ids = plan.root_path(client);  // range-checks client
+  for (const Index id : ids) {
+    path_.push_back(slot_value(start[static_cast<std::size_t>(id)], "start"));
+  }
+  arrival_ = path_.back();
+  assemble(model);
+  // Feasibility against the plan's own (possibly explicit) truncations:
+  // every requested segment must actually be transmitted. Path slots
+  // are strictly increasing, so each reception's source is found by one
+  // scan over the (short) path.
+  for (const Reception& r : receptions_) {
+    for (std::size_t m = 0; m < path_.size(); ++m) {
+      if (path_[m] != r.stream) continue;
+      if (static_cast<double>(r.last_part) >
+          length[static_cast<std::size_t>(ids[m])] + 1e-9) {
+        throw std::invalid_argument(
+            "ReceivingProgram: plan stream too short for the program");
+      }
+      break;
+    }
+  }
+}
+
+void ReceivingProgram::assemble(Model model) {
+  const Index a = arrival_;
   const Index L = media_length_;
   const auto k = static_cast<Index>(path_.size()) - 1;
 

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "core/merge_forest.h"
+#include "core/plan.h"
 
 namespace smerge {
 
@@ -57,6 +58,16 @@ class ReceivingProgram {
   ReceivingProgram(const MergeForest& forest, Index arrival,
                    Model model = Model::kReceiveTwo);
 
+  /// Builds the program for the client of stream `client` in a
+  /// *slot-aligned* canonical plan (all starts and the media length
+  /// integral, e.g. any off-line forest plan or
+  /// `DelayGuaranteedOnline::to_plan`) — so receiving programs work on
+  /// any producer's plan, not just `MergeForest`. Streams are named by
+  /// their start slot, like the forest overload. Throws
+  /// std::invalid_argument for non-slot-aligned or infeasible plans.
+  ReceivingProgram(const plan::MergePlan& plan, Index client,
+                   Model model = Model::kReceiveTwo);
+
   /// The client's arrival time (= start of playback).
   [[nodiscard]] Index arrival() const noexcept { return arrival_; }
   /// Media length L.
@@ -75,6 +86,10 @@ class ReceivingProgram {
   [[nodiscard]] std::string to_string() const;
 
  private:
+  /// Shared stage-rule assembly: fills receptions_ from path_,
+  /// arrival_ and media_length_ (both constructors end here).
+  void assemble(Model model);
+
   Index arrival_;
   Index media_length_;
   std::vector<Index> path_;

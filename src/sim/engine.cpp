@@ -19,18 +19,28 @@ std::size_t index_of(Index x) { return static_cast<std::size_t>(x); }
 /// transmission intervals as +-1 channel events.
 class ShardSink final : public PolicySink {
  public:
-  ShardSink(double delay, bool collect_intervals)
-      : delay_(delay), collect_intervals_(collect_intervals) {}
+  ShardSink(double delay, bool collect_intervals, bool collect_plan)
+      : delay_(delay),
+        collect_intervals_(collect_intervals),
+        collect_plan_(collect_plan) {}
 
-  void start_stream(double start, double duration) override {
+  void start_stream(double start, double duration, Index parent) override {
     if (start < 0.0 || !(duration >= 0.0)) {
       throw std::invalid_argument("engine: policy emitted a bad stream interval");
+    }
+    if (parent < -1 || parent >= outcome.streams) {
+      throw std::invalid_argument("engine: policy emitted a bad stream parent");
     }
     ++outcome.streams;
     outcome.cost += duration;
     events.push_back({start, +1});
     events.push_back({start + duration, -1});
     if (collect_intervals_) intervals.push_back({start, start + duration});
+    if (collect_plan_) {
+      stream_starts.push_back(start);
+      stream_durations.push_back(duration);
+      stream_parents.push_back(parent);
+    }
   }
 
   void admit(double arrival, double playback_start) override {
@@ -45,6 +55,31 @@ class ShardSink final : public PolicySink {
     wait_sum += wait;
     if (wait > outcome.max_wait) outcome.max_wait = wait;
     if (violates_guarantee(wait, delay_)) ++outcome.violations;
+    if (collect_plan_) admissions.push_back({playback_start, wait});
+  }
+
+  /// Assembles the recorded schedule into the canonical IR: streams in
+  /// emission order (the policies emit in start order), per-stream
+  /// delays from the waits of the admissions each stream served.
+  [[nodiscard]] plan::MergePlan build_plan() const {
+    plan::PlanBuilder builder(1.0, Model::kReceiveTwo);
+    for (std::size_t i = 0; i < stream_starts.size(); ++i) {
+      builder.add_stream(stream_starts[i], stream_parents[i], stream_durations[i]);
+    }
+    for (const auto& [playback, wait] : admissions) {
+      // The admission contract: playback coincides with a stream start
+      // (both sides compute the identical slot/batch expression, so the
+      // match is exact; the tolerance absorbs nothing but future
+      // policies' rounding).
+      const auto it = std::lower_bound(stream_starts.begin(), stream_starts.end(),
+                                       playback - 1e-9);
+      if (it == stream_starts.end() || std::abs(*it - playback) > 1e-9) {
+        throw std::logic_error(
+            "engine: admission playback start matches no emitted stream");
+      }
+      builder.record_wait(static_cast<Index>(it - stream_starts.begin()), wait);
+    }
+    return builder.build();
   }
 
   ObjectOutcome outcome;
@@ -52,10 +87,15 @@ class ShardSink final : public PolicySink {
   std::vector<StreamInterval> intervals;
   std::vector<double> waits;
   double wait_sum = 0.0;
+  std::vector<double> stream_starts;     ///< collect_plans only
+  std::vector<double> stream_durations;  ///< collect_plans only
+  std::vector<Index> stream_parents;     ///< collect_plans only
+  std::vector<std::pair<double, double>> admissions;  ///< (playback, wait)
 
  private:
   double delay_;
   bool collect_intervals_;
+  bool collect_plan_;
 };
 
 /// One object's completed shard: outcome + time-ordered channel events.
@@ -65,6 +105,7 @@ struct Shard {
   std::vector<StreamInterval> intervals;  ///< sorted by start (collected only)
   std::vector<double> waits;         ///< in arrival order
   double wait_sum = 0.0;
+  plan::MergePlan plan;              ///< canonical IR (collected only)
 };
 
 /// Simulates one object: a pure function of (config, object, weight),
@@ -76,11 +117,12 @@ Shard simulate_object(const EngineConfig& config, const OnlinePolicy& policy,
   const std::unique_ptr<ObjectPolicy> state =
       policy.make_object_policy(config.delay, config.workload.horizon);
 
-  ShardSink sink(config.delay, config.collect_stream_intervals);
+  ShardSink sink(config.delay, config.collect_stream_intervals, config.collect_plans);
   for (const double t : arrivals) state->on_arrival(t, sink);
   state->finish(config.workload.horizon, sink);
 
   Shard shard;
+  if (config.collect_plans) shard.plan = sink.build_plan();
   shard.outcome = sink.outcome;
   shard.outcome.arrivals = static_cast<Index>(arrivals.size());
   shard.events = std::move(sink.events);
@@ -200,6 +242,12 @@ EngineResult run_engine(const EngineConfig& config, OnlinePolicy& policy) {
                      [](const StreamInterval& a, const StreamInterval& b) {
                        return a.start < b.start;
                      });
+  }
+
+  // Per-object canonical plans, in object-id order (deterministic).
+  if (config.collect_plans) {
+    result.plans.reserve(shards.size());
+    for (Shard& shard : shards) result.plans.push_back(std::move(shard.plan));
   }
 
   // Exact delay percentiles over every client of the run.

@@ -28,6 +28,7 @@
 
 #include <vector>
 
+#include "core/plan.h"
 #include "online/policy.h"
 #include "schedule/channels.h"
 #include "sim/workload.h"
@@ -44,6 +45,12 @@ struct EngineConfig {
   /// `assign_channels` needs for a concrete channel plan. Off by
   /// default: it is O(total streams) extra memory.
   bool collect_stream_intervals = false;
+  /// Also assemble each object's emitted schedule into a canonical
+  /// `plan::MergePlan` (parents from the policy's `start_stream` calls,
+  /// per-stream delays from the admissions it served) — the engine's
+  /// verifiable per-object output. Off by default: O(total streams)
+  /// extra memory.
+  bool collect_plans = false;
 };
 
 /// Exact client start-up delay distribution (nearest-rank percentiles).
@@ -83,6 +90,11 @@ struct EngineResult {
   /// `EngineConfig::collect_stream_intervals` is set. Feed to
   /// `assign_channels` for a physical channel plan.
   std::vector<StreamInterval> stream_intervals;
+  /// Per-object canonical plans (index = object id, media length 1.0);
+  /// empty unless `EngineConfig::collect_plans` is set. Each passes
+  /// `plan::verify` for the shipped policies — the cross-check the
+  /// engine tests and benches run.
+  std::vector<plan::MergePlan> plans;
 };
 
 /// True when `wait` exceeds `delay` beyond floating-point slot-boundary

@@ -43,6 +43,7 @@ TEST(BenchRegistry, AllMigratedBenchesAreRegistered) {
       "abl_multi_object",     "cpx_general",
       "cpx_general_scaling",  "cpx_offline",
       "cpx_online",           "cpx_parallel_scaling",
+      "cpx_plan_ops",
       "fig01_delay_sweep",
       "fig08_root_intervals", "fig09_online_ratio",
       "fig11_constant_arrivals", "fig12_poisson_arrivals",

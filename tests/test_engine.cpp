@@ -111,6 +111,45 @@ TEST(Engine, CollectedIntervalsFeedChannelPlanning) {
   EXPECT_EQ(plan.channels_used, collected.peak_concurrency);
 }
 
+TEST(Engine, CollectedPlansVerifyForEveryPolicy) {
+  // The engine's per-object output as the canonical IR: every shipped
+  // policy's plans must pass the universal verifier, reproduce the
+  // engine's own aggregates, and respect the delay guarantee.
+  EngineConfig config = small_config();
+  config.collect_plans = true;
+  DelayGuaranteedPolicy dg;
+  BatchingPolicy batching;
+  GreedyMergePolicy greedy_imm(merging::DyadicParams{}, /*batched=*/false);
+  GreedyMergePolicy greedy_bat(merging::DyadicParams{}, /*batched=*/true);
+  OnlinePolicy* const policies[] = {&dg, &batching, &greedy_imm, &greedy_bat};
+  for (OnlinePolicy* policy : policies) {
+    const EngineResult result = run_engine(config, *policy);
+    ASSERT_EQ(static_cast<Index>(result.plans.size()), config.workload.objects)
+        << policy->name();
+    double planned_cost = 0.0;
+    Index planned_streams = 0;
+    for (std::size_t m = 0; m < result.plans.size(); ++m) {
+      const plan::MergePlan& p = result.plans[m];
+      const plan::PlanReport report = plan::verify(p);
+      EXPECT_TRUE(report.ok)
+          << policy->name() << " object " << m << ": " << report.first_error;
+      EXPECT_EQ(report.peak_bandwidth, result.per_object[m].peak_concurrency)
+          << policy->name() << " object " << m;
+      // Waits recorded into the IR never exceed the configured delay
+      // (the greedy immediate policy admits at the arrival instant).
+      EXPECT_FALSE(violates_guarantee(report.max_delay, config.delay))
+          << policy->name() << " object " << m;
+      planned_cost += report.total_cost;
+      planned_streams += p.size();
+    }
+    EXPECT_NEAR(planned_cost, result.streams_served, 1e-6) << policy->name();
+    EXPECT_EQ(planned_streams, result.total_streams) << policy->name();
+  }
+  // Plans are off by default.
+  config.collect_plans = false;
+  EXPECT_TRUE(run_engine(config, batching).plans.empty());
+}
+
 TEST(Engine, DelayGuaranteedCostIsDemandIndependent) {
   DelayGuaranteedPolicy policy;
   EngineConfig light = small_config();

@@ -76,6 +76,26 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values<Index>(2, 3, 4, 5, 7, 8),
                        ::testing::Range<Index>(1, 11)));
 
+TEST(ExhaustiveForests, UniversalVerifierAcceptsEveryFeasibleTree) {
+  // The strongest oracle wiring available: enumerate *every* merge tree
+  // on n arrivals and check that each feasible one round-trips through
+  // the canonical IR with a clean verify and the exact legacy costs.
+  for (const Index n : {1, 2, 3, 5, 7, 8}) {
+    const Index L = n + 1;  // every tree fits; lengths still prune some
+    Index feasible = 0;
+    enumerate_merge_trees(n, [&](const MergeTree& t) {
+      if (!t.feasible(L)) return;
+      ++feasible;
+      const plan::MergePlan p = t.to_plan(L);
+      const plan::PlanReport report = plan::verify(p);
+      EXPECT_TRUE(report.ok) << t.to_string() << ": " << report.first_error;
+      EXPECT_DOUBLE_EQ(report.total_cost,
+                       static_cast<double>(L + t.merge_cost()));
+    });
+    EXPECT_GT(feasible, 0) << n;
+  }
+}
+
 TEST(ExhaustiveForests, ConstraintBitesForSingleTreesNotForests) {
   // The constraint is non-trivial: at L = n = 8 the unconstrained optimal
   // tree itself is infeasible (the Fibonacci tree's stream 5 has Lemma-1

@@ -53,6 +53,13 @@ TEST(GeneralMergeForest, PeakConcurrency) {
   g.add_stream(0.0, -1);
   g.add_stream(2.0, -1);  // disjoint roots
   EXPECT_EQ(g.peak_concurrency(), 1);
+  // The canonical-IR cross-check: identical structure, cost and peak.
+  const plan::MergePlan p = f.to_plan();
+  EXPECT_TRUE(plan::verify(p).ok);
+  EXPECT_NEAR(p.total_cost(), f.total_cost(), 1e-12);
+  EXPECT_EQ(p.peak_bandwidth(), 3);
+  EXPECT_EQ(p.parent()[2], 0);
+  EXPECT_DOUBLE_EQ(p.merge_time()[2], 2.0 * 0.3 - 0.0);
 }
 
 TEST(GeneralMergeForest, MergeCompletionCheck) {

@@ -81,6 +81,22 @@ TEST(MergeForest, FeasibilityDistinguishesModels) {
   EXPECT_TRUE(f.feasible(Model::kReceiveAll));
 }
 
+TEST(MergeForest, PlanRoundTripMatchesLegacyWalks) {
+  const MergeForest f = two_tree_forest();
+  for (const Model model : {Model::kReceiveTwo, Model::kReceiveAll}) {
+    const plan::MergePlan p = f.to_plan(model);
+    ASSERT_EQ(p.size(), f.size());
+    EXPECT_EQ(p.num_roots(), f.num_trees());
+    for (Index x = 0; x < f.size(); ++x) {
+      EXPECT_DOUBLE_EQ(p.length()[static_cast<std::size_t>(x)],
+                       static_cast<double>(f.stream_length(x, model)));
+    }
+    const plan::PlanReport report = plan::verify(p);
+    EXPECT_TRUE(report.ok) << report.first_error;
+    EXPECT_DOUBLE_EQ(report.total_cost, static_cast<double>(f.full_cost(model)));
+  }
+}
+
 TEST(MergeForest, SingleArrival) {
   std::vector<MergeTree> trees;
   trees.push_back(MergeTree::single());

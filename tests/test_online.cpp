@@ -115,6 +115,11 @@ TEST(DelayGuaranteedOnline, ForestMatchesCostAndVerifies) {
       EXPECT_EQ(forest.full_cost(), dg.cost(n)) << "L=" << L << " n=" << n;
       const ForestReport report = verify_forest(forest);
       EXPECT_TRUE(report.ok) << "L=" << L << " n=" << n << ": " << report.first_error;
+      // The canonical-IR oracle agrees with the slotted verifier.
+      const plan::PlanReport plan_report = plan::verify(dg.to_plan(n));
+      EXPECT_TRUE(plan_report.ok)
+          << "L=" << L << " n=" << n << ": " << plan_report.first_error;
+      EXPECT_DOUBLE_EQ(plan_report.total_cost, static_cast<double>(dg.cost(n)));
     }
   }
 }

@@ -51,6 +51,15 @@ TEST_P(RandomTreeFuzz, FeasibleTreesPlayBackWithExactLemma15Buffers) {
                            << ": " << report.first_error;
     EXPECT_LE(report.max_concurrent, 2);
     EXPECT_EQ(report.unused_units, 0);
+    // The canonical-IR oracle agrees with the slotted verifier on
+    // arbitrary feasible trees, including the measured peak buffer.
+    const plan::PlanReport plan_report = plan::verify(forest.to_plan());
+    EXPECT_TRUE(plan_report.ok) << "n=" << n << " L=" << L << " seed=" << seed
+                                << ": " << plan_report.first_error;
+    EXPECT_NEAR(plan_report.peak_buffer,
+                static_cast<double>(report.peak_buffer), 1e-9);
+    EXPECT_DOUBLE_EQ(plan_report.total_cost,
+                     static_cast<double>(forest.full_cost()));
     ++verified;
   }
   EXPECT_EQ(verified, 12);

@@ -26,6 +26,20 @@ TEST(TreeBuilder, CountMatchesCatalan) {
   EXPECT_THROW((void)count_merge_trees(35), std::invalid_argument);
 }
 
+TEST(TreeBuilder, OptimalMergePlanVerifies) {
+  // The one-call off-line producer: an optimal tree as a canonical plan
+  // costing exactly L + M(n), accepted by the universal verifier.
+  for (const Index n : {1, 5, 13, 34, 100}) {
+    const Index L = 2 * n;  // roomy enough for the unconstrained optimum
+    const plan::MergePlan p = optimal_merge_plan(L, n);
+    ASSERT_EQ(p.size(), n);
+    const plan::PlanReport report = plan::verify(p);
+    EXPECT_TRUE(report.ok) << "n=" << n << ": " << report.first_error;
+    EXPECT_DOUBLE_EQ(report.total_cost, static_cast<double>(L + merge_cost(n)));
+  }
+  EXPECT_THROW((void)optimal_merge_plan(0, 3), std::invalid_argument);
+}
+
 class ExhaustiveOptimality : public ::testing::TestWithParam<Index> {};
 
 TEST_P(ExhaustiveOptimality, ClosedFormIsTrueMinimumReceiveTwo) {

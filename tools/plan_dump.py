@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Pretty-print a smerge-plan-v1 MergePlan JSON dump.
+
+Usage:
+    tools/plan_dump.py [PLAN.json] [--max-rows N]
+
+Reads the document from PLAN.json (or stdin when omitted), validates the
+schema and the embedded verifier report, renders a per-stream table and
+a forest sketch, and exits 1 when `verify.ok` is false — the CI smoke
+check runs it on one off-line and one on-line plan.
+"""
+
+import argparse
+import json
+import sys
+
+REQUIRED_ARRAYS = ("start", "delay", "parent", "merge_time", "length")
+
+
+def load(path: str | None) -> dict:
+    try:
+        if path is None or path == "-":
+            doc = json.load(sys.stdin)
+        else:
+            with open(path, encoding="utf-8") as fh:
+                doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        sys.exit(f"error: cannot read plan dump: {exc}")
+    if doc.get("schema") != "smerge-plan-v1":
+        sys.exit("error: not a smerge-plan-v1 document")
+    n = doc.get("streams")
+    for name in REQUIRED_ARRAYS:
+        if len(doc.get(name, [])) != n:
+            sys.exit(f"error: field '{name}' does not hold {n} entries")
+    return doc
+
+
+def fmt(x: float) -> str:
+    return f"{x:.6g}"
+
+
+def render_table(doc: dict, max_rows: int) -> None:
+    n = doc["streams"]
+    header = f"{'id':>5} {'start':>10} {'delay':>9} {'parent':>6} " \
+             f"{'length':>10} {'merge_time':>10}"
+    print(header)
+    print("-" * len(header))
+    shown = min(n, max_rows)
+    for i in range(shown):
+        parent = doc["parent"][i]
+        print(f"{i:>5} {fmt(doc['start'][i]):>10} {fmt(doc['delay'][i]):>9} "
+              f"{parent if parent >= 0 else '-':>6} "
+              f"{fmt(doc['length'][i]):>10} {fmt(doc['merge_time'][i]):>10}")
+    if shown < n:
+        print(f"... ({n - shown} more streams)")
+
+
+def render_forest(doc: dict, max_rows: int) -> None:
+    """Indented forest sketch (roots flush left), capped at max_rows."""
+    n = doc["streams"]
+    children: list[list[int]] = [[] for _ in range(n)]
+    roots = []
+    for i, p in enumerate(doc["parent"]):
+        if p < 0:
+            roots.append(i)
+        else:
+            children[p].append(i)
+    printed = 0
+    stack = [(r, 0) for r in reversed(roots)]
+    while stack and printed < max_rows:
+        node, depth = stack.pop()
+        print("  " * depth +
+              f"#{node} @{fmt(doc['start'][node])} len {fmt(doc['length'][node])}")
+        printed += 1
+        for child in reversed(children[node]):
+            stack.append((child, depth + 1))
+    if stack:
+        print(f"... ({n - printed} more streams)")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("plan", nargs="?", default=None,
+                        help="plan JSON path (default: stdin)")
+    parser.add_argument("--max-rows", type=int, default=40,
+                        help="cap the table / sketch at this many streams")
+    args = parser.parse_args()
+
+    doc = load(args.plan)
+    verify = doc.get("verify", {})
+    print(f"MergePlan ({doc['model']}): {doc['streams']} streams, "
+          f"{doc['roots']} roots, media length {fmt(doc['media_length'])}")
+    print(f"verify: ok={verify.get('ok')}  cost={fmt(verify.get('total_cost', 0.0))}  "
+          f"peak={verify.get('peak_bandwidth')}  "
+          f"max_concurrent={verify.get('max_concurrent')}  "
+          f"peak_buffer={fmt(verify.get('peak_buffer', 0.0))} "
+          f"(bound {fmt(verify.get('buffer_bound', 0.0))})  "
+          f"max_delay={fmt(verify.get('max_delay', 0.0))}")
+    if doc["streams"] > 0:
+        print()
+        render_table(doc, args.max_rows)
+        print()
+        render_forest(doc, args.max_rows)
+    if not verify.get("ok"):
+        print(f"\nVERIFY FAILED: {verify.get('first_error', '(no error recorded)')}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. piped into `head`
+        sys.exit(0)
