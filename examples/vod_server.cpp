@@ -1,91 +1,219 @@
-// VoD server: the paper's on-line environment (Section 4) as a service
-// simulation. Clients request one movie over a long horizon; the server
-// can run any of the studied policies:
-//   * dg       — on-line Delay Guaranteed (stream every slot, static trees)
-//   * dyadic   — immediate-service (alpha,beta)-dyadic merging [9]
-//   * batched  — batch to slot ends, then dyadic merging
-//   * hybrid   — Section-5 future work: DG under load, dyadic when idle
+// VoD server: a media-on-demand catalogue served live by the sharded
+// incremental ServerCore (src/server/server_core.h) — the paper's
+// Section-4 on-line environment as an operable service, not a post-hoc
+// experiment loop.
 //
-// Run: ./vod_server --policy=all --gap=0.004 --delay=0.01 --horizon=100
-//        [--poisson] [--seed=42]
-// (gap/delay/horizon are fractions / multiples of the media length)
+// Serving modes:
+//   * policy path   — any pluggable OnlinePolicy (dg | batching |
+//                     greedy | greedy-batched) over a Zipf catalogue,
+//                     arrivals ingested through the per-shard mailboxes;
+//   * capacity path — slotted batching with a channel budget and a
+//                     selectable admission mode (reject | defer |
+//                     degrade | observe), decided live at admission
+//                     time against the incremental channel ledger.
+//
+// A live stats line (current/peak channels, running P² delay
+// percentiles, admission counters) prints as the run progresses — the
+// queries the legacy end-of-run engine could not answer.
+//
+// Run: ./vod_server --objects=64 --policy=greedy-batched --gap=0.002
+//        --delay=0.01 --horizon=20 [--shards=4] [--seed=42]
+//      ./vod_server --objects=64 --capacity=32 --mode=defer --gap=0.04
+//        --delay=0.02 --horizon=20
+#include <algorithm>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
-#include "sim/arrivals.h"
-#include "sim/experiment.h"
-#include "sim/hybrid.h"
+#include "online/policy.h"
+#include "server/server_core.h"
+#include "sim/engine.h"
+#include "sim/workload.h"
 #include "util/cli.h"
 #include "util/table.h"
 
+namespace {
+
+using namespace smerge;
+
+void print_live(const server::LiveStats& live, double now) {
+  std::cout << "t=" << now << ": arrivals " << live.arrivals << ", admitted "
+            << live.admitted << ", rejected " << live.rejected << ", deferred "
+            << live.deferrals << ", degraded " << live.degraded << " | channels "
+            << live.current_channels << " now / " << live.peak_channels
+            << " peak | wait p50/p99/max " << live.wait.p50 << "/"
+            << live.wait.p99 << "/" << live.wait.max << " | cost " << live.cost
+            << "\n";
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  using namespace smerge;
   using namespace smerge::sim;
 
-  util::ArgParser args("vod_server: on-line policies on one arrival trace");
-  args.add_string("policy", "all", "dg | dyadic | batched | hybrid | all");
-  args.add_double("gap", 0.004, "(mean) inter-arrival gap, fraction of the media");
+  util::ArgParser args(
+      "vod_server: a live ServerCore catalogue under a pluggable policy or "
+      "capacity-aware admission");
+  // Batching is the default because it emits its streams at admission
+  // time, so the live channel queries show the run as it happens; the
+  // greedy mergers and DG resolve (or emit) their schedules at the
+  // horizon, filling the ledger only at finish().
+  args.add_string("policy", "batching",
+                  "dg | batching | greedy | greedy-batched");
+  args.add_int("objects", 64, "catalogue size (Zipf-weighted popularity)");
+  args.add_double("gap", 0.002, "aggregate mean inter-arrival gap (media lengths)");
   args.add_double("delay", 0.01, "guaranteed start-up delay, fraction of the media");
-  args.add_double("horizon", 100.0, "simulated time in media lengths");
-  args.add_bool("poisson", false, "Poisson arrivals instead of constant rate");
-  args.add_int("seed", 42, "RNG seed for Poisson arrivals");
+  args.add_double("horizon", 20.0, "simulated time in media lengths");
+  args.add_int("shards", 2, "mailbox/thread fan-out width");
+  args.add_int("capacity", 0,
+               "channel budget; > 0 switches to the capacity-admission path");
+  args.add_string("mode", "reject",
+                  "admission mode with --capacity: observe | reject | defer | "
+                  "degrade");
+  args.add_bool("constant", false, "constant-rate arrivals instead of Poisson");
+  args.add_int("seed", 42, "workload RNG seed");
+  args.add_int("live-every", 4, "live stats printouts per run");
   try {
     if (!args.parse(argc, argv)) {
       std::cout << args.help();
       return EXIT_SUCCESS;
     }
-    const double gap = args.get_double("gap");
+    WorkloadConfig workload;
+    workload.process = args.get_bool("constant") ? ArrivalProcess::kConstantRate
+                                                 : ArrivalProcess::kPoisson;
+    workload.objects = args.get_int("objects");
+    workload.mean_gap = args.get_double("gap");
+    workload.horizon = args.get_double("horizon");
+    workload.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+    validate(workload);
     const double delay = args.get_double("delay");
-    const double horizon = args.get_double("horizon");
-    const bool poisson = args.get_bool("poisson");
-    const std::string policy = args.get_string("policy");
+    const Index capacity = args.get_int("capacity");
+    const int checkpoints = std::max(1, static_cast<int>(args.get_int("live-every")));
 
-    const std::vector<double> arrivals =
-        poisson ? poisson_arrivals(gap, horizon,
-                                   static_cast<std::uint64_t>(args.get_int("seed")))
-                : constant_arrivals(gap, horizon);
-    std::cout << (poisson ? "Poisson" : "Constant-rate") << " arrivals: "
-              << arrivals.size() << " clients over " << horizon
-              << " media lengths (gap " << gap << ", delay " << delay << ")\n\n";
+    const std::vector<double> weights =
+        zipf_weights(workload.objects, workload.zipf_exponent);
+    std::vector<std::vector<double>> traces(
+        static_cast<std::size_t>(workload.objects));
+    for (Index m = 0; m < workload.objects; ++m) {
+      traces[static_cast<std::size_t>(m)] =
+          generate_arrivals(workload, m, weights[static_cast<std::size_t>(m)]);
+    }
 
-    util::TextTable table(
-        {"policy", "streams served", "full streams", "peak channels", "max delay"});
-    table.set_align(0, util::Align::kLeft);
+    std::unique_ptr<server::ServerCore> core;
+    std::unique_ptr<OnlinePolicy> policy;
+    if (capacity > 0) {
+      // Capacity path: slotted batching + live admission decisions.
+      const std::string mode = args.get_string("mode");
+      server::ServerCoreConfig config;
+      config.objects = workload.objects;
+      config.delay = delay;
+      config.horizon = workload.horizon;
+      config.serve = server::ServeMode::kSlottedBatching;
+      config.channel_capacity = capacity;
+      if (mode == "observe") {
+        config.admission = server::AdmissionMode::kObserve;
+      } else if (mode == "reject") {
+        config.admission = server::AdmissionMode::kReject;
+      } else if (mode == "defer") {
+        config.admission = server::AdmissionMode::kDefer;
+      } else if (mode == "degrade") {
+        config.admission = server::AdmissionMode::kDegrade;
+      } else {
+        throw std::invalid_argument("unknown --mode: " + mode);
+      }
+      core = std::make_unique<server::ServerCore>(config);
+      std::cout << "capacity path: " << capacity << " channels, mode "
+                << server::to_string(config.admission) << ", "
+                << workload.objects << " objects, delay " << delay << "\n\n";
 
-    const auto want = [&](const char* name) {
-      return policy == "all" || policy == name;
-    };
-    if (want("dg")) {
-      const BandwidthResult r = run_delay_guaranteed(delay, horizon);
-      table.add_row("delay-guaranteed", r.streams_served, r.full_streams,
-                    r.peak_concurrency, delay);
+      // Admission order is global arrival order: merge the traces.
+      std::vector<std::pair<double, Index>> arrivals;
+      for (Index m = 0; m < workload.objects; ++m) {
+        for (const double t : traces[static_cast<std::size_t>(m)]) {
+          arrivals.push_back({t, m});
+        }
+      }
+      std::sort(arrivals.begin(), arrivals.end());
+      const std::size_t step =
+          std::max<std::size_t>(1, arrivals.size() / static_cast<std::size_t>(
+                                                         checkpoints));
+      for (std::size_t i = 0; i < arrivals.size(); ++i) {
+        (void)core->admit(arrivals[i].second, arrivals[i].first);
+        if ((i + 1) % step == 0) {
+          print_live(core->live_stats(), arrivals[i].first);
+        }
+      }
+    } else {
+      // Policy path: mailbox ingest in horizon chunks with live stats
+      // between drains.
+      const std::string name = args.get_string("policy");
+      if (name == "dg") {
+        policy = std::make_unique<DelayGuaranteedPolicy>();
+      } else if (name == "batching") {
+        policy = std::make_unique<BatchingPolicy>();
+      } else if (name == "greedy") {
+        policy = std::make_unique<GreedyMergePolicy>(merging::DyadicParams{},
+                                                     /*batched=*/false);
+      } else if (name == "greedy-batched") {
+        policy = std::make_unique<GreedyMergePolicy>(merging::DyadicParams{},
+                                                     /*batched=*/true);
+      } else {
+        throw std::invalid_argument("unknown --policy: " + name);
+      }
+      server::ServerCoreConfig config;
+      config.objects = workload.objects;
+      config.delay = delay;
+      config.horizon = workload.horizon;
+      config.shards = static_cast<unsigned>(std::max<Index>(1, args.get_int("shards")));
+      core = std::make_unique<server::ServerCore>(config, *policy);
+      std::cout << "policy path: " << policy->name() << ", " << workload.objects
+                << " objects over " << config.shards << " shards, delay "
+                << delay << "\n\n";
+
+      std::vector<std::size_t> cursor(traces.size(), 0);
+      for (int chunk = 1; chunk <= checkpoints; ++chunk) {
+        // The final chunk uses the horizon exactly: a rounded-down
+        // boundary would silently drop tail arrivals.
+        const double until = chunk == checkpoints
+                                 ? workload.horizon
+                                 : workload.horizon * chunk / checkpoints;
+        for (Index m = 0; m < workload.objects; ++m) {
+          auto& trace = traces[static_cast<std::size_t>(m)];
+          auto& at = cursor[static_cast<std::size_t>(m)];
+          std::vector<double> slice;
+          while (at < trace.size() && trace[at] <= until) {
+            slice.push_back(trace[at]);
+            ++at;
+          }
+          core->ingest_trace(m, std::move(slice));
+        }
+        core->drain();
+        print_live(core->live_stats(), until);
+      }
     }
-    if (want("dyadic")) {
-      merging::DyadicParams params;
-      if (!poisson) params.beta = dyadic_beta_for_constant_rate(delay);
-      const BandwidthResult r = run_dyadic(arrivals, params);
-      table.add_row("dyadic (immediate)", r.streams_served, r.full_streams,
-                    r.peak_concurrency, 0.0);
-    }
-    if (want("batched")) {
-      merging::DyadicParams params;
-      if (!poisson) params.beta = dyadic_beta_for_constant_rate(delay);
-      const BandwidthResult r = run_batched_dyadic(arrivals, delay, params);
-      table.add_row("dyadic (batched)", r.streams_served, r.full_streams,
-                    r.peak_concurrency, delay);
-    }
-    if (want("hybrid")) {
-      HybridParams params;
-      params.delay = delay;
-      const HybridOutcome out = run_hybrid(arrivals, horizon, params);
-      table.add_row("hybrid (Sec. 5)", out.bandwidth.streams_served,
-                    out.bandwidth.full_streams, out.bandwidth.peak_concurrency,
-                    delay);
-      std::cout << "hybrid telemetry: " << out.dg_slots << " DG slots, "
-                << out.dyadic_slots << " dyadic slots, " << out.mode_switches
-                << " mode switches\n\n";
-    }
+
+    core->finish();
+    const server::Snapshot snap = core->take_snapshot();
+    std::cout << "\n";
+    util::TextTable table({"arrivals", "admitted", "rejected", "streams",
+                           "streams served", "peak channels", "p99 wait",
+                           "max wait", "violations"});
+    table.add_row(snap.total_arrivals, snap.total_arrivals - snap.rejected,
+                  snap.rejected, snap.total_streams, snap.streams_served,
+                  snap.peak_concurrency, util::format_fixed(snap.wait.p99, 5),
+                  util::format_fixed(snap.wait.max, 5),
+                  snap.guarantee_violations);
     std::cout << table.to_string();
+    std::cout << "\ntop objects by transmitted media units:\n";
+    for (Index m = 0; m < std::min<Index>(5, workload.objects); ++m) {
+      const server::ObjectOutcome& o = snap.per_object[static_cast<std::size_t>(m)];
+      std::cout << "  object " << m << ": " << o.arrivals << " arrivals, "
+                << o.streams << " streams, cost " << o.cost << ", own peak "
+                << o.peak_concurrency << "\n";
+    }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return EXIT_FAILURE;

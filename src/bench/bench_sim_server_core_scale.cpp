@@ -1,0 +1,332 @@
+// Scale — the sharded incremental ServerCore at the ROADMAP's load.
+//
+// Two faces of the serving runtime:
+//
+//  1. Shard scaling (observe mode, generic batched greedy policy):
+//     full mode pushes ~10M Poisson arrivals over a 1000-object Zipf
+//     catalogue through ingest_trace/drain/finish at increasing shard
+//     counts. The snapshot must be identical at every width (the
+//     determinism contract) while wall-clock throughput scales with the
+//     hardware; a mid-run live query between two drains exercises the
+//     incremental ledger + P² percentiles under load.
+//
+//  2. Capacity-aware admission (slotted batching): a flash-crowd is
+//     driven over a channel budget in all four admission modes. The
+//     asserted semantics: reject/defer keep the peak within the budget
+//     and every admitted client within the delay guarantee (measured
+//     from the deferred slot in defer mode); degrade never rejects and
+//     never exceeds the budget, paying with guarantee violations;
+//     observe admits everything and counts the saturated starts.
+#include "bench/registry.h"
+#include "online/policy.h"
+#include "sim/engine.h"
+#include "util/parallel.h"
+#include "util/table.h"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+
+namespace {
+
+using namespace smerge;
+using namespace smerge::sim;
+
+constexpr double kDelay = 0.01;
+
+struct ShardRow {
+  unsigned shards = 0;
+  server::Snapshot snapshot;
+  double elapsed_ms = 0.0;
+  server::LiveStats mid_run;
+};
+
+ShardRow run_sharded(const EngineConfig& config, unsigned shards) {
+  ShardRow row;
+  row.shards = shards;
+  GreedyMergePolicy policy(merging::DyadicParams{}, /*batched=*/true);
+  const std::vector<double> weights =
+      zipf_weights(config.workload.objects, config.workload.zipf_exponent);
+  const auto n = static_cast<std::size_t>(config.workload.objects);
+  std::vector<std::vector<double>> traces(n);
+  util::parallel_for(
+      0, static_cast<std::int64_t>(n),
+      [&](std::int64_t i) {
+        traces[static_cast<std::size_t>(i)] = generate_arrivals(
+            config.workload, static_cast<Index>(i),
+            weights[static_cast<std::size_t>(i)]);
+      },
+      shards);
+
+  auto core_cfg = core_config(config);
+  core_cfg.shards = shards;
+  server::ServerCore core(core_cfg, policy);
+  const auto start = std::chrono::steady_clock::now();
+  // Two ingest waves with a drain + live query between them: the
+  // incremental path, not just a batch replay.
+  for (int wave = 0; wave < 2; ++wave) {
+    for (std::size_t m = 0; m < n; ++m) {
+      auto& trace = traces[m];
+      if (wave == 0) {
+        const auto half = trace.size() / 2;
+        std::vector<double> head(trace.begin(),
+                                 trace.begin() + static_cast<std::ptrdiff_t>(half));
+        trace.erase(trace.begin(), trace.begin() + static_cast<std::ptrdiff_t>(half));
+        core.ingest_trace(static_cast<Index>(m), std::move(head));
+      } else {
+        core.ingest_trace(static_cast<Index>(m), std::move(trace));
+      }
+    }
+    if (wave == 0) {
+      core.drain();
+      row.mid_run = core.live_stats();
+    }
+  }
+  core.finish();
+  const auto end = std::chrono::steady_clock::now();
+  row.elapsed_ms = std::chrono::duration<double, std::milli>(end - start).count();
+  row.snapshot = core.take_snapshot();
+  return row;
+}
+
+struct CapacityRow {
+  server::AdmissionMode mode = server::AdmissionMode::kObserve;
+  server::Snapshot snapshot;
+  Index peak = 0;
+  double max_guarantee_wait = 0.0;
+  double max_wait = 0.0;
+  Index arrivals = 0;
+};
+
+CapacityRow run_capacity(server::AdmissionMode mode, Index capacity,
+                         const WorkloadConfig& workload, double delay) {
+  CapacityRow row;
+  row.mode = mode;
+  server::ServerCoreConfig config;
+  config.objects = workload.objects;
+  config.delay = delay;
+  config.horizon = workload.horizon;
+  config.serve = server::ServeMode::kSlottedBatching;
+  config.channel_capacity = capacity;
+  config.admission = mode;
+  config.max_defer_slots = 16;
+  server::ServerCore core(config);
+
+  // Merge the per-object traces into one global time order — admission
+  // decisions are made in arrival order across the whole catalogue.
+  const std::vector<double> weights =
+      zipf_weights(workload.objects, workload.zipf_exponent);
+  std::vector<std::pair<double, Index>> arrivals;
+  for (Index m = 0; m < workload.objects; ++m) {
+    for (const double t :
+         generate_arrivals(workload, m, weights[static_cast<std::size_t>(m)])) {
+      arrivals.push_back({t, m});
+    }
+  }
+  std::sort(arrivals.begin(), arrivals.end());
+  row.arrivals = static_cast<Index>(arrivals.size());
+
+  for (const auto& [t, m] : arrivals) {
+    const server::Ticket ticket = core.admit(m, t);
+    if (ticket.admitted) {
+      row.max_guarantee_wait = std::max(row.max_guarantee_wait, ticket.guarantee_wait);
+      row.max_wait = std::max(row.max_wait, ticket.wait);
+    }
+  }
+  row.peak = core.peak_channels();
+  core.finish();
+  row.snapshot = core.take_snapshot();
+  return row;
+}
+
+}  // namespace
+
+SMERGE_BENCH(sim_server_core_scale,
+             "Scale — sharded incremental ServerCore: ~10M arrivals over a "
+             "1000-object catalogue with shard-count determinism, plus "
+             "capacity-aware admission (reject/defer/degrade) under a "
+             "flash crowd",
+             "shards", "arrivals", "arrivals_per_s",
+             "streams_served", "peak_channels", "p99_wait", "mode",
+             "mode_admitted", "mode_rejected", "mode_deferrals",
+             "mode_degraded", "mode_peak", "mode_violations") {
+  bench::BenchResult result;
+
+  // --- Part 1: shard scaling at the 10M-arrival load ------------------------
+  EngineConfig config;
+  config.workload.process = ArrivalProcess::kPoisson;
+  config.workload.objects = ctx.quick ? 32 : 1000;
+  config.workload.zipf_exponent = 1.0;
+  // Full mode: expected arrivals = horizon / mean_gap ~ 10.2M, so the
+  // >= 10M assertion holds with many sigmas of Poisson slack.
+  config.workload.mean_gap = ctx.quick ? 2e-3 : 9.8e-6;
+  config.workload.horizon = ctx.quick ? 10.0 : 100.0;
+  config.workload.seed = ctx.seed;
+  config.delay = kDelay;
+
+  std::vector<unsigned> widths{1, 2, 4};
+  if (ctx.quick) widths = {1, 2};
+
+  auto& shards_series = result.add_series("shards");
+  auto& arrivals_series = result.add_series("arrivals");
+  auto& throughput_series = result.add_series("arrivals_per_s");
+  auto& streams_series = result.add_series("streams_served");
+  auto& peak_series = result.add_series("peak_channels");
+  auto& p99_series = result.add_series("p99_wait");
+  util::TextTable scale_table({"shards", "arrivals", "streams served",
+                               "peak channels", "p99 wait", "core ms",
+                               "arrivals/s"});
+
+  ShardRow first;
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    ShardRow row = run_sharded(config, widths[i]);
+    const double throughput =
+        row.elapsed_ms > 0.0
+            ? static_cast<double>(row.snapshot.total_arrivals) /
+                  (row.elapsed_ms / 1000.0)
+            : 0.0;
+    // Determinism: every shard width lands on the identical snapshot.
+    if (i == 0) {
+      first = std::move(row);
+      row.snapshot = server::Snapshot{};  // moved-from; reuse `first` below
+      result.ok = result.ok && first.snapshot.guarantee_violations == 0 &&
+                  (ctx.quick || first.snapshot.total_arrivals >= 10'000'000);
+      // The mid-run live query saw a genuinely partial run.
+      result.ok = result.ok &&
+                  first.mid_run.admitted > 0 &&
+                  first.mid_run.admitted < first.snapshot.total_arrivals &&
+                  first.mid_run.peak_channels <= first.snapshot.peak_concurrency;
+      shards_series.values.push_back(static_cast<double>(widths[i]));
+      arrivals_series.values.push_back(
+          static_cast<double>(first.snapshot.total_arrivals));
+      streams_series.values.push_back(first.snapshot.streams_served);
+      peak_series.values.push_back(
+          static_cast<double>(first.snapshot.peak_concurrency));
+      p99_series.values.push_back(first.snapshot.wait.p99);
+      throughput_series.values.push_back(throughput);
+      scale_table.add_row(widths[i], first.snapshot.total_arrivals,
+                          first.snapshot.streams_served,
+                          first.snapshot.peak_concurrency,
+                          util::format_fixed(first.snapshot.wait.p99, 6),
+                          util::format_fixed(row.elapsed_ms, 0),
+                          util::format_fixed(throughput, 0));
+      continue;
+    }
+    result.ok = result.ok &&
+                row.snapshot.total_arrivals == first.snapshot.total_arrivals &&
+                row.snapshot.total_streams == first.snapshot.total_streams &&
+                row.snapshot.streams_served == first.snapshot.streams_served &&
+                row.snapshot.peak_concurrency == first.snapshot.peak_concurrency &&
+                row.snapshot.wait.p99 == first.snapshot.wait.p99 &&
+                row.snapshot.per_object == first.snapshot.per_object;
+    shards_series.values.push_back(static_cast<double>(widths[i]));
+    arrivals_series.values.push_back(
+        static_cast<double>(row.snapshot.total_arrivals));
+    streams_series.values.push_back(row.snapshot.streams_served);
+    peak_series.values.push_back(
+        static_cast<double>(row.snapshot.peak_concurrency));
+    p99_series.values.push_back(row.snapshot.wait.p99);
+    throughput_series.values.push_back(throughput);
+    scale_table.add_row(widths[i], row.snapshot.total_arrivals,
+                        row.snapshot.streams_served,
+                        row.snapshot.peak_concurrency,
+                        util::format_fixed(row.snapshot.wait.p99, 6),
+                        util::format_fixed(row.elapsed_ms, 0),
+                        util::format_fixed(throughput, 0));
+  }
+  result.tables.push_back(std::move(scale_table));
+
+  // --- Part 2: capacity-aware admission under a flash crowd -----------------
+  // Steady demand sits just under the budget (full streams last one
+  // media length, so steady concurrent streams ~ aggregate arrival rate
+  // x distinct-slot fraction); the x10 burst drives it far over.
+  WorkloadConfig crowd;
+  crowd.process = ArrivalProcess::kFlashCrowd;
+  crowd.objects = ctx.quick ? 8 : 64;
+  crowd.zipf_exponent = 1.0;
+  crowd.mean_gap = ctx.quick ? 0.1 : 0.04;
+  crowd.horizon = ctx.quick ? 4.0 : 20.0;
+  crowd.seed = ctx.seed;
+  crowd.burst_start = 1.0;
+  crowd.burst_duration = 1.0;
+  crowd.burst_multiplier = 10.0;
+  const Index capacity = ctx.quick ? 4 : 32;
+  const double delay = ctx.quick ? 0.1 : 0.02;
+
+  auto& mode_series = result.add_series("mode");
+  auto& admitted_series = result.add_series("mode_admitted");
+  auto& rejected_series = result.add_series("mode_rejected");
+  auto& deferral_series = result.add_series("mode_deferrals");
+  auto& degraded_series = result.add_series("mode_degraded");
+  auto& mode_peak_series = result.add_series("mode_peak");
+  auto& violation_series = result.add_series("mode_violations");
+  util::TextTable cap_table({"mode", "arrivals", "admitted", "rejected",
+                             "deferrals", "degraded", "peak", "violations",
+                             "max guarantee wait"});
+
+  const server::AdmissionMode modes[] = {
+      server::AdmissionMode::kObserve, server::AdmissionMode::kReject,
+      server::AdmissionMode::kDefer, server::AdmissionMode::kDegrade};
+  for (std::size_t i = 0; i < 4; ++i) {
+    const CapacityRow row = run_capacity(modes[i], capacity, crowd, delay);
+    const server::Snapshot& snap = row.snapshot;
+    const Index admitted = snap.total_arrivals - snap.rejected;
+    switch (modes[i]) {
+      case server::AdmissionMode::kObserve:
+        // The crowd genuinely exceeds the budget, and nobody is turned
+        // away or delayed past the guarantee.
+        result.ok = result.ok && row.peak > capacity && snap.rejected == 0 &&
+                    snap.capacity_violations > 0 &&
+                    snap.guarantee_violations == 0;
+        break;
+      case server::AdmissionMode::kReject:
+        // The acceptance criterion: waits <= delay for every admitted
+        // client, peak within the budget, overload sheds as rejects.
+        result.ok = result.ok && row.peak <= capacity && snap.rejected > 0 &&
+                    !server::violates_guarantee(row.max_wait, delay) &&
+                    snap.guarantee_violations == 0 &&
+                    snap.capacity_violations == 0;
+        break;
+      case server::AdmissionMode::kDefer:
+        // Guarantee measured from the deferred admission; still within
+        // the budget, strictly fewer rejects than reject mode would
+        // produce (deferred batches are shared by later clients).
+        result.ok = result.ok && row.peak <= capacity &&
+                    snap.deferrals > 0 &&
+                    !server::violates_guarantee(row.max_guarantee_wait, delay) &&
+                    snap.capacity_violations == 0;
+        break;
+      case server::AdmissionMode::kDegrade:
+        // Nobody is rejected, the budget holds, and the cost is visible
+        // as guarantee violations.
+        result.ok = result.ok && row.peak <= capacity && snap.rejected == 0 &&
+                    snap.degraded > 0 && snap.guarantee_violations > 0 &&
+                    admitted == snap.total_arrivals;
+        break;
+    }
+    mode_series.values.push_back(static_cast<double>(i));
+    admitted_series.values.push_back(static_cast<double>(admitted));
+    rejected_series.values.push_back(static_cast<double>(snap.rejected));
+    deferral_series.values.push_back(static_cast<double>(snap.deferrals));
+    degraded_series.values.push_back(static_cast<double>(snap.degraded));
+    mode_peak_series.values.push_back(static_cast<double>(row.peak));
+    violation_series.values.push_back(
+        static_cast<double>(snap.guarantee_violations));
+    cap_table.add_row(server::to_string(modes[i]), snap.total_arrivals, admitted,
+                      snap.rejected, snap.deferrals, snap.degraded, row.peak,
+                      snap.guarantee_violations,
+                      util::format_fixed(row.max_guarantee_wait, 4));
+  }
+  result.tables.push_back(std::move(cap_table));
+
+  result.add_metric("capacity_budget", static_cast<double>(capacity));
+  result.notes.push_back(
+      "part 1: batched greedy over " +
+      std::to_string(config.workload.objects) +
+      " objects, identical snapshots at every shard width; part 2: flash "
+      "crowd x" +
+      util::format_fixed(crowd.burst_multiplier, 0) + " against a " +
+      std::to_string(capacity) + "-channel budget, delay " +
+      util::format_fixed(delay, 2));
+  return result;
+}

@@ -1,39 +1,49 @@
 #include "online/server.h"
 
-#include <cmath>
-#include <stdexcept>
-
 namespace smerge {
 
-DelayGuaranteedServer::DelayGuaranteedServer(Index media_slots, double slot_duration)
-    : policy_(media_slots), table_(policy_), slot_duration_(slot_duration) {
-  if (!(slot_duration > 0.0)) {
-    throw std::invalid_argument("DelayGuaranteedServer: slot duration must be positive");
-  }
+DelayGuaranteedServer::DelayGuaranteedServer(Index media_slots, double slot_duration) {
+  server::ServerCoreConfig config;
+  config.objects = 1;
+  config.delay = slot_duration;
+  // The served horizon is open-ended: the schedule extends with the
+  // admissions (dg_emit_through), never from a finish() flush.
+  config.horizon = 0.0;
+  config.serve = server::ServeMode::kSlottedDg;
+  config.dg_media_slots = media_slots;
+  core_ = std::make_unique<server::ServerCore>(config);
 }
 
 ClientTicket DelayGuaranteedServer::admit(double arrival_time) {
-  if (arrival_time < 0.0) {
-    throw std::invalid_argument("DelayGuaranteedServer::admit: negative arrival time");
-  }
-  if (arrival_time < last_arrival_) {
-    throw std::invalid_argument("DelayGuaranteedServer::admit: arrivals must be sorted");
-  }
-  last_arrival_ = arrival_time;
+  const server::Ticket ticket = core_->admit(0, arrival_time);
+  ClientTicket out;
+  out.slot = ticket.slot;
+  out.playback_start = ticket.playback_start;
+  out.wait = ticket.wait;
+  out.program = ticket.program;
+  return out;
+}
 
-  const Index slot = dg_slot_of(arrival_time, slot_duration_);
-  ClientTicket ticket;
-  ticket.slot = slot;
-  ticket.playback_start = static_cast<double>(slot + 1) * slot_duration_;
-  ticket.wait = ticket.playback_start - arrival_time;
-  ticket.program = &table_.lookup(slot % policy_.block_size());
-  ++clients_;
-  if (slot > last_slot_) last_slot_ = slot;
-  return ticket;
+Index DelayGuaranteedServer::clients() const noexcept {
+  return core_->object_clients(0);
+}
+
+Index DelayGuaranteedServer::last_slot() const noexcept {
+  return core_->object_last_slot(0);
 }
 
 Cost DelayGuaranteedServer::transmitted_units(Index horizon_slots) const {
-  return policy_.cost(horizon_slots);
+  return core_->dg_policy().cost(horizon_slots);
+}
+
+Index DelayGuaranteedServer::peak_channels() { return core_->peak_channels(); }
+
+const DelayGuaranteedOnline& DelayGuaranteedServer::policy() const noexcept {
+  return core_->dg_policy();
+}
+
+const ProgramTable& DelayGuaranteedServer::programs() const noexcept {
+  return core_->programs();
 }
 
 }  // namespace smerge

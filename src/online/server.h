@@ -8,11 +8,20 @@
 // policy (a stream per slot, truncated per the template tree), which is
 // exactly why the paper calls this the simplest of the on-line merging
 // algorithms.
+//
+// Since the serving-runtime refactor this is a one-object adapter over
+// `server::ServerCore` in its slotted Delay Guaranteed mode: admissions,
+// counters and the incremental channel ledger all live in the core, so
+// the same runtime object also answers live queries (peak channels,
+// running percentiles) that the historical stand-alone server could not.
 #ifndef SMERGE_ONLINE_SERVER_H
 #define SMERGE_ONLINE_SERVER_H
 
+#include <memory>
+
 #include "online/policy.h"
 #include "online/program_table.h"
+#include "server/server_core.h"
 
 namespace smerge {
 
@@ -20,11 +29,18 @@ namespace smerge {
 // online/policy.h (`dg_slot_of`), its single home.
 
 /// What a client receives back at admission.
+///
+/// Lifetime contract: `program` is a stable *index* into the server's
+/// `ProgramTable` (look it up via `programs().lookup(program)`), valid
+/// for the server's whole lifetime. It deliberately is not a pointer:
+/// entry addresses are an implementation detail of the table's storage,
+/// and handing them out would dangle if the table ever grew or
+/// relocated.
 struct ClientTicket {
   Index slot = 0;              ///< slot whose stream serves the client
   double playback_start = 0.0; ///< when that stream begins (slot end)
   double wait = 0.0;           ///< playback_start - arrival, in (0, slot]
-  const ProgramTable::Entry* program = nullptr;  ///< O(1) table entry
+  Index program = -1;          ///< stable ProgramTable index, O(1) lookup
 };
 
 /// One media object served under the on-line DG policy.
@@ -38,26 +54,29 @@ class DelayGuaranteedServer {
   ClientTicket admit(double arrival_time);
 
   /// Number of clients admitted so far.
-  [[nodiscard]] Index clients() const noexcept { return clients_; }
+  [[nodiscard]] Index clients() const noexcept;
   /// Slot of the latest admission (defines the served horizon).
-  [[nodiscard]] Index last_slot() const noexcept { return last_slot_; }
+  [[nodiscard]] Index last_slot() const noexcept;
 
   /// Total transmitted slot-units if the server runs for `horizon_slots`
   /// slots (the policy cost; independent of admissions).
   [[nodiscard]] Cost transmitted_units(Index horizon_slots) const;
 
+  /// Peak concurrent channels of the schedule emitted so far (through
+  /// the latest admission's slot) — a live ledger query the historical
+  /// server could not answer.
+  [[nodiscard]] Index peak_channels();
+
   /// The underlying static policy.
-  [[nodiscard]] const DelayGuaranteedOnline& policy() const noexcept { return policy_; }
+  [[nodiscard]] const DelayGuaranteedOnline& policy() const noexcept;
   /// The underlying program table.
-  [[nodiscard]] const ProgramTable& programs() const noexcept { return table_; }
+  [[nodiscard]] const ProgramTable& programs() const noexcept;
+
+  /// The serving runtime underneath (one object, slotted DG mode).
+  [[nodiscard]] server::ServerCore& core() noexcept { return *core_; }
 
  private:
-  DelayGuaranteedOnline policy_;
-  ProgramTable table_;
-  double slot_duration_;
-  double last_arrival_ = 0.0;
-  Index clients_ = 0;
-  Index last_slot_ = -1;
+  std::unique_ptr<server::ServerCore> core_;
 };
 
 }  // namespace smerge

@@ -1,0 +1,209 @@
+#include "server/channel_ledger.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace smerge::server {
+
+namespace {
+
+/// The canonical sweep order: time ascending, ends (-1) before starts
+/// (+1) at equal times, object id as the final tie-break — the exact
+/// order the legacy k-way merge popped events in.
+bool event_less(const LedgerEvent& a, const LedgerEvent& b) noexcept {
+  if (a.time != b.time) return a.time < b.time;
+  if (a.delta != b.delta) return a.delta < b.delta;
+  return a.object < b.object;
+}
+
+}  // namespace
+
+ChannelLedger::ChannelLedger(double span, double bucket_width) : width_(bucket_width) {
+  if (!(span > 0.0)) {
+    throw std::invalid_argument("ChannelLedger: span must be positive");
+  }
+  if (!(bucket_width > 0.0)) {
+    throw std::invalid_argument("ChannelLedger: bucket width must be positive");
+  }
+  const double count = std::ceil(span / bucket_width) + 1.0;
+  if (!(count < 1e8)) {
+    throw std::invalid_argument("ChannelLedger: too many buckets");
+  }
+  buckets_.resize(static_cast<std::size_t>(count));
+  leaves_ = 1;
+  while (leaves_ < buckets_.size()) leaves_ *= 2;
+  tree_net_.assign(2 * leaves_, 0);
+  tree_maxp_.assign(2 * leaves_, 0);
+}
+
+std::size_t ChannelLedger::bucket_of(double t) const noexcept {
+  if (!(t > 0.0)) return 0;
+  const double b = std::floor(t / width_);
+  const auto last = buckets_.size() - 1;
+  return b >= static_cast<double>(last) ? last : static_cast<std::size_t>(b);
+}
+
+void ChannelLedger::tree_update(std::size_t b) noexcept {
+  std::size_t pos = leaves_ + b;
+  tree_net_[pos] = buckets_[b].net;
+  tree_maxp_[pos] = buckets_[b].max_prefix;
+  for (pos /= 2; pos >= 1; pos /= 2) {
+    const std::size_t l = 2 * pos;
+    const std::size_t r = 2 * pos + 1;
+    tree_net_[pos] = tree_net_[l] + tree_net_[r];
+    tree_maxp_[pos] = std::max(tree_maxp_[l], tree_net_[l] + tree_maxp_[r]);
+    if (pos == 1) break;
+  }
+}
+
+void ChannelLedger::add_interval(double start, double end, Index object) {
+  if (!(start >= 0.0) || !(end >= start)) {
+    throw std::invalid_argument("ChannelLedger: bad interval");
+  }
+  const LedgerEvent evs[2] = {{start, object, +1}, {end, object, -1}};
+  for (const LedgerEvent& e : evs) {
+    const std::size_t b = bucket_of(e.time);
+    Bucket& bucket = buckets_[b];
+    const bool was_clean = bucket.sorted == bucket.events.size();
+    const bool in_order =
+        bucket.events.empty() || !event_less(e, bucket.events.back());
+    bucket.events.push_back(e);
+    bucket.net += e.delta;
+    if (was_clean && in_order) {
+      // Common case (streams arrive roughly in time order): the bucket
+      // stays sorted and its max-prefix extends in O(1).
+      bucket.sorted = bucket.events.size();
+      bucket.max_prefix = std::max(bucket.max_prefix, bucket.net);
+    } else if (was_clean) {
+      dirty_.push_back(static_cast<std::uint32_t>(b));
+    }
+    tree_update(b);
+    ++events_;
+  }
+}
+
+void ChannelLedger::ensure_sorted(std::size_t b) {
+  Bucket& bucket = buckets_[b];
+  if (bucket.sorted == bucket.events.size()) return;
+  const auto mid = bucket.events.begin() + static_cast<std::ptrdiff_t>(bucket.sorted);
+  std::sort(mid, bucket.events.end(), event_less);
+  std::inplace_merge(bucket.events.begin(), mid, bucket.events.end(), event_less);
+  bucket.sorted = bucket.events.size();
+  std::int64_t running = 0;
+  std::int64_t maxp = 0;
+  for (const LedgerEvent& e : bucket.events) {
+    running += e.delta;
+    maxp = std::max(maxp, running);
+  }
+  bucket.max_prefix = maxp;
+  tree_update(b);
+}
+
+void ChannelLedger::flush() {
+  for (const std::uint32_t b : dirty_) ensure_sorted(b);
+  dirty_.clear();
+}
+
+std::pair<std::int64_t, std::int64_t> ChannelLedger::combine_range(
+    std::size_t lo, std::size_t hi) const noexcept {
+  // Left-to-right combine: maxp is relative to the range's start, with
+  // the empty prefix (0) always a candidate — exact because occupancy
+  // at a bucket boundary is itself a genuine sweep value.
+  std::int64_t lnet = 0, lmax = 0, rnet = 0, rmax = 0;
+  std::size_t l = leaves_ + lo;
+  std::size_t r = leaves_ + hi;
+  while (l < r) {
+    if (l & 1) {
+      lmax = std::max(lmax, lnet + tree_maxp_[l]);
+      lnet += tree_net_[l];
+      ++l;
+    }
+    if (r & 1) {
+      --r;
+      rmax = std::max(tree_maxp_[r], tree_net_[r] + rmax);
+      rnet = tree_net_[r] + rnet;
+    }
+    l /= 2;
+    r /= 2;
+  }
+  return {lnet + rnet, std::max(lmax, lnet + rmax)};
+}
+
+std::int64_t ChannelLedger::net_before(std::size_t b) const noexcept {
+  return combine_range(0, b).first;
+}
+
+Index ChannelLedger::peak() {
+  flush();
+  return static_cast<Index>(tree_maxp_[1]);
+}
+
+Index ChannelLedger::occupancy_at(double t) {
+  const std::size_t b = bucket_of(t);
+  ensure_sorted(b);
+  std::int64_t depth = net_before(b);
+  for (const LedgerEvent& e : buckets_[b].events) {
+    if (e.time > t) break;
+    depth += e.delta;
+  }
+  return static_cast<Index>(depth);
+}
+
+Index ChannelLedger::max_over(double a, double b) {
+  if (!(a <= b)) {
+    throw std::invalid_argument("ChannelLedger::max_over: requires a <= b");
+  }
+  // The window may span dirty buckets whose tree summaries are stale —
+  // bring every one current before combining.
+  flush();
+  const std::size_t ba = bucket_of(a);
+  const std::size_t bb = bucket_of(b);
+  std::int64_t depth = net_before(ba);
+  std::int64_t best;
+  {
+    const Bucket& bucket = buckets_[ba];
+    std::size_t i = 0;
+    // Everything at or before `a` contributes to the occupancy at the
+    // window's left edge — the first candidate.
+    while (i < bucket.events.size() && bucket.events[i].time <= a) {
+      depth += bucket.events[i].delta;
+      ++i;
+    }
+    best = depth;
+    const double stop = ba == bb ? b : std::numeric_limits<double>::infinity();
+    while (i < bucket.events.size() && bucket.events[i].time < stop) {
+      depth += bucket.events[i].delta;
+      best = std::max(best, depth);
+      ++i;
+    }
+  }
+  if (bb > ba) {
+    const auto [mid_net, mid_max] = combine_range(ba + 1, bb);
+    best = std::max(best, depth + mid_max);
+    depth += mid_net;
+    for (const LedgerEvent& e : buckets_[bb].events) {
+      if (e.time >= b) break;
+      depth += e.delta;
+      best = std::max(best, depth);
+    }
+  }
+  return static_cast<Index>(best);
+}
+
+Index ChannelLedger::capacity_violations(Index capacity) {
+  if (capacity < 1) return 0;
+  flush();
+  std::int64_t depth = 0;
+  Index violations = 0;
+  for (const Bucket& bucket : buckets_) {
+    for (const LedgerEvent& e : bucket.events) {
+      depth += e.delta;
+      if (e.delta > 0 && depth > capacity) ++violations;
+    }
+  }
+  return violations;
+}
+
+}  // namespace smerge::server

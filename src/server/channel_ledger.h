@@ -1,0 +1,112 @@
+// The incremental server-wide channel ledger.
+//
+// The legacy engine learned its channel occupancy only at end-of-run: a
+// k-way merge over every object's sorted +-1 event sequence. The ledger
+// replaces that with bucketed difference counters maintained *while the
+// run is in flight*, so "how many channels are busy right now", "what
+// is the peak so far" and "would one more stream fit under the budget"
+// are O(log B) queries at any time — the substrate for live stats and
+// capacity-aware admission (src/server/server_core.h).
+//
+// Layout: the time axis is cut into fixed-width buckets (one slot wide
+// by default). A stream [start, end) contributes a +1 event to the
+// bucket of `start` and a -1 event to the bucket of `end`; each bucket
+// keeps its events sorted in the canonical sweep order — (time, ends
+// before starts, object id) — alongside two summaries: `net`, the sum
+// of its deltas, and `max_prefix`, the maximum running sum over its
+// prefixes (floored at the empty prefix, 0). A segment tree over the
+// bucket summaries combines them left-to-right
+// (net = l.net + r.net, max_prefix = max(l.max_prefix, l.net +
+// r.max_prefix)), which makes global peak O(1) at the root and
+// occupancy / windowed-maximum queries O(log B) plus two partial bucket
+// scans. Appends are O(1) amortized: a bucket only re-sorts its
+// unsorted tail (and replays its tree path) when a query actually
+// needs it.
+//
+// Exactness: the canonical in-bucket order is the same order the
+// legacy k-way merge popped events in, and equal-key events commute in
+// any depth computation, so peak and capacity accounting are
+// bit-identical to the end-of-run reduction they replace (asserted by
+// tests/test_server_core.cpp against `peak_overlap`).
+#ifndef SMERGE_SERVER_CHANNEL_LEDGER_H
+#define SMERGE_SERVER_CHANNEL_LEDGER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "fib/fibonacci.h"
+
+namespace smerge::server {
+
+/// One +-1 occupancy edge, tagged with the emitting object so ties
+/// break deterministically in the canonical sweep order.
+struct LedgerEvent {
+  double time = 0.0;
+  Index object = 0;
+  std::int32_t delta = 0;
+};
+
+/// Sorted, bucketed, incrementally queryable channel occupancy.
+class ChannelLedger {
+ public:
+  /// Buckets cover [0, span) in `bucket_width` steps; events at or
+  /// beyond the span clamp into the final bucket (order inside a
+  /// bucket is still exact, so clamping never changes any result).
+  /// Throws std::invalid_argument on a non-positive span or width.
+  ChannelLedger(double span, double bucket_width);
+
+  /// Records one transmission interval [start, end). O(1) amortized.
+  void add_interval(double start, double end, Index object);
+
+  /// Number of recorded events (two per interval).
+  [[nodiscard]] std::int64_t events() const noexcept { return events_; }
+
+  /// Peak simultaneous occupancy over everything recorded so far.
+  [[nodiscard]] Index peak();
+
+  /// Channels busy at time `t`: streams with start <= t and end > t.
+  [[nodiscard]] Index occupancy_at(double t);
+
+  /// Maximum occupancy over the window [a, b) — the admission-time
+  /// "would a stream spanning this window fit" primitive. Requires
+  /// a <= b.
+  [[nodiscard]] Index max_over(double a, double b);
+
+  /// Stream starts that found more than `capacity` channels busy after
+  /// starting — the legacy engine's end-of-run accounting, now one
+  /// O(events) sweep over the sorted buckets. Requires capacity >= 1.
+  [[nodiscard]] Index capacity_violations(Index capacity);
+
+ private:
+  struct Bucket {
+    std::vector<LedgerEvent> events;
+    std::size_t sorted = 0;        ///< prefix of `events` already in order
+    std::int64_t net = 0;          ///< sum of deltas (always current)
+    std::int64_t max_prefix = 0;   ///< max running sum over prefixes (>= 0)
+  };
+
+  [[nodiscard]] std::size_t bucket_of(double t) const noexcept;
+  void ensure_sorted(std::size_t b);
+  void flush();
+  /// Sum of bucket nets over [0, b) — occupancy at bucket b's start.
+  [[nodiscard]] std::int64_t net_before(std::size_t b) const noexcept;
+  /// Combined (net, max_prefix) over buckets [lo, hi).
+  [[nodiscard]] std::pair<std::int64_t, std::int64_t> combine_range(
+      std::size_t lo, std::size_t hi) const noexcept;
+  void tree_update(std::size_t b) noexcept;
+
+  double width_;
+  std::vector<Bucket> buckets_;
+  std::vector<std::uint32_t> dirty_;  ///< bucket ids with unsorted tails
+  std::int64_t events_ = 0;
+
+  // Flat segment tree over bucket summaries: leaves_ buckets rounded up
+  // to a power of two, nodes 1-based (node 1 = root).
+  std::size_t leaves_ = 1;
+  std::vector<std::int64_t> tree_net_;
+  std::vector<std::int64_t> tree_maxp_;
+};
+
+}  // namespace smerge::server
+
+#endif  // SMERGE_SERVER_CHANNEL_LEDGER_H

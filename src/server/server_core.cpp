@@ -1,0 +1,771 @@
+#include "server/server_core.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "util/parallel.h"
+
+namespace smerge::server {
+
+bool violates_guarantee(double wait, double delay) noexcept {
+  // Absolute + relative slack: admissions sit on slot boundaries
+  // computed in floating point, so an exact comparison against `delay`
+  // would flag rounding, not policy bugs.
+  return wait > delay * (1.0 + 1e-9) + 1e-12;
+}
+
+const char* to_string(AdmissionMode mode) noexcept {
+  switch (mode) {
+    case AdmissionMode::kObserve: return "observe";
+    case AdmissionMode::kReject: return "reject";
+    case AdmissionMode::kDefer: return "defer";
+    case AdmissionMode::kDegrade: return "degrade";
+  }
+  return "?";
+}
+
+namespace {
+
+std::size_t index_of(Index x) { return static_cast<std::size_t>(x); }
+
+}  // namespace
+
+/// Per-object serving state. Doubles as the object's PolicySink: the
+/// recording semantics (validation, wait clamping, violation counting,
+/// plan assembly) are the legacy engine ShardSink's, verbatim — that is
+/// what keeps the refactored engine bit-identical.
+struct ServerCore::ObjectState final : PolicySink {
+  ObjectState(Index id_, double delay_, bool collect_intervals_, bool collect_plan_)
+      : id(id_),
+        delay(delay_),
+        collect_intervals(collect_intervals_),
+        collect_plan(collect_plan_) {}
+
+  void start_stream(double start, double duration, Index parent) override {
+    if (start < 0.0 || !(duration >= 0.0)) {
+      throw std::invalid_argument(
+          "server-core: policy emitted a bad stream interval");
+    }
+    if (parent < -1 || parent >= outcome.streams) {
+      throw std::invalid_argument(
+          "server-core: policy emitted a bad stream parent");
+    }
+    ++outcome.streams;
+    outcome.cost += duration;
+    // The +1/-1 pair stays adjacent: the incremental ledger flush walks
+    // the vector two events at a time.
+    events.push_back({start, +1});
+    events.push_back({start + duration, -1});
+    if (collect_intervals) intervals.push_back({start, start + duration});
+    if (collect_plan) {
+      stream_starts.push_back(start);
+      stream_durations.push_back(duration);
+      stream_parents.push_back(parent);
+    }
+  }
+
+  void admit(double arrival, double playback_start) override {
+    record_admission(arrival, playback_start, arrival);
+  }
+
+  /// Records one admission; the guarantee is measured from `basis`
+  /// (== arrival everywhere except the defer admission mode, which
+  /// re-promises from the deferred slot).
+  void record_admission(double arrival, double playback_start, double basis) {
+    double wait = playback_start - arrival;
+    if (wait < 0.0) {
+      if (wait < -1e-9) {
+        throw std::invalid_argument("server-core: playback before arrival");
+      }
+      wait = 0.0;  // boundary rounding, not time travel
+    }
+    waits.push_back(wait);
+    wait_sum += wait;
+    if (wait > outcome.max_wait) outcome.max_wait = wait;
+    if (violates_guarantee(playback_start - basis, delay)) ++outcome.violations;
+    if (collect_plan) admissions.push_back({playback_start, wait});
+    last_playback = playback_start;
+  }
+
+  /// Assembles the recorded schedule into the canonical IR: streams in
+  /// emission order (the policies emit in start order), per-stream
+  /// delays from the waits of the admissions each stream served.
+  [[nodiscard]] plan::MergePlan build_plan() const {
+    plan::PlanBuilder builder(1.0, Model::kReceiveTwo);
+    for (std::size_t i = 0; i < stream_starts.size(); ++i) {
+      builder.add_stream(stream_starts[i], stream_parents[i], stream_durations[i]);
+    }
+    for (const auto& [playback, wait] : admissions) {
+      // The admission contract: playback coincides with a stream start
+      // (both sides compute the identical slot/batch expression, so the
+      // match is exact; the tolerance absorbs nothing but future
+      // policies' rounding).
+      const auto it = std::lower_bound(stream_starts.begin(), stream_starts.end(),
+                                       playback - 1e-9);
+      if (it == stream_starts.end() || std::abs(*it - playback) > 1e-9) {
+        throw std::logic_error(
+            "server-core: admission playback start matches no emitted stream");
+      }
+      builder.record_wait(static_cast<Index>(it - stream_starts.begin()), wait);
+    }
+    return builder.build();
+  }
+
+  const Index id;
+  const double delay;
+  const bool collect_intervals;
+  const bool collect_plan;
+
+  std::unique_ptr<ObjectPolicy> policy;  ///< generic path only
+
+  // Recorder (the legacy ShardSink fields).
+  ObjectOutcome outcome;
+  std::vector<ChannelEvent> events;  ///< emission order until finalized
+  std::vector<StreamInterval> intervals;
+  std::vector<double> waits;  ///< in admission order
+  double wait_sum = 0.0;
+  std::vector<double> stream_starts;     ///< collect_plans only
+  std::vector<double> stream_durations;  ///< collect_plans only
+  std::vector<Index> stream_parents;     ///< collect_plans only
+  std::vector<std::pair<double, double>> admissions;  ///< (playback, wait)
+  plan::MergePlan plan;
+
+  // Mailbox + incremental-fold cursors.
+  std::vector<double> pending;     ///< time-ordered, unprocessed arrivals
+  std::size_t flushed_events = 0;  ///< events already in the global ledger
+  std::size_t flushed_waits = 0;   ///< waits already in the P2 trackers
+  bool dirty = false;              ///< queued in its shard's dirty list
+
+  // Serving state.
+  double last_time = 0.0;     ///< monotonicity guard (ingest + admit)
+  double last_playback = 0.0; ///< most recent admission (ticket assembly)
+  Index last_slot = -1;       ///< slotted modes
+  Index dg_emitted = -1;      ///< SlottedDg: last slot already in the ledger
+  std::vector<std::uint8_t> slot_has_stream;  ///< SlottedBatching
+};
+
+struct ServerCore::Impl {
+  Impl(double span, double bucket) : ledger(span, bucket) {}
+
+  std::vector<std::unique_ptr<ObjectState>> objects;
+  std::vector<std::vector<Index>> shard_dirty;  ///< per-shard mailbox index
+  ChannelLedger ledger;
+
+  // Running counters (updated in deterministic fold order).
+  Index arrivals = 0;
+  Index admitted = 0;
+  Index rejected = 0;
+  Index deferrals = 0;
+  Index degraded = 0;
+  Index streams = 0;
+  double cost = 0.0;
+  double clock = 0.0;  ///< latest ingested/admitted time
+
+  // Live percentile trackers (P2) + exact running mean/max.
+  util::P2Quantile p50{0.50};
+  util::P2Quantile p95{0.95};
+  util::P2Quantile p99{0.99};
+  double wait_sum = 0.0;
+  double wait_max = 0.0;
+  Index wait_count = 0;
+
+  // Slotted Delay Guaranteed substrate.
+  std::shared_ptr<const DelayGuaranteedOnline> dg;
+  std::unique_ptr<ProgramTable> table;
+
+  OnlinePolicy* policy = nullptr;  ///< generic path only
+  bool finished = false;
+  Snapshot snapshot;  ///< assembled by finish()
+};
+
+ServerCore::~ServerCore() = default;
+
+void ServerCore::validate() const {
+  if (config_.objects < 1) {
+    throw std::invalid_argument("ServerCore: objects must be >= 1");
+  }
+  if (config_.shards < 1) {
+    throw std::invalid_argument("ServerCore: shards must be >= 1");
+  }
+  if (!(config_.delay > 0.0)) {
+    throw std::invalid_argument("ServerCore: delay must be positive");
+  }
+  if (!(config_.horizon >= 0.0)) {
+    throw std::invalid_argument("ServerCore: horizon must be nonnegative");
+  }
+  if (config_.channel_capacity < 0) {
+    throw std::invalid_argument("ServerCore: channel_capacity must be >= 0");
+  }
+  if (config_.max_defer_slots < 0) {
+    throw std::invalid_argument("ServerCore: max_defer_slots must be >= 0");
+  }
+  if (!(config_.ledger_bucket >= 0.0)) {
+    throw std::invalid_argument("ServerCore: ledger_bucket must be >= 0");
+  }
+  if (config_.admission != AdmissionMode::kObserve) {
+    if (config_.serve != ServeMode::kSlottedBatching) {
+      throw std::invalid_argument(
+          "ServerCore: capacity admission modes require slotted batching "
+          "serving (the stream an admission needs must be statically known)");
+    }
+    if (config_.channel_capacity < 1) {
+      throw std::invalid_argument(
+          "ServerCore: capacity admission modes require channel_capacity >= 1");
+    }
+  }
+}
+
+ServerCore::ServerCore(const ServerCoreConfig& config, OnlinePolicy& policy)
+    : config_(config) {
+  if (config_.serve != ServeMode::kPolicy) {
+    throw std::invalid_argument(
+        "ServerCore: the policy constructor requires ServeMode::kPolicy");
+  }
+  validate();
+  policy.prepare(config_.delay, config_.horizon);
+  build_objects(&policy);
+}
+
+ServerCore::ServerCore(const ServerCoreConfig& config) : config_(config) {
+  if (config_.serve == ServeMode::kPolicy) {
+    throw std::invalid_argument(
+        "ServerCore: the slotted constructor requires a slotted ServeMode");
+  }
+  validate();
+  build_objects(nullptr);
+}
+
+void ServerCore::build_objects(OnlinePolicy* policy) {
+  const double bucket =
+      config_.ledger_bucket > 0.0 ? config_.ledger_bucket : config_.delay;
+  // Streams can outlive the horizon by up to one media length plus the
+  // defer slack; later times clamp into the ledger's final bucket,
+  // which stays exact (only slower to scan). Open-ended cores
+  // (horizon 0, e.g. the DelayGuaranteedServer adapter) get a 32-media
+  // floor so live queries keep their bucketed complexity over a
+  // realistic served window instead of piling everything into one
+  // overflow bucket.
+  const double span =
+      std::max(32.0, config_.horizon + 1.0) +
+      config_.delay * static_cast<double>(config_.max_defer_slots + 2);
+  impl_ = std::make_unique<Impl>(span, bucket);
+  impl_->policy = policy;
+
+  if (config_.serve == ServeMode::kSlottedDg) {
+    Index slots = config_.dg_media_slots;
+    if (slots < 0) {
+      throw std::invalid_argument("ServerCore: dg_media_slots must be >= 0");
+    }
+    if (slots == 0) slots = DelayGuaranteedPolicy::media_slots(config_.delay);
+    impl_->dg = std::make_shared<const DelayGuaranteedOnline>(slots);
+    impl_->table = std::make_unique<ProgramTable>(*impl_->dg);
+  }
+
+  impl_->objects.reserve(index_of(config_.objects));
+  for (Index m = 0; m < config_.objects; ++m) {
+    auto state = std::make_unique<ObjectState>(
+        m, config_.delay, config_.collect_stream_intervals, config_.collect_plans);
+    if (policy != nullptr) {
+      state->policy = policy->make_object_policy(config_.delay, config_.horizon);
+    }
+    impl_->objects.push_back(std::move(state));
+  }
+  impl_->shard_dirty.resize(config_.shards);
+}
+
+// --- Incremental folding ----------------------------------------------------
+
+void ServerCore::flush_object(Index m) {
+  ObjectState& state = *impl_->objects[index_of(m)];
+  for (std::size_t i = state.flushed_events; i + 1 < state.events.size(); i += 2) {
+    const double start = state.events[i].time;
+    const double end = state.events[i + 1].time;
+    impl_->ledger.add_interval(start, end, state.id);
+    impl_->cost += end - start;
+    ++impl_->streams;
+  }
+  state.flushed_events = state.events.size();
+  for (std::size_t i = state.flushed_waits; i < state.waits.size(); ++i) {
+    const double w = state.waits[i];
+    impl_->p50.add(w);
+    impl_->p95.add(w);
+    impl_->p99.add(w);
+    impl_->wait_sum += w;
+    if (w > impl_->wait_max) impl_->wait_max = w;
+    ++impl_->wait_count;
+    ++impl_->admitted;
+  }
+  state.flushed_waits = state.waits.size();
+  state.dirty = false;
+}
+
+void ServerCore::epilogue(const std::vector<Index>& objects) {
+  // The serial fold: object-id order, arrival order within an object —
+  // never a function of the shard fan-out.
+  for (const Index m : objects) flush_object(m);
+}
+
+void ServerCore::process_object(ObjectState& state) {
+  const std::size_t delivered = state.pending.size();
+  for (const double t : state.pending) state.policy->on_arrival(t, state);
+  state.outcome.arrivals += static_cast<Index>(delivered);
+  // Large one-shot traces (ingest_trace) release their memory here;
+  // small mailboxes keep their capacity for the next drain.
+  if (state.pending.capacity() > 4096) {
+    std::vector<double>().swap(state.pending);
+  } else {
+    state.pending.clear();
+  }
+}
+
+// --- Ingest -----------------------------------------------------------------
+
+void ServerCore::ingest(Index object, double time) {
+  if (impl_->finished) throw std::logic_error("ServerCore: already finished");
+  if (config_.serve != ServeMode::kPolicy) {
+    throw std::invalid_argument(
+        "ServerCore: ingest/drain serve the generic policy path; slotted "
+        "modes use admit()");
+  }
+  if (object < 0 || object >= config_.objects) {
+    throw std::out_of_range("ServerCore::ingest: object out of range");
+  }
+  if (time < 0.0 || time < impl_->objects[index_of(object)]->last_time) {
+    throw std::invalid_argument(
+        "ServerCore::ingest: arrivals must be nondecreasing per object");
+  }
+  ObjectState& state = *impl_->objects[index_of(object)];
+  state.pending.push_back(time);
+  state.last_time = time;
+  if (time > impl_->clock) impl_->clock = time;
+  ++impl_->arrivals;
+  if (!state.dirty) {
+    state.dirty = true;
+    impl_->shard_dirty[index_of(object) % config_.shards].push_back(object);
+  }
+}
+
+void ServerCore::ingest_trace(Index object, std::vector<double> times) {
+  if (impl_->finished) throw std::logic_error("ServerCore: already finished");
+  if (config_.serve != ServeMode::kPolicy) {
+    throw std::invalid_argument(
+        "ServerCore: ingest/drain serve the generic policy path; slotted "
+        "modes use admit()");
+  }
+  if (object < 0 || object >= config_.objects) {
+    throw std::out_of_range("ServerCore::ingest_trace: object out of range");
+  }
+  if (times.empty()) return;
+  ObjectState& state = *impl_->objects[index_of(object)];
+  const auto count = static_cast<Index>(times.size());
+  double last = state.last_time;
+  for (const double t : times) {
+    if (t < 0.0 || t < last) {
+      throw std::invalid_argument(
+          "ServerCore::ingest_trace: arrivals must be nondecreasing per object");
+    }
+    last = t;
+  }
+  if (state.pending.empty()) {
+    state.pending = std::move(times);
+  } else {
+    state.pending.insert(state.pending.end(), times.begin(), times.end());
+  }
+  state.last_time = last;
+  if (last > impl_->clock) impl_->clock = last;
+  impl_->arrivals += count;
+  if (!state.dirty) {
+    state.dirty = true;
+    impl_->shard_dirty[index_of(object) % config_.shards].push_back(object);
+  }
+}
+
+void ServerCore::drain() {
+  if (impl_->finished) return;
+  const auto shards = static_cast<std::int64_t>(config_.shards);
+  util::parallel_for(
+      0, shards,
+      [&](std::int64_t s) {
+        for (const Index m : impl_->shard_dirty[static_cast<std::size_t>(s)]) {
+          process_object(*impl_->objects[index_of(m)]);
+        }
+      },
+      config_.shards);
+  std::vector<Index> dirty;
+  for (auto& list : impl_->shard_dirty) {
+    dirty.insert(dirty.end(), list.begin(), list.end());
+    list.clear();
+  }
+  std::sort(dirty.begin(), dirty.end());
+  epilogue(dirty);
+}
+
+// --- The serial live path ---------------------------------------------------
+
+Ticket ServerCore::admit(Index object, double time) {
+  if (impl_->finished) throw std::logic_error("ServerCore: already finished");
+  if (object < 0 || object >= config_.objects) {
+    throw std::out_of_range("ServerCore::admit: object out of range");
+  }
+  if (time < 0.0) {
+    throw std::invalid_argument("ServerCore::admit: negative arrival time");
+  }
+  ObjectState& state = *impl_->objects[index_of(object)];
+  if (time < state.last_time) {
+    throw std::invalid_argument("ServerCore::admit: arrivals must be sorted");
+  }
+  state.last_time = time;
+  if (time > impl_->clock) impl_->clock = time;
+  ++impl_->arrivals;
+  ++state.outcome.arrivals;
+  return config_.serve == ServeMode::kPolicy ? admit_policy(object, time)
+                                             : admit_slotted(object, time);
+}
+
+Ticket ServerCore::admit_policy(Index object, double time) {
+  ObjectState& state = *impl_->objects[index_of(object)];
+  // Preserve per-object time order if the driver mixed in mailbox
+  // arrivals for this object.
+  if (!state.pending.empty()) process_object(state);
+  state.policy->on_arrival(time, state);
+  flush_object(object);
+
+  Ticket ticket;
+  ticket.admitted = true;
+  ticket.object = object;
+  ticket.arrival = time;
+  ticket.decision_time = time;
+  ticket.playback_start = state.last_playback;
+  ticket.wait = std::max(0.0, state.last_playback - time);
+  ticket.guarantee_wait = ticket.wait;
+  return ticket;
+}
+
+bool ServerCore::slot_stream_fits(double start, double duration) {
+  if (config_.channel_capacity < 1) return true;
+  return impl_->ledger.max_over(start, start + duration) + 1 <=
+         config_.channel_capacity;
+}
+
+void ServerCore::start_slot_stream(ObjectState& state, Index slot, double start,
+                                   double duration, Index parent) {
+  state.start_stream(start, duration, parent);
+  if (slot >= 0) {
+    if (state.slot_has_stream.size() <= index_of(slot)) {
+      state.slot_has_stream.resize(index_of(slot) + 1, 0);
+    }
+    state.slot_has_stream[index_of(slot)] = 1;
+  }
+}
+
+void ServerCore::dg_emit_through(ObjectState& state, Index slot) {
+  const MergeTree& tmpl = impl_->dg->template_tree();
+  const Index block = impl_->dg->block_size();
+  for (Index t = state.dg_emitted + 1; t <= slot; ++t) {
+    const Index local = t % block;
+    const Index parent = local == 0 ? -1 : (t - local) + tmpl.parent(local);
+    // Unclipped template truncation: the running schedule cannot know
+    // the final horizon yet, so final-block pruning applies only to the
+    // closed-form cost (DelayGuaranteedOnline::cost), not the ledger.
+    const Index block_end = (t - local) + block;
+    state.start_stream(
+        static_cast<double>(t + 1) * config_.delay,
+        static_cast<double>(impl_->dg->stream_length(t, block_end)) * config_.delay,
+        parent);
+  }
+  if (slot > state.dg_emitted) state.dg_emitted = slot;
+}
+
+Ticket ServerCore::admit_slotted(Index object, double time) {
+  ObjectState& state = *impl_->objects[index_of(object)];
+  const double delay = config_.delay;
+  const Index slot = dg_slot_of(time, delay);
+
+  Ticket ticket;
+  ticket.object = object;
+  ticket.arrival = time;
+  ticket.decision_time = time;
+  ticket.slot = slot;
+
+  if (config_.serve == ServeMode::kSlottedDg) {
+    // Delay Guaranteed: the schedule is fixed (a stream per slot), the
+    // admission is a pure O(1) lookup.
+    dg_emit_through(state, slot);
+    ticket.admitted = true;
+    ticket.playback_start = static_cast<double>(slot + 1) * delay;
+    ticket.wait = ticket.playback_start - time;
+    ticket.guarantee_wait = ticket.wait;
+    ticket.program = slot % impl_->dg->block_size();
+    state.record_admission(time, ticket.playback_start, time);
+    if (slot > state.last_slot) state.last_slot = slot;
+    flush_object(object);
+    return ticket;
+  }
+
+  // Slotted batching: one full stream per nonempty slot; the channel
+  // budget is checked before the client is accepted.
+  const auto slot_covered = [&](Index s) {
+    return index_of(s) < state.slot_has_stream.size() &&
+           state.slot_has_stream[index_of(s)] != 0;
+  };
+  const auto slot_start = [&](Index s) {
+    return static_cast<double>(s + 1) * delay;
+  };
+
+  Index serve_slot = slot;
+  bool fits = slot_covered(slot) ||
+              config_.admission == AdmissionMode::kObserve ||
+              slot_stream_fits(slot_start(slot), 1.0);
+  if (!fits) {
+    switch (config_.admission) {
+      case AdmissionMode::kObserve:
+        break;  // unreachable: observe always fits
+      case AdmissionMode::kReject:
+        ++impl_->rejected;
+        return ticket;  // admitted == false
+      case AdmissionMode::kDefer: {
+        for (Index k = 1; k <= config_.max_defer_slots && !fits; ++k) {
+          serve_slot = slot + k;
+          fits = slot_covered(serve_slot) ||
+                 slot_stream_fits(slot_start(serve_slot), 1.0);
+        }
+        if (!fits) {
+          ++impl_->rejected;
+          return ticket;
+        }
+        ticket.deferred_slots = serve_slot - slot;
+        // The guarantee re-runs from the deferred slot's start; the
+        // queueing time stays visible in `wait`.
+        ticket.decision_time = static_cast<double>(serve_slot) * delay;
+        ++impl_->deferrals;
+        break;
+      }
+      case AdmissionMode::kDegrade: {
+        // Never reject: coalesce into the first batch that fits. The
+        // probe terminates because every committed stream eventually
+        // ends, after which the windowed max is 0 and any slot fits.
+        while (!fits) {
+          ++serve_slot;
+          fits = slot_covered(serve_slot) ||
+                 slot_stream_fits(slot_start(serve_slot), 1.0);
+        }
+        ticket.deferred_slots = serve_slot - slot;
+        ticket.degraded = true;
+        ++impl_->degraded;
+        break;
+      }
+    }
+  }
+
+  if (!slot_covered(serve_slot)) {
+    start_slot_stream(state, serve_slot, slot_start(serve_slot), 1.0, -1);
+  }
+  ticket.admitted = true;
+  ticket.playback_start = slot_start(serve_slot);
+  ticket.wait = ticket.playback_start - time;
+  ticket.guarantee_wait = ticket.playback_start - ticket.decision_time;
+  state.record_admission(time, ticket.playback_start, ticket.decision_time);
+  if (serve_slot > state.last_slot) state.last_slot = serve_slot;
+  flush_object(object);
+  return ticket;
+}
+
+// --- End of run -------------------------------------------------------------
+
+void ServerCore::finish() {
+  if (impl_->finished) return;
+  drain();
+
+  const auto n = static_cast<std::int64_t>(config_.objects);
+  if (config_.serve == ServeMode::kPolicy) {
+    // Horizon flush: fixed schedules (DG) and late-resolving
+    // truncations (the greedy merger) emit here. Objects are
+    // independent, so the flush fans out over the pool.
+    util::parallel_for(
+        0, n,
+        [&](std::int64_t m) {
+          ObjectState& state = *impl_->objects[static_cast<std::size_t>(m)];
+          state.policy->finish(config_.horizon, state);
+        },
+        config_.shards);
+  } else if (config_.serve == ServeMode::kSlottedDg && config_.horizon > 0.0) {
+    // The DG schedule is demand-independent: extend it through every
+    // slot that begins within the horizon.
+    const auto slots = static_cast<Index>(
+        std::ceil(config_.horizon / config_.delay - 1e-12));
+    for (auto& state : impl_->objects) dg_emit_through(*state, slots - 1);
+  }
+
+  std::vector<Index> all(index_of(config_.objects));
+  for (Index m = 0; m < config_.objects; ++m) all[index_of(m)] = m;
+  epilogue(all);
+
+  // Per-object finalization: the object's own channel peak (sorts its
+  // events — safe now, the ledger has its own copy), the canonical
+  // plan, and the interval ordering. Parallel: objects are independent.
+  util::parallel_for(
+      0, n,
+      [&](std::int64_t m) {
+        ObjectState& state = *impl_->objects[static_cast<std::size_t>(m)];
+        if (state.collect_plan) state.plan = state.build_plan();
+        state.outcome.peak_concurrency = peak_overlap(state.events);
+        std::stable_sort(state.intervals.begin(), state.intervals.end(),
+                         [](const StreamInterval& a, const StreamInterval& b) {
+                           return a.start < b.start;
+                         });
+      },
+      config_.shards);
+
+  // The deterministic serial reduction, in object order — the legacy
+  // engine's fold, with the k-way event merge replaced by the ledger.
+  Snapshot& snap = impl_->snapshot;
+  snap.per_object.reserve(index_of(config_.objects));
+  std::size_t total_waits = 0;
+  for (const auto& state : impl_->objects) {
+    snap.total_arrivals += state->outcome.arrivals;
+    snap.total_streams += state->outcome.streams;
+    snap.streams_served += state->outcome.cost;
+    snap.guarantee_violations += state->outcome.violations;
+    if (state->outcome.max_wait > snap.wait.max) {
+      snap.wait.max = state->outcome.max_wait;
+    }
+    snap.per_object.push_back(state->outcome);
+    total_waits += state->waits.size();
+  }
+  snap.peak_concurrency = impl_->ledger.peak();
+  if (config_.channel_capacity > 0) {
+    snap.capacity_violations =
+        impl_->ledger.capacity_violations(config_.channel_capacity);
+  }
+  snap.rejected = impl_->rejected;
+  snap.deferrals = impl_->deferrals;
+  snap.degraded = impl_->degraded;
+
+  if (config_.collect_stream_intervals) {
+    snap.stream_intervals.reserve(static_cast<std::size_t>(snap.total_streams));
+    for (const auto& state : impl_->objects) {
+      snap.stream_intervals.insert(snap.stream_intervals.end(),
+                                   state->intervals.begin(),
+                                   state->intervals.end());
+    }
+    std::stable_sort(snap.stream_intervals.begin(), snap.stream_intervals.end(),
+                     [](const StreamInterval& a, const StreamInterval& b) {
+                       return a.start < b.start;
+                     });
+  }
+  if (config_.collect_plans) {
+    snap.plans.reserve(impl_->objects.size());
+    for (auto& state : impl_->objects) snap.plans.push_back(std::move(state->plan));
+  }
+
+  if (total_waits > 0) {
+    std::vector<double> all_waits;
+    all_waits.reserve(total_waits);
+    double wait_sum = 0.0;
+    for (const auto& state : impl_->objects) {
+      all_waits.insert(all_waits.end(), state->waits.begin(), state->waits.end());
+      wait_sum += state->wait_sum;
+    }
+    std::sort(all_waits.begin(), all_waits.end());
+    snap.wait.mean = wait_sum / static_cast<double>(total_waits);
+    snap.wait.p50 = util::quantile_sorted(all_waits, 0.50);
+    snap.wait.p95 = util::quantile_sorted(all_waits, 0.95);
+    snap.wait.p99 = util::quantile_sorted(all_waits, 0.99);
+  }
+  impl_->finished = true;
+}
+
+Snapshot ServerCore::take_snapshot() {
+  if (!impl_->finished) {
+    throw std::logic_error("ServerCore::take_snapshot: call finish() first");
+  }
+  return std::move(impl_->snapshot);
+}
+
+// --- Live queries -----------------------------------------------------------
+
+LiveStats ServerCore::live_stats() {
+  LiveStats stats;
+  stats.arrivals = impl_->arrivals;
+  stats.admitted = impl_->admitted;
+  stats.rejected = impl_->rejected;
+  stats.deferrals = impl_->deferrals;
+  stats.degraded = impl_->degraded;
+  stats.streams = impl_->streams;
+  stats.cost = impl_->cost;
+  stats.current_channels = impl_->ledger.occupancy_at(impl_->clock);
+  stats.peak_channels = impl_->ledger.peak();
+  stats.wait = wait_profile(/*exact=*/false);
+  return stats;
+}
+
+Index ServerCore::current_channels(double t) {
+  return impl_->ledger.occupancy_at(t);
+}
+
+Index ServerCore::peak_channels() { return impl_->ledger.peak(); }
+
+util::DelayProfile ServerCore::wait_profile(bool exact) {
+  util::DelayProfile profile;
+  if (impl_->wait_count == 0) return profile;
+  profile.mean = impl_->wait_sum / static_cast<double>(impl_->wait_count);
+  profile.max = impl_->wait_max;
+  if (!exact) {
+    profile.p50 = impl_->p50.estimate();
+    profile.p95 = impl_->p95.estimate();
+    profile.p99 = impl_->p99.estimate();
+    return profile;
+  }
+  std::vector<double> all;
+  all.reserve(static_cast<std::size_t>(impl_->wait_count));
+  for (const auto& state : impl_->objects) {
+    all.insert(all.end(), state->waits.begin(),
+               state->waits.begin() +
+                   static_cast<std::ptrdiff_t>(state->flushed_waits));
+  }
+  std::sort(all.begin(), all.end());
+  profile.p50 = util::quantile_sorted(all, 0.50);
+  profile.p95 = util::quantile_sorted(all, 0.95);
+  profile.p99 = util::quantile_sorted(all, 0.99);
+  return profile;
+}
+
+double ServerCore::object_cost(Index object) const {
+  if (object < 0 || object >= config_.objects) {
+    throw std::out_of_range("ServerCore::object_cost");
+  }
+  return impl_->objects[index_of(object)]->outcome.cost;
+}
+
+Index ServerCore::object_clients(Index object) const {
+  if (object < 0 || object >= config_.objects) {
+    throw std::out_of_range("ServerCore::object_clients");
+  }
+  return static_cast<Index>(impl_->objects[index_of(object)]->waits.size());
+}
+
+Index ServerCore::object_last_slot(Index object) const {
+  if (object < 0 || object >= config_.objects) {
+    throw std::out_of_range("ServerCore::object_last_slot");
+  }
+  return impl_->objects[index_of(object)]->last_slot;
+}
+
+const DelayGuaranteedOnline& ServerCore::dg_policy() const {
+  if (impl_->dg == nullptr) {
+    throw std::logic_error("ServerCore::dg_policy: not a SlottedDg core");
+  }
+  return *impl_->dg;
+}
+
+const ProgramTable& ServerCore::programs() const {
+  if (impl_->table == nullptr) {
+    throw std::logic_error("ServerCore::programs: not a SlottedDg core");
+  }
+  return *impl_->table;
+}
+
+}  // namespace smerge::server

@@ -1,0 +1,273 @@
+// The sharded, incremental serving runtime — the one live core behind
+// the simulation engine, the event-driven Delay Guaranteed server and
+// the examples.
+//
+// A ServerCore hosts a catalogue of N media objects and ingests client
+// arrivals incrementally, in either of two shapes:
+//
+//  * the batched path — `ingest`/`ingest_trace` append arrivals to
+//    per-shard mailboxes (objects are round-robined over shards);
+//    `drain()` fans the shards out over the persistent
+//    `util::ThreadPool`, delivering each object's pending arrivals in
+//    time order to its `ObjectPolicy` (src/online/policy.h), then runs
+//    a serial epilogue in object-id order that folds the new streams
+//    into the channel ledger and the new waits into the running (P²)
+//    percentile trackers. Results never depend on the shard count: an
+//    object's evolution is a pure function of its own arrival sequence
+//    and the epilogue order is fixed.
+//  * the serial live path — `admit(object, time)` decides one arrival
+//    immediately and returns a Ticket. Under the slotted serving modes
+//    (Delay Guaranteed and batching, where the stream an admission
+//    needs is statically known) this is where capacity-aware admission
+//    lives: a channel budget checked against the incremental ledger
+//    *before* the client is accepted, with selectable overload
+//    behaviour — reject, defer to a later slot, or degrade to
+//    batching — instead of the legacy engine's post-hoc violation
+//    counting.
+//
+// Live queries — current/peak channels, running delay percentiles
+// (P² estimates or exact-on-demand), per-object cost — are answerable
+// at any quiescent point (between drains, or any time on the serial
+// path), not just at end-of-run. `finish()` flushes the policies'
+// horizon schedules; `take_snapshot()` then yields totals bit-identical
+// to the legacy engine reduction (same fold orders, same canonical
+// event order in the ledger).
+#ifndef SMERGE_SERVER_SERVER_CORE_H
+#define SMERGE_SERVER_SERVER_CORE_H
+
+#include <memory>
+#include <vector>
+
+#include "core/plan.h"
+#include "online/policy.h"
+#include "online/program_table.h"
+#include "schedule/channels.h"
+#include "server/channel_ledger.h"
+#include "util/stats.h"
+
+namespace smerge::server {
+
+/// What happens when an admission's stream does not fit the channel
+/// budget (slotted serving only; `kObserve` is the legacy accounting
+/// mode and the only mode the generic policy path supports).
+enum class AdmissionMode {
+  kObserve,  ///< admit everything; count saturated starts post-hoc
+  kReject,   ///< turn the client away; peak stays within the budget
+  kDefer,    ///< retry later slots (bounded); guarantee runs from the
+             ///< deferred admission, queueing time is reported per ticket
+  kDegrade,  ///< never reject: coalesce into the first batch that fits
+             ///< (waits may exceed the delay and are counted as
+             ///< guarantee violations)
+};
+
+/// Human-readable admission-mode name.
+[[nodiscard]] const char* to_string(AdmissionMode mode) noexcept;
+
+/// How arrivals are served.
+enum class ServeMode {
+  kPolicy,          ///< any OnlinePolicy via per-object ObjectPolicy state
+  kSlottedDg,       ///< native Delay Guaranteed: stream per slot, O(1)
+                    ///< program handout (observe only)
+  kSlottedBatching, ///< native batching: one full stream per nonempty
+                    ///< slot; all admission modes supported
+};
+
+/// One ServerCore run: catalogue x serving mode x channel budget.
+struct ServerCoreConfig {
+  Index objects = 1;            ///< catalogue size N
+  double delay = 0.01;          ///< guaranteed start-up delay / slot duration
+  double horizon = 100.0;       ///< served time span, in media lengths
+  unsigned shards = 1;          ///< mailbox fan-out width (>= 1)
+  ServeMode serve = ServeMode::kPolicy;
+  Index channel_capacity = 0;   ///< channel budget; 0 = unbounded
+  AdmissionMode admission = AdmissionMode::kObserve;
+  Index max_defer_slots = 8;    ///< defer mode: slots probed before rejecting
+  double ledger_bucket = 0.0;   ///< ledger bucket width; 0 = one slot (delay)
+  Index dg_media_slots = 0;     ///< SlottedDg: L in slots; 0 = round(1/delay)
+  bool collect_stream_intervals = false;  ///< keep all intervals (O(streams))
+  bool collect_plans = false;   ///< assemble per-object MergePlans (O(streams))
+};
+
+/// What a client receives back from `admit`. All indices are stable for
+/// the core's lifetime — in particular `program` is a position in the
+/// ProgramTable (never a pointer that later growth could invalidate).
+struct Ticket {
+  bool admitted = false;
+  Index object = 0;
+  Index slot = -1;              ///< serving slot (slotted modes)
+  double arrival = 0.0;
+  double decision_time = 0.0;   ///< == arrival unless deferred/degraded
+  double playback_start = 0.0;
+  double wait = 0.0;            ///< playback_start - arrival
+  double guarantee_wait = 0.0;  ///< playback_start - decision_time; the
+                                ///< span the delay guarantee covers
+  Index deferred_slots = 0;     ///< slots the admission was pushed back
+  bool degraded = false;        ///< served by a later batch than promised
+  Index program = -1;           ///< ProgramTable index (SlottedDg), else -1
+};
+
+/// Per-object totals (index = object id). Field-compatible with the
+/// legacy engine's per-object outcome.
+struct ObjectOutcome {
+  Index arrivals = 0;
+  Index streams = 0;
+  double cost = 0.0;           ///< transmitted media units (media length 1.0)
+  double max_wait = 0.0;
+  Index peak_concurrency = 0;  ///< this object's own channel peak
+  Index violations = 0;        ///< clients whose wait exceeded the delay
+
+  friend bool operator==(const ObjectOutcome&, const ObjectOutcome&) = default;
+};
+
+/// A mid-run view of the core: O(log buckets) ledger queries plus the
+/// running (P²) wait percentiles — no sorting, no end-of-run barrier.
+struct LiveStats {
+  Index arrivals = 0;
+  Index admitted = 0;
+  Index rejected = 0;
+  Index deferrals = 0;   ///< clients admitted after >= 1 deferred slot
+  Index degraded = 0;
+  Index streams = 0;
+  double cost = 0.0;
+  Index current_channels = 0;  ///< occupancy at the latest ingested time
+  Index peak_channels = 0;
+  util::DelayProfile wait;     ///< mean/max exact, percentiles P² estimates
+};
+
+/// End-of-run totals (after `finish()`); the engine adapter maps this
+/// 1:1 onto `sim::EngineResult`.
+struct Snapshot {
+  Index total_arrivals = 0;
+  Index total_streams = 0;
+  double streams_served = 0.0;
+  util::DelayProfile wait;     ///< exact nearest-rank percentiles
+  Index peak_concurrency = 0;
+  Index guarantee_violations = 0;
+  Index capacity_violations = 0;  ///< observe-mode saturated starts
+  Index rejected = 0;
+  Index deferrals = 0;
+  Index degraded = 0;
+  std::vector<ObjectOutcome> per_object;
+  std::vector<StreamInterval> stream_intervals;  ///< collected only
+  std::vector<plan::MergePlan> plans;            ///< collected only
+};
+
+/// True when `wait` exceeds `delay` beyond floating-point slot-boundary
+/// rounding — the single definition of a guarantee violation, shared by
+/// the core, the engine, the benches and the tests.
+[[nodiscard]] bool violates_guarantee(double wait, double delay) noexcept;
+
+/// The serving runtime. Not thread-safe for concurrent external calls:
+/// drain() parallelizes internally; everything else is called from one
+/// driver thread.
+///
+/// Memory: the core retains per-object events and waits for the whole
+/// run — that is what makes exact-on-demand percentiles, per-object
+/// peaks and the end-of-run snapshot possible, and it matches the
+/// legacy engine's footprint (O(clients + streams)). An indefinitely
+/// running deployment that only needs the O(1) live stats would want a
+/// retention cap; today's drivers are all bounded-horizon runs.
+class ServerCore {
+ public:
+  /// Generic-policy core (`ServeMode::kPolicy`): calls
+  /// `policy.prepare(delay, horizon)` once, then builds per-object
+  /// state. The policy must outlive the core. Throws
+  /// std::invalid_argument on a bad config or an unsupported
+  /// mode/serve combination.
+  ServerCore(const ServerCoreConfig& config, OnlinePolicy& policy);
+
+  /// Slotted core (`kSlottedDg` / `kSlottedBatching`): self-contained,
+  /// no external policy.
+  explicit ServerCore(const ServerCoreConfig& config);
+
+  ~ServerCore();
+  ServerCore(const ServerCore&) = delete;
+  ServerCore& operator=(const ServerCore&) = delete;
+
+  // --- Ingest -------------------------------------------------------------
+
+  /// Serial live path: decides this arrival now and returns its ticket.
+  /// Arrivals must be nondecreasing per object (and, for the capacity
+  /// modes, nondecreasing globally — admission order is decision
+  /// order). O(1) amortized plus O(log buckets) when a channel-budget
+  /// check runs.
+  Ticket admit(Index object, double time);
+
+  /// Batched path: appends one arrival to the owning shard's mailbox
+  /// (no processing until `drain`). Generic-policy serving only.
+  void ingest(Index object, double time);
+  /// Appends a whole time-ordered trace for one object (moved, O(1)
+  /// when the object's mailbox is empty).
+  void ingest_trace(Index object, std::vector<double> times);
+
+  /// Processes all mailboxes: shards fan out over the thread pool, the
+  /// serial epilogue folds results in object-id order. Bit-identical
+  /// for any shard count.
+  void drain();
+
+  /// Ends the run at the configured horizon: drains pending arrivals,
+  /// lets every object's policy flush its fixed/late schedule, and
+  /// finalizes per-object outcomes. Idempotent.
+  void finish();
+
+  // --- Live queries -------------------------------------------------------
+
+  /// Callable mid-run (between drains / after any admit).
+  [[nodiscard]] LiveStats live_stats();
+  /// Channels busy at time `t`.
+  [[nodiscard]] Index current_channels(double t);
+  /// Peak channels so far.
+  [[nodiscard]] Index peak_channels();
+  /// Wait distribution: `exact` sorts all waits recorded so far
+  /// (O(n log n)); otherwise returns the O(1) P² running estimates.
+  [[nodiscard]] util::DelayProfile wait_profile(bool exact);
+  /// Media units transmitted by one object so far.
+  [[nodiscard]] double object_cost(Index object) const;
+  /// Clients admitted for one object so far.
+  [[nodiscard]] Index object_clients(Index object) const;
+  /// Latest slot any client of `object` was served in (-1 before the
+  /// first admission). Slotted modes.
+  [[nodiscard]] Index object_last_slot(Index object) const;
+
+  /// The configuration the core was built with.
+  [[nodiscard]] const ServerCoreConfig& config() const noexcept { return config_; }
+
+  // --- Slotted-DG access (the DelayGuaranteedServer adapter) --------------
+
+  /// The shared static DG policy; throws std::logic_error outside
+  /// `kSlottedDg`.
+  [[nodiscard]] const DelayGuaranteedOnline& dg_policy() const;
+  /// The O(1) receiving-program table; `Ticket::program` indexes into
+  /// it and stays valid for the core's lifetime (entries are built once
+  /// at construction and never reallocated afterwards).
+  [[nodiscard]] const ProgramTable& programs() const;
+
+  // --- End of run ---------------------------------------------------------
+
+  /// Totals after `finish()` (throws std::logic_error before it).
+  /// Moves the collected intervals/plans out of the core.
+  [[nodiscard]] Snapshot take_snapshot();
+
+ private:
+  struct ObjectState;
+  struct Impl;
+
+  void validate() const;
+  void build_objects(OnlinePolicy* policy);
+  Ticket admit_slotted(Index object, double time);
+  Ticket admit_policy(Index object, double time);
+  void process_object(ObjectState& state);
+  void flush_object(Index object);
+  void epilogue(const std::vector<Index>& objects);
+  void dg_emit_through(ObjectState& state, Index slot);
+  bool slot_stream_fits(double start, double duration);
+  void start_slot_stream(ObjectState& state, Index slot, double start,
+                         double duration, Index parent);
+
+  ServerCoreConfig config_;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace smerge::server
+
+#endif  // SMERGE_SERVER_SERVER_CORE_H

@@ -1,157 +1,43 @@
 #include "sim/engine.h"
 
-#include <algorithm>
-#include <queue>
 #include <stdexcept>
 #include <utility>
 
-#include "schedule/channels.h"
 #include "util/parallel.h"
-#include "util/stats.h"
 
 namespace smerge::sim {
 
-namespace {
-
-std::size_t index_of(Index x) { return static_cast<std::size_t>(x); }
-
-/// The engine-side PolicySink: records one object's client timeline and
-/// transmission intervals as +-1 channel events.
-class ShardSink final : public PolicySink {
- public:
-  ShardSink(double delay, bool collect_intervals, bool collect_plan)
-      : delay_(delay),
-        collect_intervals_(collect_intervals),
-        collect_plan_(collect_plan) {}
-
-  void start_stream(double start, double duration, Index parent) override {
-    if (start < 0.0 || !(duration >= 0.0)) {
-      throw std::invalid_argument("engine: policy emitted a bad stream interval");
-    }
-    if (parent < -1 || parent >= outcome.streams) {
-      throw std::invalid_argument("engine: policy emitted a bad stream parent");
-    }
-    ++outcome.streams;
-    outcome.cost += duration;
-    events.push_back({start, +1});
-    events.push_back({start + duration, -1});
-    if (collect_intervals_) intervals.push_back({start, start + duration});
-    if (collect_plan_) {
-      stream_starts.push_back(start);
-      stream_durations.push_back(duration);
-      stream_parents.push_back(parent);
-    }
-  }
-
-  void admit(double arrival, double playback_start) override {
-    double wait = playback_start - arrival;
-    if (wait < 0.0) {
-      if (wait < -1e-9) {
-        throw std::invalid_argument("engine: playback before arrival");
-      }
-      wait = 0.0;  // boundary rounding, not time travel
-    }
-    waits.push_back(wait);
-    wait_sum += wait;
-    if (wait > outcome.max_wait) outcome.max_wait = wait;
-    if (violates_guarantee(wait, delay_)) ++outcome.violations;
-    if (collect_plan_) admissions.push_back({playback_start, wait});
-  }
-
-  /// Assembles the recorded schedule into the canonical IR: streams in
-  /// emission order (the policies emit in start order), per-stream
-  /// delays from the waits of the admissions each stream served.
-  [[nodiscard]] plan::MergePlan build_plan() const {
-    plan::PlanBuilder builder(1.0, Model::kReceiveTwo);
-    for (std::size_t i = 0; i < stream_starts.size(); ++i) {
-      builder.add_stream(stream_starts[i], stream_parents[i], stream_durations[i]);
-    }
-    for (const auto& [playback, wait] : admissions) {
-      // The admission contract: playback coincides with a stream start
-      // (both sides compute the identical slot/batch expression, so the
-      // match is exact; the tolerance absorbs nothing but future
-      // policies' rounding).
-      const auto it = std::lower_bound(stream_starts.begin(), stream_starts.end(),
-                                       playback - 1e-9);
-      if (it == stream_starts.end() || std::abs(*it - playback) > 1e-9) {
-        throw std::logic_error(
-            "engine: admission playback start matches no emitted stream");
-      }
-      builder.record_wait(static_cast<Index>(it - stream_starts.begin()), wait);
-    }
-    return builder.build();
-  }
-
-  ObjectOutcome outcome;
-  std::vector<ChannelEvent> events;
-  std::vector<StreamInterval> intervals;
-  std::vector<double> waits;
-  double wait_sum = 0.0;
-  std::vector<double> stream_starts;     ///< collect_plans only
-  std::vector<double> stream_durations;  ///< collect_plans only
-  std::vector<Index> stream_parents;     ///< collect_plans only
-  std::vector<std::pair<double, double>> admissions;  ///< (playback, wait)
-
- private:
-  double delay_;
-  bool collect_intervals_;
-  bool collect_plan_;
-};
-
-/// One object's completed shard: outcome + time-ordered channel events.
-struct Shard {
-  ObjectOutcome outcome;
-  std::vector<ChannelEvent> events;  ///< sorted (time, ends-before-starts)
-  std::vector<StreamInterval> intervals;  ///< sorted by start (collected only)
-  std::vector<double> waits;         ///< in arrival order
-  double wait_sum = 0.0;
-  plan::MergePlan plan;              ///< canonical IR (collected only)
-};
-
-/// Simulates one object: a pure function of (config, object, weight),
-/// safe to run on any shard thread.
-Shard simulate_object(const EngineConfig& config, const OnlinePolicy& policy,
-                      Index object, double weight) {
-  const std::vector<double> arrivals =
-      generate_arrivals(config.workload, object, weight);
-  const std::unique_ptr<ObjectPolicy> state =
-      policy.make_object_policy(config.delay, config.workload.horizon);
-
-  ShardSink sink(config.delay, config.collect_stream_intervals, config.collect_plans);
-  for (const double t : arrivals) state->on_arrival(t, sink);
-  state->finish(config.workload.horizon, sink);
-
-  Shard shard;
-  if (config.collect_plans) shard.plan = sink.build_plan();
-  shard.outcome = sink.outcome;
-  shard.outcome.arrivals = static_cast<Index>(arrivals.size());
-  shard.events = std::move(sink.events);
-  shard.intervals = std::move(sink.intervals);
-  shard.waits = std::move(sink.waits);
-  shard.wait_sum = sink.wait_sum;
-  // peak_overlap sorts the events — the order the global merge relies on.
-  shard.outcome.peak_concurrency = peak_overlap(shard.events);
-  std::stable_sort(shard.intervals.begin(), shard.intervals.end(),
-                   [](const StreamInterval& a, const StreamInterval& b) {
-                     return a.start < b.start;
-                   });
-  return shard;
+bool violates_guarantee(double wait, double delay) noexcept {
+  return server::violates_guarantee(wait, delay);
 }
 
-/// A position in one shard's sorted event sequence (k-way merge input).
-struct Cursor {
-  const ChannelEvent* it = nullptr;
-  const ChannelEvent* end = nullptr;
-  Index object = 0;
-};
+server::ServerCoreConfig core_config(const EngineConfig& config) {
+  server::ServerCoreConfig core;
+  core.objects = config.workload.objects;
+  core.delay = config.delay;
+  core.horizon = config.workload.horizon;
+  core.shards = config.threads;
+  core.serve = server::ServeMode::kPolicy;
+  core.channel_capacity = config.channel_capacity;
+  core.admission = server::AdmissionMode::kObserve;
+  core.collect_stream_intervals = config.collect_stream_intervals;
+  core.collect_plans = config.collect_plans;
+  return core;
+}
 
-}  // namespace
-
-bool violates_guarantee(double wait, double delay) noexcept {
-  // Absolute + relative slack: admissions sit on slot boundaries
-  // computed in floating point, so an exact comparison against `delay`
-  // would flag rounding, not policy bugs.
-  return wait > delay * (1.0 + 1e-9) + 1e-12;
+EngineResult to_engine_result(server::Snapshot&& snapshot) {
+  EngineResult result;
+  result.total_arrivals = snapshot.total_arrivals;
+  result.total_streams = snapshot.total_streams;
+  result.streams_served = snapshot.streams_served;
+  result.wait = snapshot.wait;
+  result.peak_concurrency = snapshot.peak_concurrency;
+  result.guarantee_violations = snapshot.guarantee_violations;
+  result.capacity_violations = snapshot.capacity_violations;
+  result.per_object = std::move(snapshot.per_object);
+  result.stream_intervals = std::move(snapshot.stream_intervals);
+  result.plans = std::move(snapshot.plans);
+  return result;
 }
 
 EngineResult run_engine(const EngineConfig& config, OnlinePolicy& policy) {
@@ -162,110 +48,33 @@ EngineResult run_engine(const EngineConfig& config, OnlinePolicy& policy) {
   if (config.channel_capacity < 0) {
     throw std::invalid_argument("engine: channel_capacity must be >= 0");
   }
-  // Single-threaded shared precomputation; also validates delay/horizon.
-  policy.prepare(config.delay, config.workload.horizon);
+  // The core calls policy.prepare (single-threaded) and builds the
+  // per-object ObjectPolicy states.
+  server::ServerCore core(core_config(config), policy);
 
+  // Trace generation fans out over the pool: each object's arrivals are
+  // a pure function of (workload, object), whatever thread computes
+  // them.
   const std::vector<double> weights =
       zipf_weights(config.workload.objects, config.workload.zipf_exponent);
-  const auto n_objects = index_of(config.workload.objects);
-
-  // Shard objects across the pool. Each shard is independent and
-  // deterministic, and lands in its own slot, so the fan-out width
-  // cannot change any result bit.
-  std::vector<Shard> shards(n_objects);
+  const auto n_objects = static_cast<std::size_t>(config.workload.objects);
+  std::vector<std::vector<double>> traces(n_objects);
   util::parallel_for(
       0, static_cast<std::int64_t>(n_objects),
       [&](std::int64_t i) {
         const auto m = static_cast<std::size_t>(i);
-        shards[m] =
-            simulate_object(config, policy, static_cast<Index>(i), weights[m]);
+        traces[m] =
+            generate_arrivals(config.workload, static_cast<Index>(i), weights[m]);
       },
       config.threads);
-
-  // --- Deterministic serial reduction, in object order. ---
-  EngineResult result;
-  result.per_object.reserve(n_objects);
-  std::size_t total_waits = 0;
-  for (const Shard& shard : shards) {
-    result.total_arrivals += shard.outcome.arrivals;
-    result.total_streams += shard.outcome.streams;
-    result.streams_served += shard.outcome.cost;
-    result.guarantee_violations += shard.outcome.violations;
-    if (shard.outcome.max_wait > result.wait.max) {
-      result.wait.max = shard.outcome.max_wait;
-    }
-    result.per_object.push_back(shard.outcome);
-    total_waits += shard.waits.size();
+  for (std::size_t m = 0; m < n_objects; ++m) {
+    core.ingest_trace(static_cast<Index>(m), std::move(traces[m]));
   }
 
-  // Server-wide channel occupancy: one time-ordered event queue over all
-  // objects' sorted event sequences (k-way merge; ties broken end-first,
-  // then by object id, so the scan order is fully specified).
-  const auto cmp = [](const Cursor& a, const Cursor& b) {
-    if (a.it->time != b.it->time) return a.it->time > b.it->time;
-    if (a.it->delta != b.it->delta) return a.it->delta > b.it->delta;
-    return a.object > b.object;
-  };
-  std::priority_queue<Cursor, std::vector<Cursor>, decltype(cmp)> queue(cmp);
-  for (std::size_t m = 0; m < shards.size(); ++m) {
-    if (!shards[m].events.empty()) {
-      queue.push(Cursor{shards[m].events.data(),
-                        shards[m].events.data() + shards[m].events.size(),
-                        static_cast<Index>(m)});
-    }
-  }
-  Index depth = 0;
-  while (!queue.empty()) {
-    Cursor cursor = queue.top();
-    queue.pop();
-    depth += cursor.it->delta;
-    if (depth > result.peak_concurrency) result.peak_concurrency = depth;
-    if (config.channel_capacity > 0 && cursor.it->delta > 0 &&
-        depth > config.channel_capacity) {
-      ++result.capacity_violations;
-    }
-    if (++cursor.it != cursor.end) queue.push(cursor);
-  }
-
-  // Channel-plan input: all intervals, globally start-ordered. The
-  // stable sort over the object-ordered concatenation keeps ties in
-  // object-id order, so the plan is deterministic too.
-  if (config.collect_stream_intervals) {
-    result.stream_intervals.reserve(static_cast<std::size_t>(result.total_streams));
-    for (const Shard& shard : shards) {
-      result.stream_intervals.insert(result.stream_intervals.end(),
-                                     shard.intervals.begin(),
-                                     shard.intervals.end());
-    }
-    std::stable_sort(result.stream_intervals.begin(),
-                     result.stream_intervals.end(),
-                     [](const StreamInterval& a, const StreamInterval& b) {
-                       return a.start < b.start;
-                     });
-  }
-
-  // Per-object canonical plans, in object-id order (deterministic).
-  if (config.collect_plans) {
-    result.plans.reserve(shards.size());
-    for (Shard& shard : shards) result.plans.push_back(std::move(shard.plan));
-  }
-
-  // Exact delay percentiles over every client of the run.
-  if (total_waits > 0) {
-    std::vector<double> all_waits;
-    all_waits.reserve(total_waits);
-    double wait_sum = 0.0;
-    for (const Shard& shard : shards) {
-      all_waits.insert(all_waits.end(), shard.waits.begin(), shard.waits.end());
-      wait_sum += shard.wait_sum;
-    }
-    std::sort(all_waits.begin(), all_waits.end());
-    result.wait.mean = wait_sum / static_cast<double>(total_waits);
-    result.wait.p50 = util::quantile_sorted(all_waits, 0.50);
-    result.wait.p95 = util::quantile_sorted(all_waits, 0.95);
-    result.wait.p99 = util::quantile_sorted(all_waits, 0.99);
-  }
-  return result;
+  // drain() shards the mailboxes over the pool; finish() flushes the
+  // horizon schedules and runs the fixed-order reduction.
+  core.finish();
+  return to_engine_result(core.take_snapshot());
 }
 
 }  // namespace smerge::sim

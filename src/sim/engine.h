@@ -1,28 +1,27 @@
-// The discrete-event multi-object simulation engine.
+// The discrete-event multi-object simulation engine — now a thin
+// workload driver over the live serving runtime
+// (src/server/server_core.h).
 //
 // One run drives a catalogue of N media objects (each of normalized
 // length 1.0) under a pluggable on-line policy (src/online/policy.h) and
 // a pluggable workload (src/sim/workload.h):
 //
-//  1. Per object, a discrete-event loop delivers the object's arrivals
-//     to its ObjectPolicy in time order; the admissions become the
-//     per-client timeline (arrival -> playback start -> wait) and every
-//     stream the policy schedules becomes a +-1 channel-event pair,
-//     time-ordered within the object.
-//  2. Objects are sharded over the persistent util::ThreadPool. Every
-//     shard is a pure function of (config, object) — the workload gives
-//     each object its own split RNG substream — so the sharding is
-//     embarrassingly parallel AND the result is bit-identical for any
-//     thread count.
-//  3. A deterministic serial reduction merges the per-object event
-//     sequences through one time-ordered queue (k-way merge) to compute
-//     the server-wide channel occupancy: peak concurrent channels and,
-//     when a channel capacity is configured, the number of stream starts
-//     that found the server saturated. Waits reduce to exact delay
-//     percentiles (p50/p95/p99/max) and guarantee-violation counts.
+//  1. Arrival traces are generated per object (each object draws from
+//     its own split RNG substream, so a trace is a pure function of
+//     (config, object)) and ingested into the ServerCore's per-shard
+//     mailboxes.
+//  2. The core's drain()/finish() deliver every object's arrivals in
+//     time order to its ObjectPolicy on the persistent
+//     util::ThreadPool and fold the results in a fixed object-id
+//     order, so the outcome is bit-identical for any thread count.
+//  3. The server-wide channel occupancy comes from the core's
+//     incremental bucketed ledger — the same canonical event order the
+//     old end-of-run k-way merge swept, now queryable mid-run.
 //
-// The engine is the ROADMAP's scenario substrate: a new experiment is a
-// workload or policy plug-in, not a hand-rolled loop.
+// The engine remains the ROADMAP's scenario substrate: a new experiment
+// is a workload or policy plug-in, not a hand-rolled loop. Code that
+// wants live queries (current/peak channels, running percentiles,
+// capacity-aware admission) drives a server::ServerCore directly.
 #ifndef SMERGE_SIM_ENGINE_H
 #define SMERGE_SIM_ENGINE_H
 
@@ -31,7 +30,9 @@
 #include "core/plan.h"
 #include "online/policy.h"
 #include "schedule/channels.h"
+#include "server/server_core.h"
 #include "sim/workload.h"
+#include "util/stats.h"
 
 namespace smerge::sim {
 
@@ -54,25 +55,10 @@ struct EngineConfig {
 };
 
 /// Exact client start-up delay distribution (nearest-rank percentiles).
-struct DelayProfile {
-  double mean = 0.0;
-  double p50 = 0.0;
-  double p95 = 0.0;
-  double p99 = 0.0;
-  double max = 0.0;
-};
+using DelayProfile = util::DelayProfile;
 
 /// Per-object outcome (index = object id).
-struct ObjectOutcome {
-  Index arrivals = 0;
-  Index streams = 0;
-  double cost = 0.0;            ///< transmitted media units (media length 1.0)
-  double max_wait = 0.0;
-  Index peak_concurrency = 0;   ///< this object's own channel peak
-  Index violations = 0;         ///< clients whose wait exceeded the delay
-
-  friend bool operator==(const ObjectOutcome&, const ObjectOutcome&) = default;
-};
+using ObjectOutcome = server::ObjectOutcome;
 
 /// Aggregate outcome of a run. Deterministic for a fixed config —
 /// including `threads`, which never changes any field.
@@ -98,9 +84,18 @@ struct EngineResult {
 };
 
 /// True when `wait` exceeds `delay` beyond floating-point slot-boundary
-/// rounding — the single definition of a guarantee violation, shared by
-/// the engine, the benches and the tests.
+/// rounding — the single definition of a guarantee violation (the
+/// serving core's `server::violates_guarantee`), shared by the engine,
+/// the benches and the tests.
 [[nodiscard]] bool violates_guarantee(double wait, double delay) noexcept;
+
+/// Builds the ServerCore configuration an engine run uses — exposed so
+/// benches and examples can drive the core directly (live queries,
+/// chunked ingest) on the exact engine setup.
+[[nodiscard]] server::ServerCoreConfig core_config(const EngineConfig& config);
+
+/// Maps the core's end-of-run snapshot onto the engine result shape.
+[[nodiscard]] EngineResult to_engine_result(server::Snapshot&& snapshot);
 
 /// Runs the simulation. `policy.prepare(delay, horizon)` is invoked
 /// once (single-threaded) before objects are sharded. Throws

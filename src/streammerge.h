@@ -37,6 +37,11 @@
 #include "merging/general_forest.h"
 #include "merging/optimal_general.h"
 
+// The live serving runtime: sharded ServerCore, incremental channel
+// ledger, capacity-aware admission.
+#include "server/channel_ledger.h"
+#include "server/server_core.h"
+
 // Simulation: arrivals, experiment runners, Section-5 extensions.
 #include "sim/arrivals.h"
 #include "sim/experiment.h"

@@ -48,6 +48,50 @@ class RunningStats {
 /// requires q in [0, 1].
 [[nodiscard]] double quantile_sorted(const std::vector<double>& sorted, double q);
 
+/// Running quantile estimator (the P-squared algorithm of Jain &
+/// Chlamtac, 1985): five markers track the q-quantile of a stream in
+/// O(1) memory and O(1) per observation, without retaining samples.
+/// The estimate converges to the true quantile for stationary streams;
+/// exact answers stay available from `quantile_sorted` when the caller
+/// retains the samples — the hybrid the serving runtime uses for live
+/// (P²) vs end-of-run (exact) delay percentiles.
+class P2Quantile {
+ public:
+  /// Tracks the q-quantile; requires q in (0, 1).
+  explicit P2Quantile(double q);
+
+  /// Adds one observation.
+  void add(double x) noexcept;
+
+  /// Current estimate: exact (nearest-rank) while fewer than five
+  /// observations have arrived, the P² marker value afterwards.
+  /// 0 when empty.
+  [[nodiscard]] double estimate() const noexcept;
+
+  /// Number of observations so far.
+  [[nodiscard]] std::int64_t count() const noexcept { return n_; }
+
+ private:
+  double q_;
+  std::int64_t n_ = 0;
+  double heights_[5] = {};    ///< marker heights (ascending)
+  double positions_[5] = {};  ///< actual marker positions (1-based)
+  double desired_[5] = {};    ///< desired marker positions
+  double increments_[5] = {}; ///< desired-position increments per add
+};
+
+/// Start-up delay distribution summary: exact mean/max plus p50/p95/p99
+/// percentiles (nearest-rank when computed exactly, P² estimates when
+/// queried live mid-run). The unit is the producer's own (the engine
+/// and the serving core use media lengths).
+struct DelayProfile {
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
 }  // namespace smerge::util
 
 #endif  // SMERGE_UTIL_STATS_H

@@ -69,7 +69,10 @@ TEST(Server, WaitIsAlwaysWithinOneSlot) {
     EXPECT_LE(ticket.wait, 0.01 + 1e-12);
     EXPECT_NEAR(ticket.playback_start, static_cast<double>(ticket.slot + 1) * 0.01,
                 1e-12);
-    ASSERT_NE(ticket.program, nullptr);
+    // The ticket's program is a stable index into the table, valid for
+    // the server's lifetime (never a pointer that growth could dangle).
+    ASSERT_GE(ticket.program, 0);
+    ASSERT_LT(ticket.program, server.programs().block_size());
   }
   EXPECT_EQ(server.clients(), 500);
 }
@@ -85,7 +88,9 @@ TEST(Server, ProgramsComeFromTheTable) {
   DelayGuaranteedServer server(15, 1.0);
   const ClientTicket ticket = server.admit(6.5);  // slot 6, position 6
   EXPECT_EQ(ticket.slot, 6);
-  EXPECT_EQ(ticket.program, &server.programs().lookup(6));
+  EXPECT_EQ(ticket.program, 6);
+  EXPECT_EQ(server.programs().lookup(ticket.program).blocks,
+            server.programs().lookup(6).blocks);
 }
 
 TEST(Server, CostMatchesPolicy) {

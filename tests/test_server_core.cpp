@@ -1,0 +1,542 @@
+// Tests for the live serving runtime: the incremental channel ledger
+// against the legacy end-of-run reduction, mid-run queries (running P²
+// percentiles vs exact sorted quantiles), capacity-aware admission
+// semantics, and the engine/DG-server adapters' equivalence.
+#include "server/server_core.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "online/server.h"
+#include "server/channel_ledger.h"
+#include "sim/engine.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace smerge::server {
+namespace {
+
+// --- ChannelLedger vs brute force -------------------------------------------
+
+struct Interval {
+  double start;
+  double end;
+  Index object;
+};
+
+/// Brute-force occupancy at `t` over half-open intervals.
+Index brute_occupancy(const std::vector<Interval>& intervals, double t) {
+  Index depth = 0;
+  for (const Interval& iv : intervals) {
+    if (iv.start <= t && t < iv.end) ++depth;
+  }
+  return depth;
+}
+
+std::vector<Interval> random_intervals(std::uint64_t seed, int count,
+                                       double span) {
+  util::SplitMix64 rng(seed);
+  std::vector<Interval> intervals;
+  intervals.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const double start = rng.next_double() * span;
+    const double length = 0.01 + rng.next_double() * span * 0.3;
+    intervals.push_back({start, start + length, static_cast<Index>(i % 7)});
+  }
+  return intervals;
+}
+
+TEST(ChannelLedger, PeakMatchesLegacyEventSweep) {
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    const auto intervals = random_intervals(seed, 200, 10.0);
+    ChannelLedger ledger(10.0, 0.25);
+    std::vector<ChannelEvent> events;
+    for (const Interval& iv : intervals) {
+      ledger.add_interval(iv.start, iv.end, iv.object);
+      events.push_back({iv.start, +1});
+      events.push_back({iv.end, -1});
+    }
+    // peak_overlap is the legacy engine's per-object sweep — the ledger
+    // must agree exactly, not approximately.
+    EXPECT_EQ(ledger.peak(), peak_overlap(events)) << "seed=" << seed;
+  }
+}
+
+TEST(ChannelLedger, OccupancyMatchesBruteForce) {
+  const auto intervals = random_intervals(17, 150, 8.0);
+  ChannelLedger ledger(8.0, 0.2);
+  for (const Interval& iv : intervals) {
+    ledger.add_interval(iv.start, iv.end, iv.object);
+  }
+  util::SplitMix64 rng(99);
+  for (int i = 0; i < 300; ++i) {
+    const double t = rng.next_double() * 12.0;  // probes beyond the span too
+    EXPECT_EQ(ledger.occupancy_at(t), brute_occupancy(intervals, t))
+        << "t=" << t;
+  }
+  // Interval endpoints are the interesting probes: starts count, ends
+  // free the channel at that instant.
+  for (const Interval& iv : intervals) {
+    EXPECT_EQ(ledger.occupancy_at(iv.start), brute_occupancy(intervals, iv.start));
+    EXPECT_EQ(ledger.occupancy_at(iv.end), brute_occupancy(intervals, iv.end));
+  }
+}
+
+TEST(ChannelLedger, WindowedMaxMatchesBruteForce) {
+  const auto intervals = random_intervals(23, 120, 6.0);
+  ChannelLedger ledger(6.0, 0.3);
+  std::vector<double> edges;
+  for (const Interval& iv : intervals) {
+    ledger.add_interval(iv.start, iv.end, iv.object);
+    edges.push_back(iv.start);
+    edges.push_back(iv.end);
+  }
+  const auto brute_max = [&](double a, double b) {
+    // Max over the window = max of the occupancy at `a` and at every
+    // event edge inside [a, b).
+    Index best = brute_occupancy(intervals, a);
+    for (const double e : edges) {
+      if (e > a && e < b) best = std::max(best, brute_occupancy(intervals, e));
+    }
+    return best;
+  };
+  util::SplitMix64 rng(7);
+  for (int i = 0; i < 200; ++i) {
+    double a = rng.next_double() * 7.0;
+    double b = rng.next_double() * 7.0;
+    if (a > b) std::swap(a, b);
+    EXPECT_EQ(ledger.max_over(a, b), brute_max(a, b)) << "[" << a << "," << b << ")";
+  }
+}
+
+TEST(ChannelLedger, IncrementalQueriesStayExactWhileGrowing) {
+  // Interleave inserts and queries: laziness must never serve a stale
+  // answer.
+  const auto intervals = random_intervals(31, 100, 5.0);
+  ChannelLedger ledger(5.0, 0.25);
+  std::vector<Interval> so_far;
+  for (const Interval& iv : intervals) {
+    ledger.add_interval(iv.start, iv.end, iv.object);
+    so_far.push_back(iv);
+    EXPECT_EQ(ledger.occupancy_at(iv.start), brute_occupancy(so_far, iv.start));
+    std::vector<ChannelEvent> events;
+    for (const Interval& j : so_far) {
+      events.push_back({j.start, +1});
+      events.push_back({j.end, -1});
+    }
+    EXPECT_EQ(ledger.peak(), peak_overlap(events));
+  }
+}
+
+TEST(ChannelLedger, CapacityViolationsMatchLegacyCounting) {
+  const auto intervals = random_intervals(41, 180, 9.0);
+  ChannelLedger ledger(9.0, 0.5);
+  std::vector<ChannelEvent> events;
+  for (const Interval& iv : intervals) {
+    ledger.add_interval(iv.start, iv.end, iv.object);
+    events.push_back({iv.start, +1});
+    events.push_back({iv.end, -1});
+  }
+  // The legacy engine's reduction: sorted sweep counting saturated
+  // starts.
+  std::sort(events.begin(), events.end(), [](const ChannelEvent& a,
+                                             const ChannelEvent& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.delta < b.delta;
+  });
+  for (const Index capacity : {1, 3, 8, 20}) {
+    Index depth = 0;
+    Index expected = 0;
+    for (const ChannelEvent& e : events) {
+      depth += e.delta;
+      if (e.delta > 0 && depth > capacity) ++expected;
+    }
+    EXPECT_EQ(ledger.capacity_violations(capacity), expected)
+        << "capacity=" << capacity;
+  }
+  EXPECT_EQ(ledger.capacity_violations(0), 0);
+}
+
+TEST(ChannelLedger, Validation) {
+  EXPECT_THROW(ChannelLedger(0.0, 0.1), std::invalid_argument);
+  EXPECT_THROW(ChannelLedger(1.0, 0.0), std::invalid_argument);
+  ChannelLedger ledger(1.0, 0.1);
+  EXPECT_THROW(ledger.add_interval(-1.0, 0.5, 0), std::invalid_argument);
+  EXPECT_THROW(ledger.add_interval(0.5, 0.2, 0), std::invalid_argument);
+  EXPECT_THROW((void)ledger.max_over(0.7, 0.2), std::invalid_argument);
+  EXPECT_EQ(ledger.peak(), 0);
+  EXPECT_EQ(ledger.occupancy_at(0.5), 0);
+}
+
+// --- P2 running percentiles -------------------------------------------------
+
+TEST(P2Quantile, TracksExactQuantilesOnUniformStream) {
+  util::SplitMix64 rng(5);
+  util::P2Quantile p50(0.50);
+  util::P2Quantile p95(0.95);
+  std::vector<double> samples;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.next_double();
+    samples.push_back(x);
+    p50.add(x);
+    p95.add(x);
+  }
+  std::sort(samples.begin(), samples.end());
+  EXPECT_NEAR(p50.estimate(), util::quantile_sorted(samples, 0.50), 0.02);
+  EXPECT_NEAR(p95.estimate(), util::quantile_sorted(samples, 0.95), 0.02);
+  EXPECT_EQ(p50.count(), 20000);
+}
+
+TEST(P2Quantile, SmallStreamsAreExact) {
+  util::P2Quantile p50(0.50);
+  EXPECT_EQ(p50.estimate(), 0.0);
+  p50.add(3.0);
+  EXPECT_EQ(p50.estimate(), 3.0);
+  p50.add(1.0);
+  p50.add(2.0);
+  EXPECT_EQ(p50.estimate(), 2.0);  // nearest-rank median of {1,2,3}
+  EXPECT_THROW(util::P2Quantile(0.0), std::invalid_argument);
+  EXPECT_THROW(util::P2Quantile(1.0), std::invalid_argument);
+}
+
+// --- ServerCore: mid-run queries vs the end-of-run reduction ----------------
+
+sim::EngineConfig engine_config() {
+  sim::EngineConfig config;
+  config.workload.process = sim::ArrivalProcess::kPoisson;
+  config.workload.objects = 16;
+  config.workload.zipf_exponent = 1.0;
+  config.workload.mean_gap = 0.002;
+  config.workload.horizon = 5.0;
+  config.workload.seed = 17;
+  config.delay = 0.02;
+  return config;
+}
+
+TEST(ServerCore, ChunkedIngestMatchesOneShotEngineRun) {
+  // Drive the core in four drained chunks with live queries in between;
+  // the final snapshot must equal the one-shot engine run bit for bit.
+  const sim::EngineConfig config = engine_config();
+  GreedyMergePolicy reference_policy(merging::DyadicParams{}, /*batched=*/true);
+  const sim::EngineResult reference = run_engine(config, reference_policy);
+
+  GreedyMergePolicy policy(merging::DyadicParams{}, /*batched=*/true);
+  auto core_cfg = sim::core_config(config);
+  core_cfg.collect_stream_intervals = true;
+  ServerCore core(core_cfg, policy);
+  const std::vector<double> weights =
+      sim::zipf_weights(config.workload.objects, config.workload.zipf_exponent);
+  std::vector<std::vector<double>> traces(16);
+  for (Index m = 0; m < 16; ++m) {
+    traces[static_cast<std::size_t>(m)] = sim::generate_arrivals(
+        config.workload, m, weights[static_cast<std::size_t>(m)]);
+  }
+  Index last_peak = 0;
+  for (int chunk = 0; chunk < 4; ++chunk) {
+    const double until = config.workload.horizon * (chunk + 1) / 4.0;
+    for (Index m = 0; m < 16; ++m) {
+      auto& trace = traces[static_cast<std::size_t>(m)];
+      std::vector<double> slice;
+      while (!trace.empty() && trace.front() <= until) {
+        slice.push_back(trace.front());
+        trace.erase(trace.begin());
+      }
+      core.ingest_trace(m, std::move(slice));
+    }
+    core.drain();
+    // Live queries between drains: the peak is monotone and the P²
+    // percentiles track the exact-on-demand hybrid.
+    const LiveStats live = core.live_stats();
+    EXPECT_GE(live.peak_channels, last_peak);
+    last_peak = live.peak_channels;
+    const util::DelayProfile exact = core.wait_profile(/*exact=*/true);
+    if (live.admitted > 100) {
+      EXPECT_NEAR(live.wait.p50, exact.p50, 0.25 * config.delay);
+      EXPECT_NEAR(live.wait.p99, exact.p99, 0.25 * config.delay);
+      EXPECT_EQ(live.wait.max, exact.max);
+      EXPECT_EQ(live.wait.mean, exact.mean);
+    }
+  }
+  core.finish();
+  const sim::EngineResult chunked = sim::to_engine_result(core.take_snapshot());
+
+  EXPECT_EQ(chunked.total_arrivals, reference.total_arrivals);
+  EXPECT_EQ(chunked.total_streams, reference.total_streams);
+  EXPECT_EQ(chunked.streams_served, reference.streams_served);
+  EXPECT_EQ(chunked.peak_concurrency, reference.peak_concurrency);
+  EXPECT_EQ(chunked.wait.mean, reference.wait.mean);
+  EXPECT_EQ(chunked.wait.p50, reference.wait.p50);
+  EXPECT_EQ(chunked.wait.p95, reference.wait.p95);
+  EXPECT_EQ(chunked.wait.p99, reference.wait.p99);
+  EXPECT_EQ(chunked.wait.max, reference.wait.max);
+  EXPECT_EQ(chunked.per_object, reference.per_object);
+  // The mid-run ledger agrees with the legacy interval-based greedy
+  // assignment: exactly the measured peak.
+  const ChannelAssignment plan = assign_channels(chunked.stream_intervals);
+  EXPECT_EQ(plan.channels_used, chunked.peak_concurrency);
+}
+
+TEST(ServerCore, FlashCrowdCapacityAccountingMatchesLegacy) {
+  // Observe mode on an over-capacity flash crowd: the incremental
+  // ledger's saturated-start count must equal the legacy sweep over the
+  // collected intervals.
+  sim::EngineConfig config = engine_config();
+  config.workload.process = sim::ArrivalProcess::kFlashCrowd;
+  config.workload.burst_start = 1.0;
+  config.workload.burst_duration = 1.0;
+  config.workload.burst_multiplier = 10.0;
+  config.channel_capacity = 4;
+  config.collect_stream_intervals = true;
+  BatchingPolicy policy;
+  const sim::EngineResult result = run_engine(config, policy);
+  ASSERT_GT(result.peak_concurrency, 4);
+  ASSERT_GT(result.capacity_violations, 0);
+
+  std::vector<ChannelEvent> events;
+  for (const StreamInterval& iv : result.stream_intervals) {
+    events.push_back({iv.start, +1});
+    events.push_back({iv.end, -1});
+  }
+  std::sort(events.begin(), events.end(), [](const ChannelEvent& a,
+                                             const ChannelEvent& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.delta < b.delta;
+  });
+  Index depth = 0;
+  Index expected = 0;
+  for (const ChannelEvent& e : events) {
+    depth += e.delta;
+    if (e.delta > 0 && depth > config.channel_capacity) ++expected;
+  }
+  EXPECT_EQ(result.capacity_violations, expected);
+}
+
+TEST(ServerCore, SerialAdmitMatchesMailboxPath) {
+  // The same arrivals through admit() one by one and through
+  // ingest/drain must land on the identical snapshot.
+  const sim::EngineConfig config = engine_config();
+  const std::vector<double> weights =
+      sim::zipf_weights(config.workload.objects, config.workload.zipf_exponent);
+
+  BatchingPolicy policy_a;
+  ServerCore serial(sim::core_config(config), policy_a);
+  for (Index m = 0; m < config.workload.objects; ++m) {
+    for (const double t : sim::generate_arrivals(
+             config.workload, m, weights[static_cast<std::size_t>(m)])) {
+      const Ticket ticket = serial.admit(m, t);
+      EXPECT_TRUE(ticket.admitted);
+      EXPECT_GE(ticket.wait, 0.0);
+      EXPECT_FALSE(violates_guarantee(ticket.wait, config.delay));
+    }
+  }
+  serial.finish();
+  const Snapshot a = serial.take_snapshot();
+
+  BatchingPolicy policy_b;
+  ServerCore mailbox(sim::core_config(config), policy_b);
+  for (Index m = 0; m < config.workload.objects; ++m) {
+    mailbox.ingest_trace(m, sim::generate_arrivals(
+                                config.workload, m,
+                                weights[static_cast<std::size_t>(m)]));
+  }
+  mailbox.finish();
+  const Snapshot b = mailbox.take_snapshot();
+
+  EXPECT_EQ(a.total_arrivals, b.total_arrivals);
+  EXPECT_EQ(a.total_streams, b.total_streams);
+  EXPECT_EQ(a.streams_served, b.streams_served);
+  EXPECT_EQ(a.peak_concurrency, b.peak_concurrency);
+  EXPECT_EQ(a.wait.p99, b.wait.p99);
+  EXPECT_EQ(a.per_object, b.per_object);
+}
+
+// --- Capacity-aware admission -----------------------------------------------
+
+ServerCoreConfig capacity_config(AdmissionMode mode, Index capacity) {
+  ServerCoreConfig config;
+  config.objects = 4;
+  config.delay = 0.2;  // L = 5 slots per stream
+  config.horizon = 12.0;
+  config.serve = ServeMode::kSlottedBatching;
+  config.channel_capacity = capacity;
+  config.admission = mode;
+  return config;
+}
+
+/// Two clients per slot per object for a few slots: with 4 objects and
+/// capacity 2, only two batch streams fit at a time.
+std::vector<std::pair<Index, double>> overload_arrivals() {
+  std::vector<std::pair<Index, double>> arrivals;
+  for (int slot = 0; slot < 10; ++slot) {
+    for (Index object = 0; object < 4; ++object) {
+      for (int j = 0; j < 2; ++j) {
+        arrivals.push_back(
+            {object, 0.2 * slot + 0.05 + 0.05 * j + 0.01 * object});
+      }
+    }
+  }
+  std::sort(arrivals.begin(), arrivals.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  return arrivals;
+}
+
+TEST(ServerCore, RejectModeKeepsPeakWithinBudgetAndGuaranteeIntact) {
+  ServerCore core(capacity_config(AdmissionMode::kReject, 2));
+  Index admitted = 0;
+  Index rejected = 0;
+  for (const auto& [object, time] : overload_arrivals()) {
+    const Ticket ticket = core.admit(object, time);
+    if (ticket.admitted) {
+      ++admitted;
+      // The acceptance criterion: every admitted client starts within
+      // the delay, measured from its (non-deferred) arrival.
+      EXPECT_FALSE(violates_guarantee(ticket.wait, 0.2));
+      EXPECT_EQ(ticket.guarantee_wait, ticket.wait);
+      EXPECT_EQ(ticket.deferred_slots, 0);
+    } else {
+      ++rejected;
+    }
+  }
+  EXPECT_GT(admitted, 0);
+  EXPECT_GT(rejected, 0);
+  EXPECT_LE(core.peak_channels(), 2);
+  core.finish();
+  const Snapshot snap = core.take_snapshot();
+  EXPECT_EQ(snap.guarantee_violations, 0);
+  EXPECT_EQ(snap.capacity_violations, 0);
+  EXPECT_EQ(snap.rejected, rejected);
+  EXPECT_EQ(snap.total_arrivals - snap.rejected,
+            static_cast<Index>(admitted));
+}
+
+TEST(ServerCore, DeferModeAdmitsMoreAndRepromisesTheDelay) {
+  ServerCoreConfig config = capacity_config(AdmissionMode::kDefer, 2);
+  config.max_defer_slots = 8;
+  ServerCore defer_core(config);
+  ServerCore reject_core(capacity_config(AdmissionMode::kReject, 2));
+  Index deferred_clients = 0;
+  for (const auto& [object, time] : overload_arrivals()) {
+    const Ticket ticket = defer_core.admit(object, time);
+    (void)reject_core.admit(object, time);
+    if (ticket.admitted) {
+      // The guarantee re-runs from the deferred slot; queueing time
+      // stays visible in `wait`.
+      EXPECT_FALSE(violates_guarantee(ticket.guarantee_wait, 0.2));
+      if (ticket.deferred_slots > 0) {
+        ++deferred_clients;
+        EXPECT_GT(ticket.wait, ticket.guarantee_wait);
+        EXPECT_NEAR(ticket.decision_time, 0.2 * (ticket.slot + ticket.deferred_slots),
+                    1e-12);
+      }
+    }
+  }
+  EXPECT_GT(deferred_clients, 0);
+  EXPECT_LE(defer_core.peak_channels(), 2);
+  defer_core.finish();
+  reject_core.finish();
+  const Snapshot deferred = defer_core.take_snapshot();
+  const Snapshot rejected = reject_core.take_snapshot();
+  EXPECT_EQ(deferred.capacity_violations, 0);
+  EXPECT_GT(deferred.deferrals, 0);
+  // Deferral trades waiting for service: strictly fewer rejections.
+  EXPECT_LT(deferred.rejected, rejected.rejected);
+}
+
+TEST(ServerCore, DegradeModeNeverRejectsAndStaysWithinBudget) {
+  ServerCore core(capacity_config(AdmissionMode::kDegrade, 2));
+  Index degraded = 0;
+  for (const auto& [object, time] : overload_arrivals()) {
+    const Ticket ticket = core.admit(object, time);
+    ASSERT_TRUE(ticket.admitted);
+    if (ticket.degraded) ++degraded;
+  }
+  EXPECT_GT(degraded, 0);
+  EXPECT_LE(core.peak_channels(), 2);
+  core.finish();
+  const Snapshot snap = core.take_snapshot();
+  EXPECT_EQ(snap.rejected, 0);
+  EXPECT_EQ(snap.capacity_violations, 0);
+  EXPECT_EQ(snap.total_arrivals, 80);
+  // Degrading trades the guarantee for service: the coalesced batches
+  // breach the per-client delay and the core says so.
+  EXPECT_GT(snap.guarantee_violations, 0);
+}
+
+TEST(ServerCore, ObserveModeCountsInsteadOfRejecting) {
+  ServerCore core(capacity_config(AdmissionMode::kObserve, 2));
+  for (const auto& [object, time] : overload_arrivals()) {
+    const Ticket ticket = core.admit(object, time);
+    ASSERT_TRUE(ticket.admitted);
+    EXPECT_FALSE(violates_guarantee(ticket.wait, 0.2));
+  }
+  EXPECT_GT(core.peak_channels(), 2);
+  core.finish();
+  const Snapshot snap = core.take_snapshot();
+  EXPECT_EQ(snap.rejected, 0);
+  EXPECT_GT(snap.capacity_violations, 0);
+  EXPECT_EQ(snap.guarantee_violations, 0);
+}
+
+TEST(ServerCore, SlottedDgMatchesDelayGuaranteedServer) {
+  // The adapter and a hand-driven slotted-DG core agree on every ticket
+  // and on the live ledger peak.
+  DelayGuaranteedServer server(15, 1.0);
+  ServerCoreConfig config;
+  config.objects = 1;
+  config.delay = 1.0;
+  config.horizon = 0.0;
+  config.serve = ServeMode::kSlottedDg;
+  config.dg_media_slots = 15;
+  ServerCore core(config);
+  for (double t = 0.3; t < 40.0; t += 1.3) {
+    const ClientTicket a = server.admit(t);
+    const Ticket b = core.admit(0, t);
+    EXPECT_EQ(a.slot, b.slot);
+    EXPECT_EQ(a.program, b.program);
+    EXPECT_DOUBLE_EQ(a.playback_start, b.playback_start);
+    EXPECT_DOUBLE_EQ(a.wait, b.wait);
+  }
+  EXPECT_EQ(server.clients(), core.object_clients(0));
+  EXPECT_EQ(server.last_slot(), core.object_last_slot(0));
+  EXPECT_EQ(server.peak_channels(), core.peak_channels());
+  EXPECT_GT(server.peak_channels(), 0);
+  // The DG schedule's cost query stays the closed form.
+  EXPECT_EQ(server.transmitted_units(30), server.policy().cost(30));
+}
+
+TEST(ServerCore, Validation) {
+  ServerCoreConfig config;
+  config.objects = 0;
+  EXPECT_THROW(ServerCore{config}, std::invalid_argument);
+  config = ServerCoreConfig{};
+  config.serve = ServeMode::kPolicy;
+  EXPECT_THROW(ServerCore{config}, std::invalid_argument);  // needs a policy
+  BatchingPolicy policy;
+  config = ServerCoreConfig{};
+  config.admission = AdmissionMode::kReject;
+  config.channel_capacity = 4;
+  EXPECT_THROW(ServerCore(config, policy), std::invalid_argument);  // kPolicy
+  config.serve = ServeMode::kSlottedBatching;
+  config.channel_capacity = 0;
+  EXPECT_THROW(ServerCore{config}, std::invalid_argument);  // needs a budget
+  config.channel_capacity = 4;
+  ServerCore ok{config};
+  EXPECT_THROW((void)ok.admit(-1, 0.5), std::out_of_range);
+  EXPECT_THROW((void)ok.admit(0, -0.5), std::invalid_argument);
+  (void)ok.admit(0, 1.0);
+  EXPECT_THROW((void)ok.admit(0, 0.5), std::invalid_argument);  // unsorted
+  EXPECT_THROW(ok.ingest(0, 2.0), std::invalid_argument);  // slotted mode
+  ok.finish();
+  EXPECT_THROW((void)ok.admit(0, 2.0), std::logic_error);
+  config = ServerCoreConfig{};
+  ServerCore generic(config, policy);
+  EXPECT_THROW((void)generic.take_snapshot(), std::logic_error);
+  EXPECT_THROW((void)generic.dg_policy(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace smerge::server

@@ -19,11 +19,13 @@ TEST(Umbrella, EndToEndPipeline) {
   EXPECT_EQ(max_buffer_requirement(forest), 7);
   EXPECT_NE(concrete_diagram(forest).find("A (t=0):"), std::string::npos);
 
-  // On-line: server issues table programs with bounded waits.
+  // On-line: server issues table programs (stable indices) with
+  // bounded waits.
   DelayGuaranteedServer server(15, 1.0);
   const ClientTicket ticket = server.admit(6.25);
   EXPECT_LE(ticket.wait, 1.0);
-  EXPECT_EQ(ticket.program, &server.programs().lookup(6));
+  EXPECT_EQ(ticket.program, 6);
+  EXPECT_FALSE(server.programs().lookup(ticket.program).blocks.empty());
 
   // General arrivals: dyadic vs the off-line optimum, continuously
   // verified.
