@@ -1,4 +1,4 @@
-// plan_dump — emit a canonical MergePlan as a smerge-plan-v1 JSON
+// plan_dump — emit a canonical MergePlan as a smerge-plan-v2 JSON
 // document on stdout, for tools/plan_dump.py to pretty-print.
 //
 // Three producers, one per layer of the repository:
@@ -6,17 +6,25 @@
 //   --kind=online    the Section-4.1 Delay Guaranteed schedule
 //   --kind=engine    a per-object plan assembled by the simulation
 //                    engine from the greedy dyadic policy's emissions
-// Whatever the producer, the dump embeds the universal verifier's
-// report, so downstream tooling can gate on `verify.ok`.
+// The v2 schema additions are drivable from the CLI: --chunk-base
+// attaches a progressive segment timeline, and --churn applies that
+// fraction of abandon/seek session events through the in-place
+// SessionPlan repair, so the dump carries the repair log and the
+// per-stream active mask. Whatever the producer, the dump embeds the
+// universal verifier's report (run under the active mask), so
+// downstream tooling can gate on `verify.ok`.
+#include <algorithm>
 #include <iostream>
 #include <string>
 
 #include "core/full_cost.h"
 #include "core/plan.h"
+#include "core/plan_repair.h"
 #include "online/delay_guaranteed.h"
 #include "online/policy.h"
 #include "sim/engine.h"
 #include "util/cli.h"
+#include "util/rng.h"
 
 namespace {
 
@@ -36,16 +44,35 @@ smerge::plan::MergePlan engine_plan(std::uint64_t seed) {
   return std::move(result.plans.front());  // the most popular object
 }
 
+/// Rebuilds the plan stream-for-stream with a segment timeline attached
+/// (plans are immutable; the builder re-derives identical merge times).
+smerge::plan::MergePlan with_chunking(const smerge::plan::MergePlan& plan,
+                                      double base) {
+  smerge::plan::PlanBuilder builder(plan.media_length(), plan.model());
+  builder.set_chunking({.base = base});
+  for (smerge::Index i = 0; i < plan.size(); ++i) {
+    const auto u = static_cast<std::size_t>(i);
+    builder.add_stream(plan.start()[u], plan.parent()[u], plan.length()[u]);
+    if (plan.delay()[u] > 0.0) builder.record_wait(i, plan.delay()[u]);
+  }
+  return builder.build();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   smerge::util::ArgParser parser(
-      "plan_dump — emit a canonical MergePlan as smerge-plan-v1 JSON");
+      "plan_dump — emit a canonical MergePlan as smerge-plan-v2 JSON");
   parser.add_string("kind", "offline",
                     "producer: offline | online | engine");
   parser.add_int("media-slots", 16, "media length L in slots (offline/online)");
   parser.add_int("arrivals", 21, "number of arrivals / slots to plan");
   parser.add_int("seed", 20260728, "workload seed (engine)");
+  parser.add_double("chunk-base", 0.0,
+                    "first-chunk duration; > 0 attaches a segment timeline");
+  parser.add_double("churn", 0.0,
+                    "fraction of streams hit by abandon/seek churn, repaired "
+                    "in place before dumping");
 
   try {
     if (!parser.parse(argc, argv)) {
@@ -66,6 +93,35 @@ int main(int argc, char** argv) {
       std::cerr << "error: unknown --kind '" << kind
                 << "' (offline | online | engine)\n";
       return 2;
+    }
+    const double chunk_base = parser.get_double("chunk-base");
+    if (chunk_base > 0.0) plan = with_chunking(plan, chunk_base);
+
+    const double churn = parser.get_double("churn");
+    if (churn > 0.0) {
+      smerge::plan::SessionPlan session(plan);
+      smerge::util::SplitMix64 rng(
+          static_cast<std::uint64_t>(parser.get_int("seed")));
+      for (smerge::Index i = 0; i < plan.size(); ++i) {
+        if (rng.next_double() >= churn) continue;
+        const auto u = static_cast<std::size_t>(i);
+        const double at = plan.start()[u] +
+                          rng.next_double() * std::max(plan.length()[u], 1e-12);
+        if (rng.next_double() < 0.25) {
+          session.seek(i, at);
+        } else {
+          session.abandon(i, at);
+        }
+      }
+      const smerge::plan::MergePlan repaired = session.snapshot();
+      std::cout << smerge::plan::to_json(repaired, session.edits(),
+                                         session.active_mask())
+                << '\n';
+      return smerge::plan::verify(repaired, repaired.model(),
+                                  {session.active_mask()})
+                     .ok
+                 ? 0
+                 : 1;
     }
     std::cout << smerge::plan::to_json(plan) << '\n';
     return smerge::plan::verify(plan).ok ? 0 : 1;

@@ -16,10 +16,18 @@
 // percentiles, admission counters) prints as the run progresses — the
 // queries the legacy end-of-run engine could not answer.
 //
+// Session churn (policy path only): --abandon-rate / --pause-rate /
+// --seek-rate switch the core onto the session-lifecycle path — live
+// session counts join the stats line, and the end-of-run table reports
+// the in-place plan repairs (truncations, re-roots, retracted cost) the
+// churn caused.
+//
 // Run: ./vod_server --objects=64 --policy=greedy-batched --gap=0.002
 //        --delay=0.01 --horizon=20 [--shards=4] [--seed=42]
 //      ./vod_server --objects=64 --capacity=32 --mode=defer --gap=0.04
 //        --delay=0.02 --horizon=20
+//      ./vod_server --objects=64 --policy=greedy --abandon-rate=0.2
+//        --pause-rate=0.1 --seek-rate=0.05 --horizon=20
 #include <algorithm>
 #include <cstdlib>
 #include <iostream>
@@ -39,14 +47,19 @@ namespace {
 
 using namespace smerge;
 
-void print_live(const server::LiveStats& live, double now) {
+void print_live(const server::LiveStats& live, double now, bool sessions) {
   std::cout << "t=" << now << ": arrivals " << live.arrivals << ", admitted "
             << live.admitted << ", rejected " << live.rejected << ", deferred "
             << live.deferrals << ", degraded " << live.degraded << " | channels "
             << live.current_channels << " now / " << live.peak_channels
             << " peak | wait p50/p99/max " << live.wait.p50 << "/"
-            << live.wait.p99 << "/" << live.wait.max << " | cost " << live.cost
-            << "\n";
+            << live.wait.p99 << "/" << live.wait.max << " | cost " << live.cost;
+  if (sessions) {
+    std::cout << " | sessions " << live.live_sessions << " live, "
+              << live.session_pauses << " paused, " << live.session_seeks
+              << " sought, " << live.session_abandons << " abandoned";
+  }
+  std::cout << "\n";
 }
 
 }  // namespace
@@ -74,6 +87,10 @@ int main(int argc, char** argv) {
                   "admission mode with --capacity: observe | reject | defer | "
                   "degrade");
   args.add_bool("constant", false, "constant-rate arrivals instead of Poisson");
+  args.add_double("abandon-rate", 0.0,
+                  "P(session departs mid-play); policy path only");
+  args.add_double("pause-rate", 0.0, "P(session pauses once); policy path only");
+  args.add_double("seek-rate", 0.0, "P(session seeks once); policy path only");
   args.add_int("seed", 42, "workload RNG seed");
   args.add_int("live-every", 4, "live stats printouts per run");
   try {
@@ -92,6 +109,15 @@ int main(int argc, char** argv) {
     const double delay = args.get_double("delay");
     const Index capacity = args.get_int("capacity");
     const int checkpoints = std::max(1, static_cast<int>(args.get_int("live-every")));
+    SessionChurnConfig churn;
+    churn.abandon_rate = args.get_double("abandon-rate");
+    churn.pause_rate = args.get_double("pause-rate");
+    churn.seek_rate = args.get_double("seek-rate");
+    validate(churn);
+    if (churn.enabled() && capacity > 0) {
+      throw std::invalid_argument(
+          "session churn runs on the policy path; drop --capacity");
+    }
 
     const std::vector<double> weights =
         zipf_weights(workload.objects, workload.zipf_exponent);
@@ -143,7 +169,7 @@ int main(int argc, char** argv) {
       for (std::size_t i = 0; i < arrivals.size(); ++i) {
         (void)core->admit(arrivals[i].second, arrivals[i].first);
         if ((i + 1) % step == 0) {
-          print_live(core->live_stats(), arrivals[i].first);
+          print_live(core->live_stats(), arrivals[i].first, false);
         }
       }
     } else {
@@ -168,10 +194,25 @@ int main(int argc, char** argv) {
       config.delay = delay;
       config.horizon = workload.horizon;
       config.shards = static_cast<unsigned>(std::max<Index>(1, args.get_int("shards")));
+      config.enable_sessions = churn.enabled();
       core = std::make_unique<server::ServerCore>(config, *policy);
       std::cout << "policy path: " << policy->name() << ", " << workload.objects
                 << " objects over " << config.shards << " shards, delay "
-                << delay << "\n\n";
+                << delay;
+      if (churn.enabled()) {
+        std::cout << ", churn abandon/pause/seek " << churn.abandon_rate << "/"
+                  << churn.pause_rate << "/" << churn.seek_rate;
+      }
+      std::cout << "\n\n";
+
+      // Under churn each client is a full session trace (arrival plus
+      // its pause/seek/abandon events); without it, a bare arrival.
+      std::vector<std::vector<SessionTrace>> sessions(
+          static_cast<std::size_t>(churn.enabled() ? workload.objects : 0));
+      for (Index m = 0; m < workload.objects && churn.enabled(); ++m) {
+        sessions[static_cast<std::size_t>(m)] = generate_sessions(
+            workload, churn, m, weights[static_cast<std::size_t>(m)]);
+      }
 
       std::vector<std::size_t> cursor(traces.size(), 0);
       for (int chunk = 1; chunk <= checkpoints; ++chunk) {
@@ -181,17 +222,27 @@ int main(int argc, char** argv) {
                                  ? workload.horizon
                                  : workload.horizon * chunk / checkpoints;
         for (Index m = 0; m < workload.objects; ++m) {
-          auto& trace = traces[static_cast<std::size_t>(m)];
           auto& at = cursor[static_cast<std::size_t>(m)];
-          std::vector<double> slice;
-          while (at < trace.size() && trace[at] <= until) {
-            slice.push_back(trace[at]);
-            ++at;
+          if (churn.enabled()) {
+            auto& trace = sessions[static_cast<std::size_t>(m)];
+            std::vector<SessionTrace> slice;
+            while (at < trace.size() && trace[at].arrival <= until) {
+              slice.push_back(std::move(trace[at]));
+              ++at;
+            }
+            core->ingest_session_trace(m, std::move(slice));
+          } else {
+            auto& trace = traces[static_cast<std::size_t>(m)];
+            std::vector<double> slice;
+            while (at < trace.size() && trace[at] <= until) {
+              slice.push_back(trace[at]);
+              ++at;
+            }
+            core->ingest_trace(m, std::move(slice));
           }
-          core->ingest_trace(m, std::move(slice));
         }
         core->drain();
-        print_live(core->live_stats(), until);
+        print_live(core->live_stats(), until, churn.enabled());
       }
     }
 
@@ -207,6 +258,17 @@ int main(int argc, char** argv) {
                   util::format_fixed(snap.wait.max, 5),
                   snap.guarantee_violations);
     std::cout << table.to_string();
+    if (snap.total_sessions > 0) {
+      std::cout << "\nsession lifecycle: " << snap.total_sessions
+                << " sessions, " << snap.session_pauses << " pauses, "
+                << snap.session_seeks << " seeks, " << snap.session_abandons
+                << " abandons\n"
+                << "plan repair: " << snap.plan_truncations << " truncations, "
+                << snap.plan_reroots << " re-roots, retracted "
+                << util::format_fixed(snap.retracted_cost, 3)
+                << " media units, extended "
+                << util::format_fixed(snap.extended_cost, 3) << "\n";
+    }
     std::cout << "\ntop objects by transmitted media units:\n";
     for (Index m = 0; m < std::min<Index>(5, workload.objects); ++m) {
       const server::ObjectOutcome& o = snap.per_object[static_cast<std::size_t>(m)];

@@ -1,0 +1,208 @@
+// Session churn — in-place plan repair vs replay-from-scratch.
+//
+// Part A (plan level): a delay-guaranteed on-line plan over n slots
+// takes ~20% session churn (abandons with a sprinkle of seeks). The
+// incremental SessionPlan repairs each event along the root path in
+// O(depth); the baseline replays the same events with a full O(n)
+// recompute per event. Both evaluate identical formulas, so the
+// resulting durations must be bit-equal — and the incremental path must
+// be >= 10x faster at n = 100k (asserted in full mode).
+//
+// Part B (engine level): a flash crowd with 20% abandonment runs
+// through the full multi-object engine at shard widths 1, 2 and 4; the
+// resulting snapshots — occupancy, cost, repair tallies — must be
+// identical at every width (the bit-identical-snapshot invariant now
+// covering retraction).
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/registry.h"
+#include "bench/timing.h"
+#include "core/plan.h"
+#include "core/plan_repair.h"
+#include "merging/dyadic.h"
+#include "online/delay_guaranteed.h"
+#include "online/policy.h"
+#include "sim/engine.h"
+#include "util/rng.h"
+
+namespace {
+
+using smerge::Index;
+
+struct ChurnEvent {
+  bool is_seek = false;
+  Index stream = -1;
+  double at = 0.0;
+};
+
+/// One-shot wall-clock timing: churn application mutates the session,
+/// so the repeated-call harness in bench/timing.h does not apply.
+double time_once_ms(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+/// ~rate of the streams get one churn event each, seeks making up a
+/// fifth of them, at a wall time inside the stream's transmission.
+std::vector<ChurnEvent> make_churn(const smerge::plan::MergePlan& plan,
+                                   double rate, std::uint64_t seed) {
+  smerge::util::SplitMix64 rng(seed);
+  std::vector<ChurnEvent> events;
+  for (Index i = 0; i < plan.size(); ++i) {
+    if (rng.next_double() >= rate) continue;
+    ChurnEvent e;
+    e.stream = i;
+    e.is_seek = rng.next_double() < 0.2;
+    const double start = plan.start()[static_cast<std::size_t>(i)];
+    const double length = plan.length()[static_cast<std::size_t>(i)];
+    e.at = start + rng.next_double() * std::max(length, 1e-9);
+    events.push_back(e);
+  }
+  std::sort(events.begin(), events.end(),
+            [](const ChurnEvent& a, const ChurnEvent& b) {
+              if (a.at != b.at) return a.at < b.at;
+              return a.stream < b.stream;
+            });
+  return events;
+}
+
+}  // namespace
+
+SMERGE_BENCH(sim_session_churn,
+             "Session churn — O(depth) in-place plan repair vs the "
+             "replay-from-scratch baseline, plus engine-level shard "
+             "determinism under a 20% abandonment flash crowd",
+             "n", "events", "repair_ms", "replay_ms", "speedup") {
+  smerge::bench::BenchResult result;
+  auto& n_series = result.add_series("n");
+  auto& events_series = result.add_series("events");
+  auto& repair_series = result.add_series("repair_ms");
+  auto& replay_series = result.add_series("replay_ms");
+  auto& speedup_series = result.add_series("speedup");
+  smerge::util::TextTable table(
+      {"n", "events", "repair (ms)", "replay (ms)", "speedup"});
+
+  const std::vector<Index> sizes = ctx.quick
+                                       ? std::vector<Index>{800, 2000}
+                                       : std::vector<Index>{20000, 100000};
+  for (const Index n : sizes) {
+    const Index media = std::min<Index>(n, 4096);
+    const smerge::DelayGuaranteedOnline policy(media);
+    const smerge::plan::MergePlan base = policy.to_plan(n);
+    const std::vector<ChurnEvent> churn = make_churn(
+        base, 0.2, static_cast<std::uint64_t>(ctx.seed) ^ 0x5e55'0000u);
+
+    // Incremental: apply every event through the in-place repair.
+    smerge::plan::SessionPlan session(base);
+    const double repair_ms = time_once_ms([&] {
+      for (const ChurnEvent& e : churn) {
+        if (e.is_seek) {
+          session.seek(e.stream, e.at);
+        } else {
+          session.abandon(e.stream, e.at);
+        }
+      }
+    });
+
+    // Baseline: replay the same log with a full recompute per event.
+    std::vector<double> reference;
+    const double replay_ms =
+        time_once_ms([&] { reference = session.reference_lengths(); });
+
+    // Same formulas, same order: the durations must be bit-equal.
+    const auto lengths = session.lengths();
+    bool equal = lengths.size() == reference.size();
+    for (std::size_t i = 0; equal && i < reference.size(); ++i) {
+      equal = lengths[i] == reference[i];
+    }
+    result.ok = result.ok && equal;
+    if (!equal) result.notes.push_back("repair/replay length mismatch");
+
+    // The repaired plan must still pass the verifier for the survivors.
+    const smerge::plan::PlanReport report = smerge::plan::verify(
+        session.snapshot(), base.model(), {session.active_mask()});
+    result.ok = result.ok && report.ok;
+    if (!report.ok) result.notes.push_back(report.first_error);
+
+    const double speedup = repair_ms > 0.0 ? replay_ms / repair_ms : 0.0;
+    n_series.values.push_back(static_cast<double>(n));
+    events_series.values.push_back(static_cast<double>(churn.size()));
+    repair_series.values.push_back(repair_ms);
+    replay_series.values.push_back(replay_ms);
+    speedup_series.values.push_back(speedup);
+    table.add_row(n, static_cast<Index>(churn.size()), repair_ms, replay_ms,
+                  speedup);
+
+    if (!ctx.quick && n >= 100000) {
+      // Acceptance: in-place repair >= 10x faster than replaying.
+      result.ok = result.ok && speedup >= 10.0;
+      if (speedup < 10.0) {
+        result.notes.push_back("repair speedup below 10x: " +
+                               smerge::util::format_fixed(speedup, 2));
+      }
+      result.add_metric("repair_speedup", speedup);
+    }
+  }
+  result.tables.push_back(std::move(table));
+
+  // Part B: a flash crowd with 20% abandonment through the full engine
+  // at shard widths 1, 2 and 4 — every total (occupancy, cost, repair
+  // tallies) must be identical at every width.
+  smerge::sim::EngineConfig config;
+  config.workload.process = smerge::sim::ArrivalProcess::kFlashCrowd;
+  config.workload.objects = 16;
+  config.workload.mean_gap = ctx.quick ? 0.004 : 0.001;
+  config.workload.horizon = ctx.quick ? 6.0 : 12.0;
+  config.workload.seed = static_cast<std::uint64_t>(ctx.seed);
+  config.workload.burst_start = 1.0;
+  config.workload.burst_duration = 1.0;
+  config.workload.burst_multiplier = 10.0;
+  config.delay = 0.02;
+  config.churn = {.abandon_rate = 0.2, .pause_rate = 0.1, .seek_rate = 0.05};
+  smerge::util::TextTable engine_table(
+      {"shards", "sessions", "abandons", "truncations", "reroots",
+       "retracted", "served"});
+  std::vector<smerge::sim::EngineResult> runs;
+  for (const unsigned threads : {1u, 2u, 4u}) {
+    smerge::GreedyMergePolicy policy(smerge::merging::DyadicParams{}, false);
+    config.threads = threads;
+    runs.push_back(run_engine(config, policy));
+    const smerge::sim::EngineResult& r = runs.back();
+    engine_table.add_row(static_cast<Index>(threads), r.total_sessions,
+                         r.session_abandons, r.plan_truncations,
+                         r.plan_reroots, r.retracted_cost, r.streams_served);
+  }
+  bool identical = true;
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    const smerge::sim::EngineResult& a = runs.front();
+    const smerge::sim::EngineResult& b = runs[i];
+    identical = identical && a.total_arrivals == b.total_arrivals &&
+                a.total_streams == b.total_streams &&
+                a.streams_served == b.streams_served &&
+                a.peak_concurrency == b.peak_concurrency &&
+                a.wait.mean == b.wait.mean && a.wait.max == b.wait.max &&
+                a.total_sessions == b.total_sessions &&
+                a.session_abandons == b.session_abandons &&
+                a.plan_truncations == b.plan_truncations &&
+                a.plan_reroots == b.plan_reroots &&
+                a.retracted_cost == b.retracted_cost &&
+                a.extended_cost == b.extended_cost &&
+                a.per_object == b.per_object;
+  }
+  result.ok = result.ok && identical;
+  if (!identical) {
+    result.notes.push_back("shard widths disagree under churn");
+  }
+  result.add_metric("shard_identical", identical ? 1.0 : 0.0);
+  result.add_metric("engine_retracted_cost", runs.front().retracted_cost);
+  result.tables.push_back(std::move(engine_table));
+  return result;
+}

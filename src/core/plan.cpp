@@ -35,16 +35,91 @@ std::vector<double> last_arrivals(const MergePlan& plan) {
   return z;
 }
 
-void fail(PlanReport& report, Index client, const std::string& message) {
-  if (!report.ok) return;
+/// Diagnostics are capped so an entirely broken large plan cannot turn
+/// verification into an O(n) string factory; the count of *violations*
+/// is unbounded only in principle (the first one already fails the run).
+constexpr std::size_t kMaxDiagnostics = 64;
+
+void fail(PlanReport& report, Invariant invariant, Index stream,
+          double observed, double expected, const std::string& message) {
   report.ok = false;
-  std::ostringstream os;
-  if (client >= 0) os << "client " << client << ": ";
-  os << message;
-  report.first_error = os.str();
+  if (report.first_error.empty()) report.first_error = message;
+  if (report.diagnostics.size() < kMaxDiagnostics) {
+    report.diagnostics.push_back(
+        PlanDiagnostic{invariant, stream, observed, expected, message});
+  }
 }
 
 }  // namespace
+
+const char* to_string(Invariant invariant) noexcept {
+  switch (invariant) {
+    case Invariant::kStructure: return "structure";
+    case Invariant::kMergeTime: return "merge-time";
+    case Invariant::kPlayback: return "playback";
+    case Invariant::kModelLegality: return "model-legality";
+    case Invariant::kBufferBound: return "buffer-bound";
+    case Invariant::kChunkStartRule: return "chunk-start-rule";
+    case Invariant::kChunkDeadline: return "chunk-deadline";
+    case Invariant::kChunkBuffer: return "chunk-buffer";
+  }
+  return "?";
+}
+
+// --- Segment timelines ------------------------------------------------------
+
+void validate(const ChunkingConfig& config, double media_length) {
+  if (!(media_length > 0.0) || !std::isfinite(media_length)) {
+    throw std::invalid_argument("chunking: media length must be positive");
+  }
+  if (!std::isfinite(config.base) || config.base < 0.0) {
+    throw std::invalid_argument("chunking: base must be >= 0");
+  }
+  if (!config.enabled()) return;
+  if (!std::isfinite(config.growth) || config.growth < 1.0) {
+    throw std::invalid_argument("chunking: growth must be >= 1");
+  }
+  if (!std::isfinite(config.cap) || config.cap < 0.0) {
+    throw std::invalid_argument("chunking: cap must be >= 0");
+  }
+  if (config.min_start_chunks < 1) {
+    throw std::invalid_argument("chunking: min_start_chunks must be >= 1");
+  }
+  if (media_length / config.base > 1e6) {
+    throw std::invalid_argument("chunking: base too small for the media length");
+  }
+}
+
+double steady_chunk(const ChunkingConfig& config) {
+  if (config.cap > 0.0) return config.cap;
+  // Default: the start-buffer size — the sum of the first
+  // min_start_chunks progressive sizes. A steady chunk bounded by the
+  // start buffer always meets its deadline under unit-rate reception.
+  double size = config.base;
+  double buffer = 0.0;
+  for (Index k = 0; k < config.min_start_chunks; ++k) {
+    buffer += size;
+    size *= config.growth;
+  }
+  return buffer;
+}
+
+std::vector<double> chunk_ends(const ChunkingConfig& config,
+                               double media_length) {
+  validate(config, media_length);
+  std::vector<double> ends;
+  if (!config.enabled()) return ends;
+  const double cap = steady_chunk(config);
+  double size = config.base;
+  double cum = 0.0;
+  while (cum < media_length) {
+    cum += size;
+    ends.push_back(std::min(cum, media_length));
+    size = std::min(size * config.growth, cap);
+  }
+  ends.back() = media_length;
+  return ends;
+}
 
 // --- MergePlan ------------------------------------------------------------
 
@@ -133,6 +208,11 @@ Index PlanBuilder::add_stream(double start, Index parent, double length) {
   return size() - 1;
 }
 
+void PlanBuilder::set_chunking(const ChunkingConfig& chunking) {
+  validate(chunking, media_length_);
+  chunking_ = chunking;
+}
+
 void PlanBuilder::record_wait(Index id, double wait) {
   if (id < 0 || id >= size()) {
     throw std::out_of_range("PlanBuilder::record_wait: stream id");
@@ -149,6 +229,8 @@ MergePlan PlanBuilder::build() {
   MergePlan plan;
   plan.media_length_ = media_length_;
   plan.model_ = model_;
+  plan.chunking_ = chunking_;
+  plan.chunk_ends_ = chunk_ends(chunking_, media_length_);
   plan.n_ = static_cast<Index>(n);
 
   Index roots = 0;
@@ -274,10 +356,18 @@ std::vector<Piece> client_program(const MergePlan& plan, Index client,
 
 namespace {
 
-void client_fail(ClientReport& report, const std::string& message) {
-  if (!report.ok) return;
-  report.ok = false;
-  report.error = "client " + std::to_string(report.client) + ": " + message;
+void client_fail(ClientReport& report, Invariant invariant, double observed,
+                 double expected, const std::string& message) {
+  const std::string rendered =
+      "client " + std::to_string(report.client) + ": " + message;
+  if (report.ok) {
+    report.ok = false;
+    report.error = rendered;
+  }
+  if (report.diagnostics.size() < kMaxDiagnostics) {
+    report.diagnostics.push_back(
+        PlanDiagnostic{invariant, report.client, observed, expected, rendered});
+  }
 }
 
 }  // namespace
@@ -296,25 +386,29 @@ ClientReport verify_client(const MergePlan& plan, Index client, Model model) {
   double cursor = 0.0;
   for (const Piece& p : pieces) {
     if (std::abs(p.from - cursor) > eps) {
-      client_fail(report, "media gap before position " + std::to_string(p.from));
+      client_fail(report, Invariant::kPlayback, p.from, cursor,
+                  "media gap before position " + std::to_string(p.from));
     }
     cursor = p.to;
   }
   if (std::abs(cursor - L) > eps) {
-    client_fail(report, "program ends at position " + std::to_string(cursor));
+    client_fail(report, Invariant::kPlayback, cursor, L,
+                "program ends at position " + std::to_string(cursor));
   }
 
   // Every piece lies within its source's transmitted duration, and no
   // source starts after the client (reception would trail playback).
   for (const Piece& p : pieces) {
     if (p.to > length[index_of(p.stream)] + eps) {
-      client_fail(report,
+      client_fail(report, Invariant::kPlayback, p.to,
+                  length[index_of(p.stream)],
                   "stream " + std::to_string(p.stream) + " truncated at " +
                       std::to_string(length[index_of(p.stream)]) +
                       " but position " + std::to_string(p.to) + " requested");
     }
     if (start[index_of(p.stream)] > a + eps) {
-      client_fail(report, "source stream starts after the client");
+      client_fail(report, Invariant::kPlayback, start[index_of(p.stream)], a,
+                  "source stream starts after the client");
     }
   }
 
@@ -346,8 +440,10 @@ ClientReport verify_client(const MergePlan& plan, Index client, Model model) {
     }
   }
   if (model == Model::kReceiveTwo && report.max_concurrent > 2) {
-    client_fail(report, "reads " + std::to_string(report.max_concurrent) +
-                            " streams at once (receive-two model)");
+    client_fail(report, Invariant::kModelLegality,
+                static_cast<double>(report.max_concurrent), 2.0,
+                "reads " + std::to_string(report.max_concurrent) +
+                    " streams at once (receive-two model)");
   }
 
   // Peak buffered media, probed at every reception endpoint, against
@@ -378,14 +474,79 @@ ClientReport verify_client(const MergePlan& plan, Index client, Model model) {
   const double d = a - start[index_of(root)];
   report.buffer_bound = model == Model::kReceiveTwo ? std::min(d, L - d) : d;
   if (report.peak_buffer > report.buffer_bound + eps) {
-    client_fail(report, "peak buffer " + std::to_string(report.peak_buffer) +
-                            " exceeds the Section-3.3 bound " +
-                            std::to_string(report.buffer_bound));
+    client_fail(report, Invariant::kBufferBound, report.peak_buffer,
+                report.buffer_bound,
+                "peak buffer " + std::to_string(report.peak_buffer) +
+                    " exceeds the Section-3.3 bound " +
+                    std::to_string(report.buffer_bound));
+  }
+
+  // Chunk-granular playback (segment timelines only; without one the
+  // continuous checks above are the whole story). Chunk k covers media
+  // (ends[k-1], ends[k]]; its completion time is the latest reception
+  // instant of any of its positions under the client's program.
+  if (plan.chunked()) {
+    const auto ends = plan.chunk_ends();
+    const std::size_t chunks = ends.size();
+    constexpr double kNever = -std::numeric_limits<double>::infinity();
+    std::vector<double> completion(chunks, kNever);
+    std::size_t first = 0;  // first chunk not entirely before the piece
+    for (const Piece& p : pieces) {
+      const double s = start[index_of(p.stream)];
+      while (first < chunks && ends[first] <= p.from + eps) ++first;
+      for (std::size_t k = first; k < chunks; ++k) {
+        const double lo = k == 0 ? 0.0 : ends[k - 1];
+        if (lo >= p.to - eps) break;
+        completion[k] =
+            std::max(completion[k], s + std::min(p.to, ends[k]));
+      }
+    }
+    const auto want =
+        std::min<std::size_t>(index_of(plan.chunking().min_start_chunks), chunks);
+    const double buffer = ends[want - 1];  // the start-buffer size
+    double playback = a;  // playback waits for the start buffer to fill
+    for (std::size_t k = 0; k < want; ++k) {
+      playback = std::max(playback, completion[k]);
+    }
+    report.chunk_startup = playback - a;
+    if (report.chunk_startup > buffer + eps) {
+      client_fail(report, Invariant::kChunkStartRule, report.chunk_startup,
+                  buffer,
+                  "start buffer took " + std::to_string(report.chunk_startup) +
+                      " to fill (budget " + std::to_string(buffer) + ")");
+    }
+    for (std::size_t k = want; k < chunks; ++k) {
+      // Chunk k's playback begins once the preceding chunks have played
+      // out: at playback + ends[k-1]. It must be fully buffered by then.
+      const double deadline = playback + ends[k - 1];
+      if (completion[k] > deadline + eps) {
+        client_fail(report, Invariant::kChunkDeadline, completion[k], deadline,
+                    "chunk " + std::to_string(k) + " completed at " +
+                        std::to_string(completion[k]) +
+                        " after its playback deadline " +
+                        std::to_string(deadline));
+      }
+    }
+    for (std::size_t k = 0; k < chunks; ++k) {
+      if (completion[k] == kNever) continue;  // a playback gap, flagged above
+      const double played = std::clamp(completion[k] - playback, 0.0, L);
+      report.chunk_peak_buffer =
+          std::max(report.chunk_peak_buffer, ends[k] - played);
+    }
+    const double chunk_bound = report.buffer_bound + buffer;
+    if (report.chunk_peak_buffer > chunk_bound + eps) {
+      client_fail(report, Invariant::kChunkBuffer, report.chunk_peak_buffer,
+                  chunk_bound,
+                  "whole-chunk backlog " +
+                      std::to_string(report.chunk_peak_buffer) +
+                      " exceeds the bound " + std::to_string(chunk_bound));
+    }
   }
   return report;
 }
 
-PlanReport verify(const MergePlan& plan, Model model) {
+PlanReport verify(const MergePlan& plan, Model model,
+                  const VerifyOptions& options) {
   PlanReport report;
   const Index n = plan.size();
   const double L = plan.media_length();
@@ -395,6 +556,11 @@ PlanReport verify(const MergePlan& plan, Model model) {
   const auto length = plan.length();
   const auto merge_time = plan.merge_time();
   const auto parent = plan.parent();
+  const auto active = options.active;
+  if (!active.empty() && active.size() != static_cast<std::size_t>(n)) {
+    throw std::invalid_argument(
+        "plan::verify: the active mask must cover every stream");
+  }
 
   // Structure + aggregates, one flat pass over the arrays (ends sort
   // once inside peak_bandwidth).
@@ -402,21 +568,26 @@ PlanReport verify(const MergePlan& plan, Model model) {
   for (Index i = 0; i < n; ++i) {
     const std::size_t u = index_of(i);
     if (i > 0 && start[u] < start[u - 1]) {
-      fail(report, -1, "stream " + std::to_string(i) + " starts before its predecessor");
+      fail(report, Invariant::kStructure, i, start[u], start[u - 1],
+           "stream " + std::to_string(i) + " starts before its predecessor");
     }
     const Index p = parent[u];
     if (p < -1 || p >= i) {
-      fail(report, -1, "stream " + std::to_string(i) + " has an invalid parent");
+      fail(report, Invariant::kStructure, i, static_cast<double>(p), -1.0,
+           "stream " + std::to_string(i) + " has an invalid parent");
     } else if (p != -1 && !(start[index_of(p)] < start[u])) {
-      fail(report, -1, "stream " + std::to_string(i) + "'s parent does not start earlier");
+      fail(report, Invariant::kStructure, i, start[index_of(p)], start[u],
+           "stream " + std::to_string(i) + "'s parent does not start earlier");
     }
     if (length[u] < 0.0 || length[u] > L + eps) {
-      fail(report, -1, "stream " + std::to_string(i) +
-                           " transmits for " + std::to_string(length[u]) +
-                           " (media length " + std::to_string(L) + ")");
+      fail(report, Invariant::kStructure, i, length[u], L,
+           "stream " + std::to_string(i) + " transmits for " +
+               std::to_string(length[u]) + " (media length " +
+               std::to_string(L) + ")");
     }
     if (delay[u] < 0.0) {
-      fail(report, -1, "stream " + std::to_string(i) + " has a negative delay");
+      fail(report, Invariant::kStructure, i, delay[u], 0.0,
+           "stream " + std::to_string(i) + " has a negative delay");
     }
     // IR integrity: merge_time must match the structural geometry.
     double expected;
@@ -428,9 +599,10 @@ PlanReport verify(const MergePlan& plan, Model model) {
       expected = start[u] + (z[u] - start[index_of(p)]);
     }
     if (std::abs(merge_time[u] - expected) > eps) {
-      fail(report, -1, "stream " + std::to_string(i) + " merge_time " +
-                           std::to_string(merge_time[u]) + " != " +
-                           std::to_string(expected));
+      fail(report, Invariant::kMergeTime, i, merge_time[u], expected,
+           "stream " + std::to_string(i) + " merge_time " +
+               std::to_string(merge_time[u]) + " != " +
+               std::to_string(expected));
     }
     report.max_delay = std::max(report.max_delay, delay[u]);
     report.total_cost += length[u];
@@ -439,14 +611,25 @@ PlanReport verify(const MergePlan& plan, Model model) {
 
   // Per-client playback: every stream's start is (at least potentially)
   // a client arrival, which is exactly the delay-guaranteed promise.
+  // Streams whose client has departed (repaired plans) keep their
+  // transmitted prefix in the structure but are not replayed.
   for (Index c = 0; c < n; ++c) {
-    const ClientReport client = verify_client(plan, c, model);
+    if (!active.empty() && active[index_of(c)] == 0) continue;
+    ClientReport client = verify_client(plan, c, model);
     report.max_concurrent = std::max(report.max_concurrent, client.max_concurrent);
     report.peak_buffer = std::max(report.peak_buffer, client.peak_buffer);
     report.buffer_bound = std::max(report.buffer_bound, client.buffer_bound);
-    if (!client.ok && report.ok) {
+    report.max_chunk_startup =
+        std::max(report.max_chunk_startup, client.chunk_startup);
+    report.chunk_peak_buffer =
+        std::max(report.chunk_peak_buffer, client.chunk_peak_buffer);
+    if (!client.ok) {
+      if (report.first_error.empty()) report.first_error = client.error;
       report.ok = false;
-      report.first_error = client.error;
+      for (auto& diagnostic : client.diagnostics) {
+        if (report.diagnostics.size() >= kMaxDiagnostics) break;
+        report.diagnostics.push_back(std::move(diagnostic));
+      }
     }
     ++report.clients;
   }
@@ -455,11 +638,14 @@ PlanReport verify(const MergePlan& plan, Model model) {
 
 // --- JSON dump ------------------------------------------------------------
 
-std::string to_json(const MergePlan& plan) {
-  const PlanReport report = verify(plan);
+std::string to_json(const MergePlan& plan, std::span<const StreamEdit> repairs,
+                    std::span<const std::uint8_t> active) {
+  VerifyOptions options;
+  options.active = active;
+  const PlanReport report = verify(plan, plan.model(), options);
   util::JsonWriter w;
   w.begin_object();
-  w.key("schema").value("smerge-plan-v1");
+  w.key("schema").value("smerge-plan-v2");
   w.key("media_length").value(plan.media_length());
   w.key("model").value(to_string(plan.model()));
   w.key("streams").value(static_cast<std::int64_t>(plan.size()));
@@ -476,9 +662,46 @@ std::string to_json(const MergePlan& plan) {
   w.key("parent").begin_array();
   for (const Index p : plan.parent()) w.value(static_cast<std::int64_t>(p));
   w.end_array();
+  w.key("active").begin_array();
+  for (const std::uint8_t flag : active) {
+    w.value(static_cast<std::int64_t>(flag != 0 ? 1 : 0));
+  }
+  w.end_array();
+  w.key("chunking").begin_object();
+  w.key("enabled").value(plan.chunked());
+  if (plan.chunked()) {
+    w.key("base").value(plan.chunking().base);
+    w.key("growth").value(plan.chunking().growth);
+    w.key("cap").value(steady_chunk(plan.chunking()));
+    w.key("min_start_chunks")
+        .value(static_cast<std::int64_t>(plan.chunking().min_start_chunks));
+    dump_doubles("chunk_ends", plan.chunk_ends());
+  }
+  w.end_object();
+  w.key("repairs").begin_array();
+  for (const StreamEdit& edit : repairs) {
+    w.begin_object();
+    w.key("stream").value(static_cast<std::int64_t>(edit.stream));
+    w.key("old_end").value(edit.old_end);
+    w.key("new_end").value(edit.new_end);
+    w.key("reroot").value(edit.reroot);
+    w.end_object();
+  }
+  w.end_array();
   w.key("verify").begin_object();
   w.key("ok").value(report.ok);
   if (!report.ok) w.key("first_error").value(report.first_error);
+  w.key("diagnostics").begin_array();
+  for (const PlanDiagnostic& diagnostic : report.diagnostics) {
+    w.begin_object();
+    w.key("invariant").value(to_string(diagnostic.invariant));
+    w.key("stream").value(static_cast<std::int64_t>(diagnostic.stream));
+    w.key("observed").value(diagnostic.observed);
+    w.key("expected").value(diagnostic.expected);
+    w.key("message").value(diagnostic.message);
+    w.end_object();
+  }
+  w.end_array();
   w.key("clients").value(static_cast<std::int64_t>(report.clients));
   w.key("total_cost").value(report.total_cost);
   w.key("peak_bandwidth").value(static_cast<std::int64_t>(report.peak_bandwidth));
@@ -486,6 +709,10 @@ std::string to_json(const MergePlan& plan) {
   w.key("peak_buffer").value(report.peak_buffer);
   w.key("buffer_bound").value(report.buffer_bound);
   w.key("max_delay").value(report.max_delay);
+  if (plan.chunked()) {
+    w.key("max_chunk_startup").value(report.max_chunk_startup);
+    w.key("chunk_peak_buffer").value(report.chunk_peak_buffer);
+  }
   w.end_object();
   w.end_object();
   return w.str();

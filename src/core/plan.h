@@ -31,6 +31,7 @@
 #ifndef SMERGE_CORE_PLAN_H
 #define SMERGE_CORE_PLAN_H
 
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <string>
@@ -42,6 +43,53 @@
 namespace smerge::plan {
 
 class PlanBuilder;
+
+/// Progressive segment-timeline (chunk) description for a plan's media.
+/// Chunks are consecutive media intervals: the first is `base` long and
+/// each successive chunk grows by `growth` until it reaches the steady
+/// `cap` (SNIPPETS 1-2: small fast-start chunks, larger steady chunks).
+/// Playback begins only once the first `min_start_chunks` chunks are
+/// fully buffered — the minimum-2-chunk start rule. That buffer is also
+/// what makes the steady state safe: a steady chunk no larger than the
+/// start buffer always completes before its playback deadline whenever
+/// reception keeps up at unit rate, so the default `cap` (0) derives
+/// exactly that bound. A larger explicit cap is accepted but the
+/// verifier will flag the resulting deadline misses.
+struct ChunkingConfig {
+  double base = 0.0;           ///< first-chunk duration; 0 disables chunking
+  double growth = 2.0;         ///< successive-chunk ratio until the cap
+  double cap = 0.0;            ///< steady-state duration; 0 = start-buffer size
+  Index min_start_chunks = 2;  ///< chunks buffered before playback starts
+
+  [[nodiscard]] bool enabled() const noexcept { return base > 0.0; }
+};
+
+/// Validates a chunking config against a media length; throws
+/// std::invalid_argument with the offending field on failure.
+void validate(const ChunkingConfig& config, double media_length);
+
+/// The effective steady-state chunk duration (resolves the 0 = derived
+/// default). Requires a validated config.
+[[nodiscard]] double steady_chunk(const ChunkingConfig& config);
+
+/// Cumulative chunk end positions over (0, media_length]: chunk k
+/// covers (ends[k-1], ends[k]] (with ends[-1] = 0); the last end is
+/// exactly media_length. Empty when chunking is disabled.
+[[nodiscard]] std::vector<double> chunk_ends(const ChunkingConfig& config,
+                                             double media_length);
+
+/// One in-place repair applied to a stream's transmission: its end
+/// moved from `old_end` to `new_end` — a retraction when the end moves
+/// earlier (departures), a re-extension when a seek re-roots the
+/// subtree and the new root must carry the full media.
+struct StreamEdit {
+  Index stream = -1;
+  double old_end = 0.0;
+  double new_end = 0.0;
+  bool reroot = false;  ///< the stream was also detached from its parent
+
+  friend bool operator==(const StreamEdit&, const StreamEdit&) = default;
+};
 
 /// The flat, arena-backed merge-plan IR. Immutable once built (use
 /// `PlanBuilder`); movable but deliberately not copyable — plans can be
@@ -63,6 +111,17 @@ class MergePlan {
   [[nodiscard]] Model model() const noexcept { return model_; }
   /// Number of roots (full streams).
   [[nodiscard]] Index num_roots() const noexcept { return roots_; }
+  /// The segment timeline the media is cut into (disabled by default;
+  /// the unit-rate continuous checks are the degenerate case).
+  [[nodiscard]] const ChunkingConfig& chunking() const noexcept {
+    return chunking_;
+  }
+  /// True when a segment timeline is attached.
+  [[nodiscard]] bool chunked() const noexcept { return chunking_.enabled(); }
+  /// Cumulative chunk end positions (empty when not chunked).
+  [[nodiscard]] std::span<const double> chunk_ends() const noexcept {
+    return {chunk_ends_.data(), chunk_ends_.size()};
+  }
 
   /// Transmission start time of each stream (nondecreasing in id).
   [[nodiscard]] std::span<const double> start() const noexcept {
@@ -119,6 +178,8 @@ class MergePlan {
 
   double media_length_ = 1.0;
   Model model_ = Model::kReceiveTwo;
+  ChunkingConfig chunking_;           ///< disabled unless the builder set one
+  std::vector<double> chunk_ends_;    ///< cumulative ends; empty = unchunked
   Index n_ = 0;
   Index roots_ = 0;
   // The arena: one block per element type (doubles / Index), carved
@@ -154,6 +215,11 @@ class PlanBuilder {
   /// As above with an explicit transmission duration (>= 0).
   Index add_stream(double start, Index parent, double length);
 
+  /// Attaches a segment timeline to the plan under construction (and to
+  /// every later `build` — the setting persists like the media length).
+  /// Throws std::invalid_argument on an invalid config.
+  void set_chunking(const ChunkingConfig& chunking);
+
   /// Records a client wait served by stream `id`; the stream's `delay`
   /// becomes the max over all recorded waits (default 0).
   void record_wait(Index id, double wait);
@@ -172,24 +238,67 @@ class PlanBuilder {
  private:
   double media_length_;
   Model model_;
+  ChunkingConfig chunking_;
   std::vector<double> start_;
   std::vector<double> delay_;
   std::vector<double> length_;  ///< NaN = derive from the model at build()
   std::vector<Index> parent_;
 };
 
-/// Outcome of `verify`: the first violated invariant plus the exact
-/// aggregate quantities every legacy walk used to compute separately.
+/// The invariant a diagnostic refers to.
+enum class Invariant {
+  kStructure,       ///< ids / parents / lengths / delays well-formed
+  kMergeTime,       ///< merge_time disagrees with the Lemma geometry
+  kPlayback,        ///< continuous-playback partition broken
+  kModelLegality,   ///< too many concurrent reads for the model
+  kBufferBound,     ///< Section-3.3 buffer bound exceeded
+  kChunkStartRule,  ///< start-buffer fill exceeded its >= 2-chunk budget
+  kChunkDeadline,   ///< a steady chunk completed after its playback deadline
+  kChunkBuffer,     ///< chunk-granular buffer bound exceeded
+};
+
+/// Human-readable invariant name.
+[[nodiscard]] const char* to_string(Invariant invariant) noexcept;
+
+/// One structured verification failure: which node, which invariant,
+/// observed vs expected — the machine-readable form of the verifier's
+/// legacy one-line message (kept verbatim in `message`).
+struct PlanDiagnostic {
+  Invariant invariant = Invariant::kStructure;
+  Index stream = -1;      ///< offending stream / client id; -1 = plan-wide
+  double observed = 0.0;  ///< measured quantity (0 when not numeric)
+  double expected = 0.0;  ///< the bound / expected value it violated
+  std::string message;    ///< rendered one-liner ("client N: ...")
+};
+
+/// Outcome of `verify`: structured diagnostics (capped; the first one's
+/// message doubles as `first_error` for legacy consumers) plus the
+/// exact aggregate quantities every legacy walk used to compute
+/// separately.
 struct PlanReport {
   bool ok = true;
   std::string first_error;     ///< empty when ok
-  Index clients = 0;           ///< clients checked (= streams)
+  std::vector<PlanDiagnostic> diagnostics;  ///< all failures, capped at 64
+  Index clients = 0;           ///< clients checked (= active streams)
   Index max_concurrent = 0;    ///< peak streams any client reads at once
   double peak_buffer = 0.0;    ///< largest measured client buffer
   double buffer_bound = 0.0;   ///< largest Lemma-15 bound min(d, L-d)
   double max_delay = 0.0;      ///< largest per-stream start-up delay
   double total_cost = 0.0;     ///< sum of transmitted durations
   Index peak_bandwidth = 0;    ///< peak simultaneous streams
+  double max_chunk_startup = 0.0;   ///< largest chunk-granular startup lag
+  double chunk_peak_buffer = 0.0;   ///< largest whole-chunk buffer backlog
+};
+
+/// Options for `verify` beyond the model. The active mask supports
+/// repaired plans (core/plan_repair): departed clients' streams stay in
+/// the structure (their transmitted prefix is history) but no longer
+/// have a viewer, so per-client playback checks apply to active streams
+/// only. Structural checks always cover every stream.
+struct VerifyOptions {
+  /// Per-stream activity flags (size() entries, nonzero = a client is
+  /// still watching). Empty = every stream has an active client.
+  std::span<const std::uint8_t> active{};
 };
 
 /// The universal verifier. Checks, for the client arriving at every
@@ -207,9 +316,20 @@ struct PlanReport {
 ///   5. IR integrity: merge_time matches the plan's own Lemma-1 /
 ///      Lemma-17 geometry;
 /// and reports the exact total cost and peak bandwidth computed in one
-/// flat pass over the arrays. Aggregate work is O(n log n) plus the
-/// per-client programs (O(depth^2) each, depth = root-path length).
-[[nodiscard]] PlanReport verify(const MergePlan& plan, Model model);
+/// flat pass over the arrays. When the plan carries a segment timeline,
+/// each client is additionally checked at chunk granularity: the
+/// minimum-start-buffer rule (playback may not lag the arrival by more
+/// than the start buffer), every steady chunk's completion against its
+/// playback deadline, and the whole-chunk buffer backlog against the
+/// continuous bound plus the start buffer. Aggregate work is O(n log n)
+/// plus the per-client programs (O(depth^2 + chunks) each).
+[[nodiscard]] PlanReport verify(const MergePlan& plan, Model model,
+                                const VerifyOptions& options);
+
+/// Verifies with every client active.
+[[nodiscard]] inline PlanReport verify(const MergePlan& plan, Model model) {
+  return verify(plan, model, VerifyOptions{});
+}
 
 /// Verifies under the model the plan was built with.
 [[nodiscard]] inline PlanReport verify(const MergePlan& plan) {
@@ -221,9 +341,12 @@ struct ClientReport {
   Index client = -1;
   bool ok = true;
   std::string error;         ///< first violated invariant, "client N: ..."
+  std::vector<PlanDiagnostic> diagnostics;  ///< every violated invariant
   Index max_concurrent = 0;  ///< peak simultaneous stream reads
   double peak_buffer = 0.0;  ///< peak buffered media (time units)
   double buffer_bound = 0.0; ///< the Section-3.3 bound for this client
+  double chunk_startup = 0.0;      ///< chunk-granular startup lag (chunked)
+  double chunk_peak_buffer = 0.0;  ///< whole-chunk buffer backlog (chunked)
 };
 
 /// Verifies invariants 2-4 for the single client arriving at stream
@@ -247,10 +370,16 @@ struct Piece {
 [[nodiscard]] std::vector<Piece> client_program(const MergePlan& plan,
                                                 Index client, Model model);
 
-/// Serializes a plan as a `smerge-plan-v1` JSON document (field arrays
-/// plus the verifier's aggregate report) — the dump format
-/// `tools/plan_dump.py` pretty-prints.
-[[nodiscard]] std::string to_json(const MergePlan& plan);
+/// Serializes a plan as a `smerge-plan-v2` JSON document (field arrays,
+/// the segment timeline, any repair events, plus the verifier's
+/// aggregate report with structured diagnostics) — the dump format
+/// `tools/plan_dump.py` pretty-prints. `repairs` lists the in-place
+/// edits that produced the plan (empty for pristine plans); `active`
+/// marks which streams still have viewers (empty = all) and is the mask
+/// the embedded verify runs under.
+[[nodiscard]] std::string to_json(const MergePlan& plan,
+                                  std::span<const StreamEdit> repairs = {},
+                                  std::span<const std::uint8_t> active = {});
 
 }  // namespace smerge::plan
 

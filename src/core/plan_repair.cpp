@@ -1,0 +1,246 @@
+#include "core/plan_repair.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace smerge::plan {
+
+namespace {
+
+std::size_t index_of(Index x) { return static_cast<std::size_t>(x); }
+
+constexpr double kNoArrival = -std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+SessionPlan::SessionPlan(const MergePlan& base)
+    : media_length_(base.media_length()),
+      model_(base.model()),
+      chunking_(base.chunking()),
+      start_(base.start().begin(), base.start().end()),
+      delay_(base.delay().begin(), base.delay().end()),
+      length_(base.length().begin(), base.length().end()),
+      merge_time_(base.merge_time().begin(), base.merge_time().end()),
+      parent_(base.parent().begin(), base.parent().end()),
+      base_length_(length_),
+      base_parent_(parent_) {
+  const std::size_t n = start_.size();
+  children_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Index p = parent_[i];
+    if (p != -1) children_[index_of(p)].push_back(static_cast<Index>(i));
+  }
+  active_.assign(n, 1);
+  active_count_.assign(n, 1);
+  z_active_.assign(start_.begin(), start_.end());
+  z_all_.assign(start_.begin(), start_.end());
+  for (std::size_t i = n; i-- > 1;) {
+    const Index p = parent_[i];
+    if (p == -1) continue;
+    const std::size_t up = index_of(p);
+    active_count_[up] += active_count_[i];
+    z_active_[up] = std::max(z_active_[up], z_active_[i]);
+    z_all_[up] = std::max(z_all_[up], z_all_[i]);
+  }
+  for (const double length : length_) cost_ += length;
+}
+
+std::size_t SessionPlan::check(Index x) const {
+  if (x < 0 || x >= size()) {
+    throw std::out_of_range("SessionPlan: stream id");
+  }
+  return index_of(x);
+}
+
+void SessionPlan::check_time(double at) const {
+  if (!std::isfinite(at) || at < 0.0) {
+    throw std::invalid_argument("SessionPlan: event time must be >= 0");
+  }
+}
+
+void SessionPlan::refresh_node(std::size_t v) {
+  double z_active = active_[v] != 0 ? start_[v] : kNoArrival;
+  double z_all = start_[v];
+  for (const Index c : children_[v]) {
+    const std::size_t uc = index_of(c);
+    if (active_count_[uc] > 0) z_active = std::max(z_active, z_active_[uc]);
+    z_all = std::max(z_all, z_all_[uc]);
+  }
+  z_active_[v] = z_active;
+  z_all_[v] = z_all;
+}
+
+void SessionPlan::set_length(std::size_t v, double target, bool reroot) {
+  const double old = length_[v];
+  if (!reroot && target == old) return;
+  edits_.push_back(StreamEdit{static_cast<Index>(v), start_[v] + old,
+                              start_[v] + target, reroot});
+  if (target < old) {
+    ++stats_.truncations;
+    stats_.retracted += old - target;
+  } else if (target > old) {
+    ++stats_.extensions;
+    stats_.extended += target - old;
+  }
+  cost_ += target - old;
+  length_[v] = target;
+}
+
+void SessionPlan::repair_node(std::size_t v, double at, bool reroot) {
+  if (active_count_[v] == 0) {
+    // Nobody in the subtree is watching: stop transmitting now. The
+    // already-sent prefix is history and stays in the plan.
+    set_length(v, std::clamp(at - start_[v], 0.0, length_[v]), reroot);
+    if (parent_[v] == -1) merge_time_[v] = start_[v] + length_[v];
+    return;
+  }
+  if (parent_[v] == -1) return;  // a watched root keeps the full media
+  // A watched non-root shrinks to the Lemma-1 / Lemma-17 length its
+  // *remaining* viewers need (z' = last active subtree arrival), but
+  // never below what is already transmitted and never longer than it
+  // already is (policies may have emitted extra length on purpose).
+  const double sp = start_[index_of(parent_[v])];
+  const double need = model_ == Model::kReceiveTwo
+                          ? 2.0 * z_active_[v] - start_[v] - sp
+                          : z_active_[v] - sp;
+  const double elapsed = std::min(length_[v], std::max(0.0, at - start_[v]));
+  set_length(v, std::min(length_[v], std::max(need, elapsed)), reroot);
+}
+
+void SessionPlan::abandon(Index x, double at) {
+  const std::size_t ux = check(x);
+  check_time(at);
+  if (active_[ux] == 0) {
+    throw std::invalid_argument("SessionPlan::abandon: client already departed");
+  }
+  log_.push_back(LoggedEvent{false, x, at});
+  ++stats_.abandons;
+  active_[ux] = 0;
+  for (Index v = x; v != -1; v = parent_[index_of(v)]) {
+    const std::size_t uv = index_of(v);
+    --active_count_[uv];
+    refresh_node(uv);
+    repair_node(uv, at, false);
+  }
+}
+
+void SessionPlan::seek(Index x, double at) {
+  const std::size_t ux = check(x);
+  check_time(at);
+  if (active_[ux] == 0) {
+    throw std::invalid_argument("SessionPlan::seek: client already departed");
+  }
+  log_.push_back(LoggedEvent{true, x, at});
+  ++stats_.seeks;
+  const Index p = parent_[ux];
+  if (p == -1) return;  // already a root: the full media is on the way
+  ++stats_.reroots;
+
+  // Detach: x's subtree re-roots in place and, as a root, must carry
+  // the media to its end for the viewers that rode along.
+  auto& siblings = children_[index_of(p)];
+  siblings.erase(std::find(siblings.begin(), siblings.end(), x));
+  parent_[ux] = -1;
+  set_length(ux, media_length_, /*reroot=*/true);
+  merge_time_[ux] = start_[ux] + length_[ux];
+
+  // The old ancestors lost x's whole subtree: structural z and the
+  // active viewer counts both drop, merge times follow the new
+  // geometry, lengths retract exactly as in a departure.
+  const Index moved = active_count_[ux];
+  for (Index v = p; v != -1; v = parent_[index_of(v)]) {
+    const std::size_t uv = index_of(v);
+    active_count_[uv] -= moved;
+    refresh_node(uv);
+    const Index vp = parent_[uv];
+    if (vp != -1) {
+      const double sp = start_[index_of(vp)];
+      merge_time_[uv] = model_ == Model::kReceiveTwo
+                            ? 2.0 * z_all_[uv] - sp
+                            : start_[uv] + (z_all_[uv] - sp);
+    }
+    repair_node(uv, at, false);
+    if (vp == -1 && active_count_[uv] > 0) {
+      merge_time_[uv] = start_[uv] + length_[uv];
+    }
+  }
+}
+
+bool SessionPlan::active(Index x) const { return active_[check(x)] != 0; }
+
+MergePlan SessionPlan::snapshot() const {
+  PlanBuilder builder(media_length_, model_);
+  if (chunking_.enabled()) builder.set_chunking(chunking_);
+  for (std::size_t i = 0; i < start_.size(); ++i) {
+    (void)builder.add_stream(start_[i], parent_[i], length_[i]);
+    if (delay_[i] > 0.0) builder.record_wait(static_cast<Index>(i), delay_[i]);
+  }
+  return builder.build();
+}
+
+std::vector<double> SessionPlan::reference_lengths() const {
+  // Replay from scratch: every logged event pays a full O(n) recompute
+  // of the subtree summaries before the path repair — the baseline the
+  // incremental path is benchmarked against. The repair expressions are
+  // copies of repair_node's, so the result is bit-equal to lengths().
+  const std::size_t n = start_.size();
+  std::vector<double> length = base_length_;
+  std::vector<Index> original_parent = base_parent_;
+
+  std::vector<Index> count(n, 0);
+  std::vector<double> z_active(n, 0.0);
+  std::vector<std::uint8_t> act(n, 1);
+
+  auto recompute = [&](const std::vector<Index>& par) {
+    for (std::size_t i = 0; i < n; ++i) {
+      count[i] = act[i] != 0 ? 1 : 0;
+      z_active[i] = act[i] != 0 ? start_[i] : kNoArrival;
+    }
+    for (std::size_t i = n; i-- > 1;) {
+      const Index p = par[i];
+      if (p == -1) continue;
+      const std::size_t up = index_of(p);
+      count[up] += count[i];
+      z_active[up] = std::max(z_active[up], z_active[i]);
+    }
+  };
+
+  auto repair_path = [&](std::vector<double>& len, const std::vector<Index>& par,
+                         Index from, double at) {
+    for (Index v = from; v != -1; v = par[index_of(v)]) {
+      const std::size_t uv = index_of(v);
+      if (count[uv] == 0) {
+        len[uv] = std::clamp(at - start_[uv], 0.0, len[uv]);
+        continue;
+      }
+      if (par[uv] == -1) continue;
+      const double sp = start_[index_of(par[uv])];
+      const double need = model_ == Model::kReceiveTwo
+                              ? 2.0 * z_active[uv] - start_[uv] - sp
+                              : z_active[uv] - sp;
+      const double elapsed = std::min(len[uv], std::max(0.0, at - start_[uv]));
+      len[uv] = std::min(len[uv], std::max(need, elapsed));
+    }
+  };
+
+  for (const LoggedEvent& event : log_) {
+    const std::size_t ux = index_of(event.stream);
+    if (event.is_seek) {
+      const Index p = original_parent[ux];
+      if (p == -1) continue;
+      original_parent[ux] = -1;
+      length[ux] = media_length_;
+      recompute(original_parent);
+      repair_path(length, original_parent, p, event.at);
+    } else {
+      act[ux] = 0;
+      recompute(original_parent);
+      repair_path(length, original_parent, event.stream, event.at);
+    }
+  }
+  return length;
+}
+
+}  // namespace smerge::plan

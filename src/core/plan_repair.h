@@ -1,0 +1,155 @@
+// In-place MergePlan repair under session churn.
+//
+// A MergePlan assumes every client watches to the media end; a live
+// session may abandon or seek away mid-stream, leaving its serving
+// subtree transmitting media nobody will play. `SessionPlan` wraps an
+// immutable base plan in mutable session state and repairs the plan *in
+// place* instead of replaying the whole schedule from scratch:
+//
+//  * `abandon(x, at)` — stream x's client departs at wall time `at`.
+//    Along x's root path, subtrees that lost their last viewer are
+//    truncated at `at` (transmitted history is never unsent) and still-
+//    viewed ancestors shrink to the Lemma-1/Lemma-17 length their
+//    remaining viewers need, derived from the *active-only* subtree
+//    last arrival z'. Everything off the path is untouched — the repair
+//    costs O(path length), not O(n).
+//  * `seek(x, at)` — a viewer on stream x jumps elsewhere in the media;
+//    its serving subtree cannot ride its old ancestors any more, so x
+//    detaches and re-roots in place (extending to the full media, the
+//    root obligation) while the abandoned ancestors retract exactly as
+//    in a departure.
+//
+// Every end that moves is logged as a `plan::StreamEdit` — the
+// retraction feed the server folds through its channel ledger — and the
+// maintained lengths/merge-times are, by construction, exactly what
+// `PlanBuilder` would derive for the repaired structure: `snapshot()`
+// rebuilds through the builder and `plan::verify` (with the active
+// mask) is the oracle the fuzz tests run after every event.
+//
+// `reference_lengths()` is the deliberate slow path: it replays the
+// logged events with a full O(n) recompute per event — the
+// "replay from scratch" baseline the repair must beat (and match
+// exactly: both paths evaluate the identical formulas, so the result is
+// bit-equal, which the churn bench asserts).
+#ifndef SMERGE_CORE_PLAN_REPAIR_H
+#define SMERGE_CORE_PLAN_REPAIR_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/plan.h"
+
+namespace smerge::plan {
+
+/// Tallies of the repairs a SessionPlan has applied.
+struct RepairStats {
+  Index abandons = 0;     ///< abandon() calls
+  Index seeks = 0;        ///< seek() calls
+  Index reroots = 0;      ///< subtrees detached and re-rooted
+  Index truncations = 0;  ///< stream ends moved earlier
+  Index extensions = 0;   ///< stream ends moved later (re-roots)
+  double retracted = 0.0; ///< media-units of transmission cancelled
+  double extended = 0.0;  ///< media-units added by re-roots
+
+  friend bool operator==(const RepairStats&, const RepairStats&) = default;
+};
+
+/// A mutable session view over an immutable MergePlan. Not thread-safe;
+/// one object's churn is applied by one thread (the server's per-object
+/// repair pass).
+class SessionPlan {
+ public:
+  /// Copies the base plan's arrays; every stream starts with an active
+  /// viewer (the delay-guaranteed premise).
+  explicit SessionPlan(const MergePlan& base);
+
+  /// Stream `x`'s client departs at wall time `at` (>= 0, finite).
+  /// Throws std::invalid_argument if the client already departed,
+  /// std::out_of_range on a bad id.
+  void abandon(Index x, double at);
+
+  /// A viewer on stream `x` seeks at wall time `at`: x's subtree
+  /// detaches from its ancestors and re-roots in place (no-op on a
+  /// stream that is already a root). Requires x's own client active.
+  void seek(Index x, double at);
+
+  /// Streams in the plan.
+  [[nodiscard]] Index size() const noexcept {
+    return static_cast<Index>(start_.size());
+  }
+  /// Whether stream `x`'s own client is still watching.
+  [[nodiscard]] bool active(Index x) const;
+  /// Per-stream activity flags — the mask `plan::verify` takes.
+  [[nodiscard]] std::span<const std::uint8_t> active_mask() const noexcept {
+    return {active_.data(), active_.size()};
+  }
+  /// Current transmission durations.
+  [[nodiscard]] std::span<const double> lengths() const noexcept {
+    return {length_.data(), length_.size()};
+  }
+  /// Every end move so far, in application order.
+  [[nodiscard]] std::span<const StreamEdit> edits() const noexcept {
+    return {edits_.data(), edits_.size()};
+  }
+  /// Repair tallies.
+  [[nodiscard]] const RepairStats& stats() const noexcept { return stats_; }
+  /// Sum of current durations (maintained incrementally).
+  [[nodiscard]] double total_cost() const noexcept { return cost_; }
+
+  /// Rebuilds the repaired plan through PlanBuilder (explicit lengths,
+  /// current parents, the base plan's chunking and recorded delays).
+  /// The builder re-derives merge times from the repaired structure —
+  /// identical to the maintained ones, which is what makes
+  /// `plan::verify` on the snapshot the repair oracle.
+  [[nodiscard]] MergePlan snapshot() const;
+
+  /// The from-scratch cross-check: replays the logged events on a fresh
+  /// copy with a full O(n) recompute of subtree state per event, and
+  /// returns the resulting durations. Exactly equal to `lengths()` —
+  /// same formulas, same application order — at O(events * n) cost.
+  [[nodiscard]] std::vector<double> reference_lengths() const;
+
+ private:
+  struct LoggedEvent {
+    bool is_seek = false;
+    Index stream = -1;
+    double at = 0.0;
+  };
+
+  [[nodiscard]] std::size_t check(Index x) const;
+  void check_time(double at) const;
+  /// Recomputes z' (active-only) and z (structural) for `v` from its
+  /// own flag and its children's summaries.
+  void refresh_node(std::size_t v);
+  /// Applies the length rule to `v` at wall time `at`: truncate an
+  /// unwatched subtree at `at`, shrink a watched non-root toward its
+  /// active-only Lemma length (never below elapsed transmission, never
+  /// above the current length).
+  void repair_node(std::size_t v, double at, bool reroot);
+  void set_length(std::size_t v, double target, bool reroot);
+
+  double media_length_ = 1.0;
+  Model model_ = Model::kReceiveTwo;
+  ChunkingConfig chunking_;
+  std::vector<double> start_;
+  std::vector<double> delay_;
+  std::vector<double> length_;
+  std::vector<double> merge_time_;
+  std::vector<Index> parent_;
+  std::vector<double> base_length_;  ///< pristine lengths, for the replay oracle
+  std::vector<Index> base_parent_;   ///< pristine parents, for the replay oracle
+  std::vector<std::vector<Index>> children_;
+  std::vector<std::uint8_t> active_;
+  std::vector<Index> active_count_;  ///< active viewers in the subtree
+  std::vector<double> z_active_;     ///< last *active* arrival in the subtree
+  std::vector<double> z_all_;        ///< structural subtree last arrival
+  std::vector<StreamEdit> edits_;
+  std::vector<LoggedEvent> log_;
+  RepairStats stats_;
+  double cost_ = 0.0;
+};
+
+}  // namespace smerge::plan
+
+#endif  // SMERGE_CORE_PLAN_REPAIR_H

@@ -1,0 +1,14 @@
+#include "core/session.h"
+
+namespace smerge {
+
+const char* to_string(SessionEventType type) noexcept {
+  switch (type) {
+    case SessionEventType::kPause: return "pause";
+    case SessionEventType::kSeek: return "seek";
+    case SessionEventType::kAbandon: return "abandon";
+  }
+  return "?";
+}
+
+}  // namespace smerge

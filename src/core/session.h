@@ -1,0 +1,55 @@
+// First-class viewing sessions over a chunked media timeline.
+//
+// The paper's client model is "arrive, wait, watch to the end"; a real
+// session also pauses, seeks and abandons mid-stream. These types are
+// the one vocabulary every layer shares for that lifecycle:
+// `sim/workload` generates per-object `SessionTrace`s on split RNG
+// substreams, `server/server_core` resolves their media-position events
+// to wall-clock times once the admission (and therefore the playback
+// start) is known, and `core/plan_repair` turns departures and seeks
+// into in-place `MergePlan` edits.
+//
+// Events carry *media positions*, not wall-clock times: a trace is
+// policy-independent (the same session abandons 40% of the way through
+// the media whether it waited one slot or ten), so enabling churn never
+// perturbs the arrival process and a trace is reusable across policies.
+// The wall-clock instant of an event is
+//   playback_start + position + (pause time spent before it),
+// resolved by whoever knows the playback start.
+#ifndef SMERGE_CORE_SESSION_H
+#define SMERGE_CORE_SESSION_H
+
+#include <vector>
+
+#include "fib/fibonacci.h"
+
+namespace smerge {
+
+/// What a session does mid-stream. Arrival and natural completion are
+/// implicit (the trace's `arrival` field and the media end).
+enum class SessionEventType {
+  kPause,    ///< playback halts for `value` time units, then resumes
+  kSeek,     ///< playhead jumps to media position `value`
+  kAbandon,  ///< the client departs; no further events
+};
+
+/// Human-readable event-type name.
+[[nodiscard]] const char* to_string(SessionEventType type) noexcept;
+
+/// One mid-stream event at media position `position` (in (0, L)).
+struct SessionEvent {
+  SessionEventType type = SessionEventType::kAbandon;
+  double position = 0.0;  ///< playhead position when the event fires
+  double value = 0.0;     ///< pause: duration; seek: target position
+};
+
+/// One client session: an arrival plus its position-ordered mid-stream
+/// events (empty = the classic watch-to-the-end client).
+struct SessionTrace {
+  double arrival = 0.0;
+  std::vector<SessionEvent> events;
+};
+
+}  // namespace smerge
+
+#endif  // SMERGE_CORE_SESSION_H

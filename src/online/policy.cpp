@@ -130,6 +130,12 @@ class GreedyObjectPolicy final : public ObjectPolicy {
 
 }  // namespace
 
+void PolicySink::retract_stream(Index /*index*/, double /*new_end*/) {}
+
+void ObjectPolicy::on_session_event(double /*time*/, double /*arrival*/,
+                                    const SessionEvent& /*event*/,
+                                    PolicySink& /*sink*/) {}
+
 void OnlinePolicy::prepare(double delay, double horizon) {
   check_delay(delay);
   if (horizon < 0.0) {

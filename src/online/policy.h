@@ -26,6 +26,7 @@
 #include <memory>
 #include <string>
 
+#include "core/session.h"
 #include "merging/dyadic.h"
 #include "online/delay_guaranteed.h"
 
@@ -53,6 +54,12 @@ class PolicySink {
   /// A client admission; wait = playback_start - arrival >= 0. The
   /// playback start must coincide with some emitted stream's start.
   virtual void admit(double arrival, double playback_start) = 0;
+  /// A previously emitted stream's end moved (plan repair after session
+  /// churn): stream `index` (emission order on this sink) now ends at
+  /// `new_end` absolute time. Default: ignore — policies that track
+  /// their own cost or intervals override. Called only after the last
+  /// on_arrival/finish, never concurrently with them.
+  virtual void retract_stream(Index index, double new_end);
 };
 
 /// Per-object policy state; one instance per simulated media object.
@@ -65,6 +72,13 @@ class ObjectPolicy {
   /// End of the run at `horizon`: flush fixed schedules and streams
   /// whose truncation resolved late.
   virtual void finish(double horizon, PolicySink& sink) = 0;
+  /// A mid-session event (pause / seek / abandon) from the client
+  /// admitted at `arrival`, observed at wall time `time`. Informational:
+  /// the server applies the plan repair itself; policies override to
+  /// adapt future decisions. Default: ignore. Times nondecreasing,
+  /// interleaved with on_arrival in wall-time order.
+  virtual void on_session_event(double time, double arrival,
+                                const SessionEvent& event, PolicySink& sink);
 };
 
 /// A policy family: a name plus a factory for per-object state.

@@ -10,11 +10,14 @@ namespace smerge::server {
 namespace {
 
 /// The canonical sweep order: time ascending, ends (-1) before starts
-/// (+1) at equal times, object id as the final tie-break — the exact
-/// order the legacy k-way merge popped events in.
+/// (+1) at equal times, retraction compensations before genuine starts,
+/// object id as the final tie-break. For runs without retraction every
+/// +1 is a stream start and every -1 is not, so the order degenerates
+/// to the exact order the legacy k-way merge popped events in.
 bool event_less(const LedgerEvent& a, const LedgerEvent& b) noexcept {
   if (a.time != b.time) return a.time < b.time;
   if (a.delta != b.delta) return a.delta < b.delta;
+  if (a.stream_start != b.stream_start) return !a.stream_start;
   return a.object < b.object;
 }
 
@@ -58,29 +61,48 @@ void ChannelLedger::tree_update(std::size_t b) noexcept {
   }
 }
 
+void ChannelLedger::push_event(const LedgerEvent& e) {
+  const std::size_t b = bucket_of(e.time);
+  Bucket& bucket = buckets_[b];
+  const bool was_clean = bucket.sorted == bucket.events.size();
+  const bool in_order =
+      bucket.events.empty() || !event_less(e, bucket.events.back());
+  bucket.events.push_back(e);
+  bucket.net += e.delta;
+  if (was_clean && in_order) {
+    // Common case (streams arrive roughly in time order): the bucket
+    // stays sorted and its max-prefix extends in O(1).
+    bucket.sorted = bucket.events.size();
+    bucket.max_prefix = std::max(bucket.max_prefix, bucket.net);
+  } else if (was_clean) {
+    dirty_.push_back(static_cast<std::uint32_t>(b));
+  }
+  tree_update(b);
+  ++events_;
+}
+
 void ChannelLedger::add_interval(double start, double end, Index object) {
   if (!(start >= 0.0) || !(end >= start)) {
     throw std::invalid_argument("ChannelLedger: bad interval");
   }
-  const LedgerEvent evs[2] = {{start, object, +1}, {end, object, -1}};
-  for (const LedgerEvent& e : evs) {
-    const std::size_t b = bucket_of(e.time);
-    Bucket& bucket = buckets_[b];
-    const bool was_clean = bucket.sorted == bucket.events.size();
-    const bool in_order =
-        bucket.events.empty() || !event_less(e, bucket.events.back());
-    bucket.events.push_back(e);
-    bucket.net += e.delta;
-    if (was_clean && in_order) {
-      // Common case (streams arrive roughly in time order): the bucket
-      // stays sorted and its max-prefix extends in O(1).
-      bucket.sorted = bucket.events.size();
-      bucket.max_prefix = std::max(bucket.max_prefix, bucket.net);
-    } else if (was_clean) {
-      dirty_.push_back(static_cast<std::uint32_t>(b));
-    }
-    tree_update(b);
-    ++events_;
+  push_event({start, object, +1, true});
+  push_event({end, object, -1, false});
+}
+
+void ChannelLedger::move_end(double old_end, double new_end, Index object) {
+  if (!(old_end >= 0.0) || !(new_end >= 0.0)) {
+    throw std::invalid_argument("ChannelLedger: bad end move");
+  }
+  if (old_end == new_end) return;
+  // A difference pair cancelling [min, max) of the original interval
+  // (retraction) or reserving the extra [old, new) (extension). Neither
+  // +1 is a stream start.
+  if (new_end < old_end) {
+    push_event({new_end, object, -1, false});
+    push_event({old_end, object, +1, false});
+  } else {
+    push_event({old_end, object, +1, false});
+    push_event({new_end, object, -1, false});
   }
 }
 
@@ -200,7 +222,7 @@ Index ChannelLedger::capacity_violations(Index capacity) {
   for (const Bucket& bucket : buckets_) {
     for (const LedgerEvent& e : bucket.events) {
       depth += e.delta;
-      if (e.delta > 0 && depth > capacity) ++violations;
+      if (e.stream_start && depth > capacity) ++violations;
     }
   }
   return violations;

@@ -40,10 +40,15 @@ namespace smerge::server {
 
 /// One +-1 occupancy edge, tagged with the emitting object so ties
 /// break deterministically in the canonical sweep order.
+/// `stream_start` marks the +1 of a genuine stream admission; the
+/// compensation events a retraction appends carry false, so capacity
+/// accounting never mistakes "a retracted reservation ended here" for
+/// "a new stream started here".
 struct LedgerEvent {
   double time = 0.0;
   Index object = 0;
   std::int32_t delta = 0;
+  bool stream_start = false;
 };
 
 /// Sorted, bucketed, incrementally queryable channel occupancy.
@@ -57,6 +62,14 @@ class ChannelLedger {
 
   /// Records one transmission interval [start, end). O(1) amortized.
   void add_interval(double start, double end, Index object);
+
+  /// Moves a previously recorded interval's end (plan repair): appends
+  /// the compensating difference pair — {new_end, -1}, {old_end, +1}
+  /// for a retraction, the mirror for an extension — instead of
+  /// rewriting history, so the ledger stays append-only and O(1)
+  /// amortized. The +1 of a retraction pair is *not* a stream start
+  /// (`stream_start` false) and never counts as a capacity violation.
+  void move_end(double old_end, double new_end, Index object);
 
   /// Number of recorded events (two per interval).
   [[nodiscard]] std::int64_t events() const noexcept { return events_; }
@@ -86,6 +99,7 @@ class ChannelLedger {
   };
 
   [[nodiscard]] std::size_t bucket_of(double t) const noexcept;
+  void push_event(const LedgerEvent& e);
   void ensure_sorted(std::size_t b);
   void flush();
   /// Sum of bucket nets over [0, b) — occupancy at bucket b's start.

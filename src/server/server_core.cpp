@@ -38,11 +38,13 @@ std::size_t index_of(Index x) { return static_cast<std::size_t>(x); }
 /// plan assembly) are the legacy engine ShardSink's, verbatim — that is
 /// what keeps the refactored engine bit-identical.
 struct ServerCore::ObjectState final : PolicySink {
-  ObjectState(Index id_, double delay_, bool collect_intervals_, bool collect_plan_)
+  ObjectState(Index id_, double delay_, bool collect_intervals_, bool collect_plan_,
+              const plan::ChunkingConfig& chunking_)
       : id(id_),
         delay(delay_),
         collect_intervals(collect_intervals_),
-        collect_plan(collect_plan_) {}
+        collect_plan(collect_plan_),
+        chunking(chunking_) {}
 
   void start_stream(double start, double duration, Index parent) override {
     if (start < 0.0 || !(duration >= 0.0)) {
@@ -71,6 +73,17 @@ struct ServerCore::ObjectState final : PolicySink {
     record_admission(arrival, playback_start, arrival);
   }
 
+  void retract_stream(Index index, double new_end) override {
+    if (index < 0 || index_of(index) >= stream_starts.size()) {
+      throw std::out_of_range("server-core: retract_stream index");
+    }
+    const std::size_t u = index_of(index);
+    const double new_duration = new_end - stream_starts[u];
+    outcome.cost += new_duration - stream_durations[u];
+    stream_durations[u] = new_duration;
+    if (collect_intervals) intervals[u].end = new_end;
+  }
+
   /// Records one admission; the guarantee is measured from `basis`
   /// (== arrival everywhere except the defer admission mode, which
   /// re-promises from the deferred slot).
@@ -93,23 +106,28 @@ struct ServerCore::ObjectState final : PolicySink {
   /// Assembles the recorded schedule into the canonical IR: streams in
   /// emission order (the policies emit in start order), per-stream
   /// delays from the waits of the admissions each stream served.
+  /// The stream whose start coincides with `playback` — the admission
+  /// contract (both sides compute the identical slot/batch expression,
+  /// so the match is exact; the tolerance absorbs nothing but future
+  /// policies' rounding).
+  [[nodiscard]] Index stream_for_playback(double playback) const {
+    const auto it = std::lower_bound(stream_starts.begin(), stream_starts.end(),
+                                     playback - 1e-9);
+    if (it == stream_starts.end() || std::abs(*it - playback) > 1e-9) {
+      throw std::logic_error(
+          "server-core: admission playback start matches no emitted stream");
+    }
+    return static_cast<Index>(it - stream_starts.begin());
+  }
+
   [[nodiscard]] plan::MergePlan build_plan() const {
     plan::PlanBuilder builder(1.0, Model::kReceiveTwo);
+    if (chunking.enabled()) builder.set_chunking(chunking);
     for (std::size_t i = 0; i < stream_starts.size(); ++i) {
       builder.add_stream(stream_starts[i], stream_parents[i], stream_durations[i]);
     }
     for (const auto& [playback, wait] : admissions) {
-      // The admission contract: playback coincides with a stream start
-      // (both sides compute the identical slot/batch expression, so the
-      // match is exact; the tolerance absorbs nothing but future
-      // policies' rounding).
-      const auto it = std::lower_bound(stream_starts.begin(), stream_starts.end(),
-                                       playback - 1e-9);
-      if (it == stream_starts.end() || std::abs(*it - playback) > 1e-9) {
-        throw std::logic_error(
-            "server-core: admission playback start matches no emitted stream");
-      }
-      builder.record_wait(static_cast<Index>(it - stream_starts.begin()), wait);
+      builder.record_wait(stream_for_playback(playback), wait);
     }
     return builder.build();
   }
@@ -118,6 +136,7 @@ struct ServerCore::ObjectState final : PolicySink {
   const double delay;
   const bool collect_intervals;
   const bool collect_plan;
+  const plan::ChunkingConfig chunking;
 
   std::unique_ptr<ObjectPolicy> policy;  ///< generic path only
 
@@ -138,6 +157,25 @@ struct ServerCore::ObjectState final : PolicySink {
   std::size_t flushed_events = 0;  ///< events already in the global ledger
   std::size_t flushed_waits = 0;   ///< waits already in the P2 trackers
   bool dirty = false;              ///< queued in its shard's dirty list
+
+  // Session lifecycle (enable_sessions only). Sessions align 1:1 with
+  // arrivals: session i is the client admitted i-th, so its playback
+  // start is admissions[i] — which is how media positions resolve to
+  // wall times at drain.
+  struct PlanEvent {
+    double wall = 0.0;      ///< resolved wall time of the event
+    double playback = 0.0;  ///< the session's playback start
+    Index session = -1;
+    bool is_seek = false;   ///< else: abandon
+  };
+  std::vector<SessionTrace> sessions;     ///< arrival order
+  std::size_t resolved_sessions = 0;      ///< prefix already wall-resolved
+  std::vector<double> session_playbacks;  ///< nondecreasing (admission order)
+  std::vector<double> session_ends;       ///< wall time each session stops
+  bool session_ends_sorted = true;
+  std::vector<PlanEvent> plan_events;     ///< abandons + seeks, resolution order
+  std::vector<plan::StreamEdit> session_edits;  ///< finish()-time repair feed
+  plan::RepairStats repair;
 
   // Serving state.
   double last_time = 0.0;     ///< monotonicity guard (ingest + admit)
@@ -205,6 +243,11 @@ void ServerCore::validate() const {
   if (!(config_.ledger_bucket >= 0.0)) {
     throw std::invalid_argument("ServerCore: ledger_bucket must be >= 0");
   }
+  plan::validate(config_.chunking, 1.0);
+  if (config_.enable_sessions && config_.serve != ServeMode::kPolicy) {
+    throw std::invalid_argument(
+        "ServerCore: sessions require generic policy serving");
+  }
   if (config_.admission != AdmissionMode::kObserve) {
     if (config_.serve != ServeMode::kSlottedBatching) {
       throw std::invalid_argument(
@@ -266,8 +309,11 @@ void ServerCore::build_objects(OnlinePolicy* policy) {
 
   impl_->objects.reserve(index_of(config_.objects));
   for (Index m = 0; m < config_.objects; ++m) {
+    // Sessions need the stream/admission record to resolve events and
+    // repair plans, whether or not plans are exported to the snapshot.
     auto state = std::make_unique<ObjectState>(
-        m, config_.delay, config_.collect_stream_intervals, config_.collect_plans);
+        m, config_.delay, config_.collect_stream_intervals,
+        config_.collect_plans || config_.enable_sessions, config_.chunking);
     if (policy != nullptr) {
       state->policy = policy->make_object_policy(config_.delay, config_.horizon);
     }
@@ -319,6 +365,105 @@ void ServerCore::process_object(ObjectState& state) {
   } else {
     state.pending.clear();
   }
+  if (config_.enable_sessions) resolve_sessions(state);
+}
+
+/// Resolves every newly admitted session's media-position events to
+/// wall times by walking its playhead: wall advances with playback,
+/// jumps over pauses, and restarts from seek targets. Events the
+/// playhead already passed (a forward seek skipped them) are dropped;
+/// nothing follows an abandon. Runs inside the parallel drain — it
+/// touches only this object's state.
+void ServerCore::resolve_sessions(ObjectState& state) {
+  while (state.resolved_sessions < state.sessions.size() &&
+         state.resolved_sessions < state.admissions.size()) {
+    const std::size_t i = state.resolved_sessions++;
+    const SessionTrace& trace = state.sessions[i];
+    const double playback = state.admissions[i].first;
+    ++state.outcome.sessions;
+    double wall = playback;
+    double pos = 0.0;
+    bool departed = false;
+    for (const SessionEvent& event : trace.events) {
+      if (event.position < pos || event.position > 1.0) continue;
+      wall += event.position - pos;
+      pos = event.position;
+      if (state.policy != nullptr) {
+        state.policy->on_session_event(wall, trace.arrival, event, state);
+      }
+      switch (event.type) {
+        case SessionEventType::kPause:
+          wall += event.value;
+          ++state.outcome.session_pauses;
+          break;
+        case SessionEventType::kSeek:
+          ++state.outcome.session_seeks;
+          state.plan_events.push_back(
+              {wall, playback, static_cast<Index>(i), true});
+          pos = event.value;
+          break;
+        case SessionEventType::kAbandon:
+          ++state.outcome.session_abandons;
+          state.plan_events.push_back(
+              {wall, playback, static_cast<Index>(i), false});
+          departed = true;
+          break;
+      }
+      if (departed) break;
+    }
+    state.session_playbacks.push_back(playback);
+    state.session_ends.push_back(departed ? wall : wall + (1.0 - pos));
+    state.session_ends_sorted = false;
+  }
+}
+
+/// Applies the object's churn to its assembled plan in place: each
+/// abandon decrements its serving stream's live-session count and the
+/// plan-level departure fires when the last viewer leaves; a seek
+/// re-roots the serving subtree only when the seeker is its sole
+/// viewer (a shared stream keeps serving the others). The edits feed
+/// `retract_stream` (stream record + cost) here and the ledger fold in
+/// finish()'s serial epilogue. Runs in the parallel finalization — it
+/// touches only this object's state.
+void ServerCore::repair_object_plan(ObjectState& state) {
+  if (state.resolved_sessions != state.sessions.size()) {
+    throw std::logic_error("server-core: unresolved sessions at finish");
+  }
+  if (state.plan_events.empty()) return;
+  std::vector<Index> session_stream(state.resolved_sessions, -1);
+  std::vector<Index> viewers(state.stream_starts.size(), 0);
+  for (std::size_t i = 0; i < state.resolved_sessions; ++i) {
+    const Index s = state.stream_for_playback(state.admissions[i].first);
+    session_stream[i] = s;
+    ++viewers[index_of(s)];
+  }
+  std::sort(state.plan_events.begin(), state.plan_events.end(),
+            [](const ObjectState::PlanEvent& a, const ObjectState::PlanEvent& b) {
+              if (a.wall != b.wall) return a.wall < b.wall;
+              return a.session < b.session;
+            });
+  plan::SessionPlan session_plan(state.plan);
+  for (const ObjectState::PlanEvent& event : state.plan_events) {
+    const Index s = session_stream[index_of(event.session)];
+    if (event.is_seek) {
+      if (viewers[index_of(s)] == 1 && session_plan.active(s)) {
+        session_plan.seek(s, event.wall);
+      }
+    } else if (--viewers[index_of(s)] == 0) {
+      session_plan.abandon(s, event.wall);
+    }
+  }
+  state.repair = session_plan.stats();
+  state.session_edits.assign(session_plan.edits().begin(),
+                             session_plan.edits().end());
+  for (const plan::StreamEdit& edit : state.session_edits) {
+    state.retract_stream(edit.stream, edit.new_end);
+  }
+  state.plan = session_plan.snapshot();
+  state.outcome.plan_truncations += state.repair.truncations;
+  state.outcome.plan_reroots += state.repair.reroots;
+  state.outcome.retracted_cost += state.repair.retracted;
+  state.outcome.extended_cost += state.repair.extended;
 }
 
 // --- Ingest -----------------------------------------------------------------
@@ -329,6 +474,11 @@ void ServerCore::ingest(Index object, double time) {
     throw std::invalid_argument(
         "ServerCore: ingest/drain serve the generic policy path; slotted "
         "modes use admit()");
+  }
+  if (config_.enable_sessions) {
+    throw std::invalid_argument(
+        "ServerCore: a session core must know every client's lifecycle — "
+        "use ingest_session_trace");
   }
   if (object < 0 || object >= config_.objects) {
     throw std::out_of_range("ServerCore::ingest: object out of range");
@@ -355,6 +505,11 @@ void ServerCore::ingest_trace(Index object, std::vector<double> times) {
         "ServerCore: ingest/drain serve the generic policy path; slotted "
         "modes use admit()");
   }
+  if (config_.enable_sessions) {
+    throw std::invalid_argument(
+        "ServerCore: a session core must know every client's lifecycle — "
+        "use ingest_session_trace");
+  }
   if (object < 0 || object >= config_.objects) {
     throw std::out_of_range("ServerCore::ingest_trace: object out of range");
   }
@@ -373,6 +528,43 @@ void ServerCore::ingest_trace(Index object, std::vector<double> times) {
     state.pending = std::move(times);
   } else {
     state.pending.insert(state.pending.end(), times.begin(), times.end());
+  }
+  state.last_time = last;
+  if (last > impl_->clock) impl_->clock = last;
+  impl_->arrivals += count;
+  if (!state.dirty) {
+    state.dirty = true;
+    impl_->shard_dirty[index_of(object) % config_.shards].push_back(object);
+  }
+}
+
+void ServerCore::ingest_session_trace(Index object,
+                                      std::vector<SessionTrace> sessions) {
+  if (impl_->finished) throw std::logic_error("ServerCore: already finished");
+  if (!config_.enable_sessions) {
+    throw std::invalid_argument(
+        "ServerCore::ingest_session_trace: enable_sessions is off");
+  }
+  if (object < 0 || object >= config_.objects) {
+    throw std::out_of_range("ServerCore::ingest_session_trace: object");
+  }
+  if (sessions.empty()) return;
+  ObjectState& state = *impl_->objects[index_of(object)];
+  double last = state.last_time;
+  for (const SessionTrace& session : sessions) {
+    if (session.arrival < 0.0 || session.arrival < last) {
+      throw std::invalid_argument(
+          "ServerCore::ingest_session_trace: arrivals must be nondecreasing "
+          "per object");
+    }
+    last = session.arrival;
+  }
+  const auto count = static_cast<Index>(sessions.size());
+  state.pending.reserve(state.pending.size() + sessions.size());
+  state.sessions.reserve(state.sessions.size() + sessions.size());
+  for (SessionTrace& session : sessions) {
+    state.pending.push_back(session.arrival);
+    state.sessions.push_back(std::move(session));
   }
   state.last_time = last;
   if (last > impl_->clock) impl_->clock = last;
@@ -412,6 +604,11 @@ Ticket ServerCore::admit(Index object, double time) {
   }
   if (time < 0.0) {
     throw std::invalid_argument("ServerCore::admit: negative arrival time");
+  }
+  if (config_.enable_sessions) {
+    throw std::invalid_argument(
+        "ServerCore: a session core must know every client's lifecycle — "
+        "use ingest_session_trace");
   }
   ObjectState& state = *impl_->objects[index_of(object)];
   if (time < state.last_time) {
@@ -611,13 +808,40 @@ void ServerCore::finish() {
       [&](std::int64_t m) {
         ObjectState& state = *impl_->objects[static_cast<std::size_t>(m)];
         if (state.collect_plan) state.plan = state.build_plan();
-        state.outcome.peak_concurrency = peak_overlap(state.events);
+        if (config_.enable_sessions) {
+          repair_object_plan(state);
+          // The object's own peak reflects the repaired stream ends.
+          std::vector<ChannelEvent> repaired;
+          repaired.reserve(2 * state.stream_starts.size());
+          for (std::size_t i = 0; i < state.stream_starts.size(); ++i) {
+            repaired.push_back({state.stream_starts[i], +1});
+            repaired.push_back(
+                {state.stream_starts[i] + state.stream_durations[i], -1});
+          }
+          state.outcome.peak_concurrency = peak_overlap(repaired);
+        } else {
+          state.outcome.peak_concurrency = peak_overlap(state.events);
+        }
         std::stable_sort(state.intervals.begin(), state.intervals.end(),
                          [](const StreamInterval& a, const StreamInterval& b) {
                            return a.start < b.start;
                          });
       },
       config_.shards);
+
+  // Fold the repairs through the global ledger: serial, object-id
+  // order, edit order within an object — never a function of the shard
+  // fan-out, exactly like the epilogue. Retraction pairs keep the
+  // ledger append-only; occupancy and capacity accounting from here on
+  // see the repaired schedule.
+  if (config_.enable_sessions) {
+    for (const auto& state : impl_->objects) {
+      for (const plan::StreamEdit& edit : state->session_edits) {
+        impl_->ledger.move_end(edit.old_end, edit.new_end, state->id);
+        impl_->cost += edit.new_end - edit.old_end;
+      }
+    }
+  }
 
   // The deterministic serial reduction, in object order — the legacy
   // engine's fold, with the k-way event merge replaced by the ledger.
@@ -629,6 +853,14 @@ void ServerCore::finish() {
     snap.total_streams += state->outcome.streams;
     snap.streams_served += state->outcome.cost;
     snap.guarantee_violations += state->outcome.violations;
+    snap.total_sessions += state->outcome.sessions;
+    snap.session_pauses += state->outcome.session_pauses;
+    snap.session_seeks += state->outcome.session_seeks;
+    snap.session_abandons += state->outcome.session_abandons;
+    snap.plan_truncations += state->outcome.plan_truncations;
+    snap.plan_reroots += state->outcome.plan_reroots;
+    snap.retracted_cost += state->outcome.retracted_cost;
+    snap.extended_cost += state->outcome.extended_cost;
     if (state->outcome.max_wait > snap.wait.max) {
       snap.wait.max = state->outcome.max_wait;
     }
@@ -699,6 +931,28 @@ LiveStats ServerCore::live_stats() {
   stats.current_channels = impl_->ledger.occupancy_at(impl_->clock);
   stats.peak_channels = impl_->ledger.peak();
   stats.wait = wait_profile(/*exact=*/false);
+  if (config_.enable_sessions) {
+    const double now = impl_->clock;
+    for (auto& state : impl_->objects) {
+      stats.session_pauses += state->outcome.session_pauses;
+      stats.session_seeks += state->outcome.session_seeks;
+      stats.session_abandons += state->outcome.session_abandons;
+      if (!state->session_ends_sorted) {
+        std::sort(state->session_ends.begin(), state->session_ends.end());
+        state->session_ends_sorted = true;
+      }
+      // Playbacks are nondecreasing (admission order), ends sorted just
+      // above: live = started-by-now minus ended-by-now.
+      const auto started =
+          std::upper_bound(state->session_playbacks.begin(),
+                           state->session_playbacks.end(), now) -
+          state->session_playbacks.begin();
+      const auto ended = std::upper_bound(state->session_ends.begin(),
+                                          state->session_ends.end(), now) -
+                         state->session_ends.begin();
+      stats.live_sessions += static_cast<Index>(started - ended);
+    }
+  }
   return stats;
 }
 

@@ -39,6 +39,8 @@
 #include <vector>
 
 #include "core/plan.h"
+#include "core/plan_repair.h"
+#include "core/session.h"
 #include "online/policy.h"
 #include "online/program_table.h"
 #include "schedule/channels.h"
@@ -86,6 +88,16 @@ struct ServerCoreConfig {
   Index dg_media_slots = 0;     ///< SlottedDg: L in slots; 0 = round(1/delay)
   bool collect_stream_intervals = false;  ///< keep all intervals (O(streams))
   bool collect_plans = false;   ///< assemble per-object MergePlans (O(streams))
+
+  // Session lifecycle (generic policy serving only). When enabled the
+  // core takes `ingest_session_trace` instead of plain arrivals, tracks
+  // live sessions, and repairs each object's plan in place at finish():
+  // subtrees whose last viewer departed are truncated, seek-away
+  // subtrees re-root, and every end move is folded through the channel
+  // ledger as a retraction pair. Stream/admission recording is forced
+  // on internally (plans are only exported when `collect_plans` is set).
+  bool enable_sessions = false;
+  plan::ChunkingConfig chunking;  ///< segment timeline for emitted plans
 };
 
 /// What a client receives back from `admit`. All indices are stable for
@@ -116,6 +128,16 @@ struct ObjectOutcome {
   Index peak_concurrency = 0;  ///< this object's own channel peak
   Index violations = 0;        ///< clients whose wait exceeded the delay
 
+  // Session lifecycle (zero unless enable_sessions).
+  Index sessions = 0;          ///< sessions ingested for this object
+  Index session_pauses = 0;
+  Index session_seeks = 0;
+  Index session_abandons = 0;
+  Index plan_truncations = 0;  ///< stream ends pulled earlier by repair
+  Index plan_reroots = 0;      ///< subtrees detached and re-rooted
+  double retracted_cost = 0.0; ///< media units cancelled by repair
+  double extended_cost = 0.0;  ///< media units added by re-roots
+
   friend bool operator==(const ObjectOutcome&, const ObjectOutcome&) = default;
 };
 
@@ -132,6 +154,12 @@ struct LiveStats {
   Index current_channels = 0;  ///< occupancy at the latest ingested time
   Index peak_channels = 0;
   util::DelayProfile wait;     ///< mean/max exact, percentiles P² estimates
+
+  // Session lifecycle (zero unless enable_sessions).
+  Index live_sessions = 0;     ///< playing (or paused) at the clock
+  Index session_pauses = 0;    ///< resolved so far (drained sessions)
+  Index session_seeks = 0;
+  Index session_abandons = 0;
 };
 
 /// End-of-run totals (after `finish()`); the engine adapter maps this
@@ -147,6 +175,17 @@ struct Snapshot {
   Index rejected = 0;
   Index deferrals = 0;
   Index degraded = 0;
+
+  // Session lifecycle totals (zero unless enable_sessions).
+  Index total_sessions = 0;
+  Index session_pauses = 0;
+  Index session_seeks = 0;
+  Index session_abandons = 0;
+  Index plan_truncations = 0;
+  Index plan_reroots = 0;
+  double retracted_cost = 0.0;
+  double extended_cost = 0.0;
+
   std::vector<ObjectOutcome> per_object;
   std::vector<StreamInterval> stream_intervals;  ///< collected only
   std::vector<plan::MergePlan> plans;            ///< collected only
@@ -199,6 +238,15 @@ class ServerCore {
   /// Appends a whole time-ordered trace for one object (moved, O(1)
   /// when the object's mailbox is empty).
   void ingest_trace(Index object, std::vector<double> times);
+
+  /// Session-lifecycle ingest (`enable_sessions` only; plain
+  /// ingest/ingest_trace then throw — a session core must know every
+  /// client's lifecycle). Each trace is one client: its arrival feeds
+  /// the policy exactly like a plain arrival (so the admission stream
+  /// is unchanged), its events are resolved to wall times against the
+  /// admitted playback at the next drain, and the plan repair they
+  /// imply is applied at finish().
+  void ingest_session_trace(Index object, std::vector<SessionTrace> sessions);
 
   /// Processes all mailboxes: shards fan out over the thread pool, the
   /// serial epilogue folds results in object-id order. Bit-identical
@@ -257,6 +305,8 @@ class ServerCore {
   Ticket admit_slotted(Index object, double time);
   Ticket admit_policy(Index object, double time);
   void process_object(ObjectState& state);
+  void resolve_sessions(ObjectState& state);
+  void repair_object_plan(ObjectState& state);
   void flush_object(Index object);
   void epilogue(const std::vector<Index>& objects);
   void dg_emit_through(ObjectState& state, Index slot);

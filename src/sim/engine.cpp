@@ -22,6 +22,8 @@ server::ServerCoreConfig core_config(const EngineConfig& config) {
   core.admission = server::AdmissionMode::kObserve;
   core.collect_stream_intervals = config.collect_stream_intervals;
   core.collect_plans = config.collect_plans;
+  core.enable_sessions = config.churn.enabled();
+  core.chunking = config.chunking;
   return core;
 }
 
@@ -34,6 +36,14 @@ EngineResult to_engine_result(server::Snapshot&& snapshot) {
   result.peak_concurrency = snapshot.peak_concurrency;
   result.guarantee_violations = snapshot.guarantee_violations;
   result.capacity_violations = snapshot.capacity_violations;
+  result.total_sessions = snapshot.total_sessions;
+  result.session_pauses = snapshot.session_pauses;
+  result.session_seeks = snapshot.session_seeks;
+  result.session_abandons = snapshot.session_abandons;
+  result.plan_truncations = snapshot.plan_truncations;
+  result.plan_reroots = snapshot.plan_reroots;
+  result.retracted_cost = snapshot.retracted_cost;
+  result.extended_cost = snapshot.extended_cost;
   result.per_object = std::move(snapshot.per_object);
   result.stream_intervals = std::move(snapshot.stream_intervals);
   result.plans = std::move(snapshot.plans);
@@ -52,23 +62,38 @@ EngineResult run_engine(const EngineConfig& config, OnlinePolicy& policy) {
   // per-object ObjectPolicy states.
   server::ServerCore core(core_config(config), policy);
 
-  // Trace generation fans out over the pool: each object's arrivals are
-  // a pure function of (workload, object), whatever thread computes
-  // them.
+  // Trace generation fans out over the pool: each object's arrivals
+  // (and, under churn, its session events) are a pure function of
+  // (workload, object), whatever thread computes them.
   const std::vector<double> weights =
       zipf_weights(config.workload.objects, config.workload.zipf_exponent);
   const auto n_objects = static_cast<std::size_t>(config.workload.objects);
-  std::vector<std::vector<double>> traces(n_objects);
-  util::parallel_for(
-      0, static_cast<std::int64_t>(n_objects),
-      [&](std::int64_t i) {
-        const auto m = static_cast<std::size_t>(i);
-        traces[m] =
-            generate_arrivals(config.workload, static_cast<Index>(i), weights[m]);
-      },
-      config.threads);
-  for (std::size_t m = 0; m < n_objects; ++m) {
-    core.ingest_trace(static_cast<Index>(m), std::move(traces[m]));
+  if (config.churn.enabled()) {
+    std::vector<std::vector<SessionTrace>> traces(n_objects);
+    util::parallel_for(
+        0, static_cast<std::int64_t>(n_objects),
+        [&](std::int64_t i) {
+          const auto m = static_cast<std::size_t>(i);
+          traces[m] = generate_sessions(config.workload, config.churn,
+                                        static_cast<Index>(i), weights[m]);
+        },
+        config.threads);
+    for (std::size_t m = 0; m < n_objects; ++m) {
+      core.ingest_session_trace(static_cast<Index>(m), std::move(traces[m]));
+    }
+  } else {
+    std::vector<std::vector<double>> traces(n_objects);
+    util::parallel_for(
+        0, static_cast<std::int64_t>(n_objects),
+        [&](std::int64_t i) {
+          const auto m = static_cast<std::size_t>(i);
+          traces[m] =
+              generate_arrivals(config.workload, static_cast<Index>(i), weights[m]);
+        },
+        config.threads);
+    for (std::size_t m = 0; m < n_objects; ++m) {
+      core.ingest_trace(static_cast<Index>(m), std::move(traces[m]));
+    }
   }
 
   // drain() shards the mailboxes over the pool; finish() flushes the

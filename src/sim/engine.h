@@ -42,6 +42,15 @@ struct EngineConfig {
   double delay = 0.01;         ///< guaranteed start-up delay (fraction of media)
   Index channel_capacity = 0;  ///< server channels; 0 = unbounded
   unsigned threads = 1;        ///< object-shard fan-out width
+  /// Mid-session behaviour (pause / seek / abandon). When any rate is
+  /// positive the run goes through the core's session path: traces are
+  /// generated per session on a churn-salted substream (arrivals are
+  /// unchanged), and each object's plan is repaired in place at the
+  /// horizon — subtree truncation, re-roots, ledger retraction.
+  SessionChurnConfig churn;
+  /// Segment timeline attached to emitted plans (`plan::ChunkingConfig`,
+  /// disabled by default).
+  plan::ChunkingConfig chunking;
   /// Also return every transmission interval (start-ordered), the input
   /// `assign_channels` needs for a concrete channel plan. Off by
   /// default: it is O(total streams) extra memory.
@@ -70,6 +79,15 @@ struct EngineResult {
   Index peak_concurrency = 0;       ///< server-wide channel peak
   Index guarantee_violations = 0;   ///< sum of per-object violations
   Index capacity_violations = 0;    ///< stream starts above channel_capacity
+  // Session lifecycle totals (zero unless churn is enabled).
+  Index total_sessions = 0;
+  Index session_pauses = 0;
+  Index session_seeks = 0;
+  Index session_abandons = 0;
+  Index plan_truncations = 0;       ///< stream ends pulled earlier by repair
+  Index plan_reroots = 0;           ///< subtrees detached and re-rooted
+  double retracted_cost = 0.0;      ///< media units cancelled by repair
+  double extended_cost = 0.0;       ///< media units added by re-roots
   std::vector<ObjectOutcome> per_object;
   /// All transmission intervals sorted by start time (deterministic:
   /// ties keep object-id order); empty unless

@@ -144,6 +144,88 @@ std::vector<double> generate_arrivals(const WorkloadConfig& config, Index object
   return out;
 }
 
+void validate(const SessionChurnConfig& churn) {
+  const auto probability = [](double p) { return p >= 0.0 && p <= 1.0; };
+  if (!probability(churn.abandon_rate)) {
+    throw std::invalid_argument("churn: abandon_rate must be in [0, 1]");
+  }
+  if (!probability(churn.pause_rate)) {
+    throw std::invalid_argument("churn: pause_rate must be in [0, 1]");
+  }
+  if (!probability(churn.seek_rate)) {
+    throw std::invalid_argument("churn: seek_rate must be in [0, 1]");
+  }
+  if (!(churn.mean_pause > 0.0)) {
+    throw std::invalid_argument("churn: mean_pause must be positive");
+  }
+}
+
+std::vector<SessionTrace> generate_sessions(const WorkloadConfig& config,
+                                            const SessionChurnConfig& churn,
+                                            Index object) {
+  const std::vector<double> weights =
+      zipf_weights(config.objects, config.zipf_exponent);
+  if (object < 0 || object >= config.objects) {
+    throw std::invalid_argument("generate_sessions: object outside catalogue");
+  }
+  return generate_sessions(config, churn, object, weights[index_of(object)]);
+}
+
+std::vector<SessionTrace> generate_sessions(const WorkloadConfig& config,
+                                            const SessionChurnConfig& churn,
+                                            Index object, double weight) {
+  validate(churn);
+  const std::vector<double> arrivals =
+      generate_arrivals(config, object, weight);
+  std::vector<SessionTrace> sessions(arrivals.size());
+
+  // The churn substream is a salted sibling of the arrival substream:
+  // split(object) ^ split(salt) ^ split(i). Each session burns a fixed
+  // set of draws whether or not an event fires, so toggling one rate
+  // never shifts another session's randomness.
+  constexpr std::uint64_t kChurnSalt = 0x6368'7572'6eULL;  // "churn"
+  const util::SplitMix64 object_rng = util::SplitMix64(config.seed)
+                                          .split(static_cast<std::uint64_t>(object))
+                                          .split(kChurnSalt);
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    SessionTrace& session = sessions[i];
+    session.arrival = arrivals[i];
+    if (!churn.enabled()) continue;
+    util::SplitMix64 rng = object_rng.split(static_cast<std::uint64_t>(i));
+    const double u_abandon = rng.next_double();
+    const double abandon_pos = rng.next_double();
+    const double u_pause = rng.next_double();
+    const double pause_pos = rng.next_double();
+    const double pause_len = rng.next_exponential(churn.mean_pause);
+    const double u_seek = rng.next_double();
+    const double seek_pos = rng.next_double();
+    const double seek_target = rng.next_double();
+
+    std::vector<SessionEvent>& events = session.events;
+    if (u_pause < churn.pause_rate) {
+      events.push_back({SessionEventType::kPause, pause_pos, pause_len});
+    }
+    if (u_seek < churn.seek_rate) {
+      events.push_back({SessionEventType::kSeek, seek_pos, seek_target});
+    }
+    if (u_abandon < churn.abandon_rate) {
+      events.push_back({SessionEventType::kAbandon, abandon_pos, 0.0});
+    }
+    std::sort(events.begin(), events.end(),
+              [](const SessionEvent& a, const SessionEvent& b) {
+                if (a.position != b.position) return a.position < b.position;
+                return static_cast<int>(a.type) < static_cast<int>(b.type);
+              });
+    // A departed viewer emits nothing further.
+    const auto gone = std::find_if(
+        events.begin(), events.end(), [](const SessionEvent& e) {
+          return e.type == SessionEventType::kAbandon;
+        });
+    if (gone != events.end()) events.erase(gone + 1, events.end());
+  }
+  return sessions;
+}
+
 double expected_arrivals(const WorkloadConfig& config) {
   validate(config);
   const double base = config.horizon / config.mean_gap;

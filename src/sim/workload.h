@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/session.h"
 #include "fib/fibonacci.h"
 #include "util/rng.h"
 
@@ -54,6 +55,41 @@ struct WorkloadConfig {
   double diurnal_amplitude = 0.5;  ///< in [0, 1)
   double diurnal_period = 24.0;    ///< in media lengths
 };
+
+/// Mid-session behaviour layered on top of an arrival process: each
+/// session independently may pause, seek, or abandon. Rates are
+/// per-session probabilities (not hazards); positions are uniform over
+/// the media. Drawn from a churn-salted RNG substream *separate* from
+/// the arrival substream, so enabling churn never perturbs the arrival
+/// trace — the with/without-churn runs see identical admissions.
+struct SessionChurnConfig {
+  double abandon_rate = 0.0;  ///< P(session departs mid-play)
+  double pause_rate = 0.0;    ///< P(session pauses once)
+  double seek_rate = 0.0;     ///< P(session seeks once)
+  double mean_pause = 0.1;    ///< mean pause duration, in media lengths
+
+  /// Whether any churn behaviour is switched on.
+  [[nodiscard]] bool enabled() const noexcept {
+    return abandon_rate > 0.0 || pause_rate > 0.0 || seek_rate > 0.0;
+  }
+};
+
+/// Validates a churn config; throws std::invalid_argument with the
+/// offending field on failure.
+void validate(const SessionChurnConfig& churn);
+
+/// Sessions of one object: `generate_arrivals` for the arrival times,
+/// plus per-session churn events (sorted by media position; nothing
+/// follows an abandon). Deterministic per (config, churn, object), and
+/// session i's arrival equals generate_arrivals(config, object)[i]
+/// exactly — churn draws ride a salted sibling substream.
+[[nodiscard]] std::vector<SessionTrace> generate_sessions(
+    const WorkloadConfig& config, const SessionChurnConfig& churn, Index object);
+
+/// Same, with the object's popularity weight precomputed by the caller.
+[[nodiscard]] std::vector<SessionTrace> generate_sessions(
+    const WorkloadConfig& config, const SessionChurnConfig& churn, Index object,
+    double weight);
 
 /// Zipf popularity weights for `objects` objects with the given exponent,
 /// normalized to sum to 1 (object 0 most popular). Throws

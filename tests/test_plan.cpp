@@ -220,8 +220,10 @@ TEST(Plan, JsonDumpIsValid) {
   const plan::MergePlan p = optimal_merge_plan(16, 8);
   const std::string doc = plan::to_json(p);
   EXPECT_EQ(util::json_error(doc), std::nullopt) << doc;
-  EXPECT_NE(doc.find("\"schema\": \"smerge-plan-v1\""), std::string::npos);
+  EXPECT_NE(doc.find("\"schema\": \"smerge-plan-v2\""), std::string::npos);
   EXPECT_NE(doc.find("\"peak_bandwidth\""), std::string::npos);
+  EXPECT_NE(doc.find("\"chunking\""), std::string::npos);
+  EXPECT_NE(doc.find("\"active\""), std::string::npos);
 }
 
 }  // namespace

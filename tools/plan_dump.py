@@ -1,13 +1,15 @@
 #!/usr/bin/env python3
-"""Pretty-print a smerge-plan-v1 MergePlan JSON dump.
+"""Pretty-print a smerge-plan-v2 MergePlan JSON dump.
 
 Usage:
     tools/plan_dump.py [PLAN.json] [--max-rows N]
 
 Reads the document from PLAN.json (or stdin when omitted), validates the
 schema and the embedded verifier report, renders a per-stream table and
-a forest sketch, and exits 1 when `verify.ok` is false — the CI smoke
-check runs it on one off-line and one on-line plan.
+a forest sketch — plus, for v2 documents, the segment timeline, the
+in-place repair log and the per-stream active mask — and exits 1 when
+`verify.ok` is false — the CI smoke check runs it on one off-line and
+one on-line plan.
 """
 
 import argparse
@@ -26,8 +28,8 @@ def load(path: str | None) -> dict:
                 doc = json.load(fh)
     except (OSError, json.JSONDecodeError) as exc:
         sys.exit(f"error: cannot read plan dump: {exc}")
-    if doc.get("schema") != "smerge-plan-v1":
-        sys.exit("error: not a smerge-plan-v1 document")
+    if doc.get("schema") != "smerge-plan-v2":
+        sys.exit("error: not a smerge-plan-v2 document")
     n = doc.get("streams")
     for name in REQUIRED_ARRAYS:
         if len(doc.get(name, [])) != n:
@@ -41,18 +43,52 @@ def fmt(x: float) -> str:
 
 def render_table(doc: dict, max_rows: int) -> None:
     n = doc["streams"]
+    active = doc.get("active", [])
     header = f"{'id':>5} {'start':>10} {'delay':>9} {'parent':>6} " \
              f"{'length':>10} {'merge_time':>10}"
+    if active:
+        header += f" {'active':>6}"
     print(header)
     print("-" * len(header))
     shown = min(n, max_rows)
     for i in range(shown):
         parent = doc["parent"][i]
-        print(f"{i:>5} {fmt(doc['start'][i]):>10} {fmt(doc['delay'][i]):>9} "
-              f"{parent if parent >= 0 else '-':>6} "
-              f"{fmt(doc['length'][i]):>10} {fmt(doc['merge_time'][i]):>10}")
+        row = (f"{i:>5} {fmt(doc['start'][i]):>10} {fmt(doc['delay'][i]):>9} "
+               f"{parent if parent >= 0 else '-':>6} "
+               f"{fmt(doc['length'][i]):>10} {fmt(doc['merge_time'][i]):>10}")
+        if active:
+            row += f" {'yes' if active[i] else 'no':>6}"
+        print(row)
     if shown < n:
         print(f"... ({n - shown} more streams)")
+
+
+def render_chunking(doc: dict) -> None:
+    chunking = doc.get("chunking", {})
+    if not chunking.get("enabled"):
+        return
+    ends = chunking.get("chunk_ends", [])
+    print(f"chunking: base={fmt(chunking['base'])} growth={fmt(chunking['growth'])} "
+          f"cap={fmt(chunking['cap'])} "
+          f"min_start_chunks={chunking['min_start_chunks']} "
+          f"({len(ends)} chunks)")
+
+
+def render_repairs(doc: dict, max_rows: int) -> None:
+    repairs = doc.get("repairs", [])
+    if not repairs:
+        return
+    print(f"\nrepairs ({len(repairs)} end moves):")
+    header = f"{'stream':>6} {'old_end':>10} {'new_end':>10} {'kind':>10}"
+    print(header)
+    print("-" * len(header))
+    for edit in repairs[:max_rows]:
+        kind = "re-root" if edit["reroot"] else (
+            "retract" if edit["new_end"] < edit["old_end"] else "extend")
+        print(f"{edit['stream']:>6} {fmt(edit['old_end']):>10} "
+              f"{fmt(edit['new_end']):>10} {kind:>10}")
+    if len(repairs) > max_rows:
+        print(f"... ({len(repairs) - max_rows} more repairs)")
 
 
 def render_forest(doc: dict, max_rows: int) -> None:
@@ -96,13 +132,18 @@ def main() -> int:
           f"peak_buffer={fmt(verify.get('peak_buffer', 0.0))} "
           f"(bound {fmt(verify.get('buffer_bound', 0.0))})  "
           f"max_delay={fmt(verify.get('max_delay', 0.0))}")
+    render_chunking(doc)
     if doc["streams"] > 0:
         print()
         render_table(doc, args.max_rows)
         print()
         render_forest(doc, args.max_rows)
+    render_repairs(doc, args.max_rows)
     if not verify.get("ok"):
         print(f"\nVERIFY FAILED: {verify.get('first_error', '(no error recorded)')}")
+        for diag in verify.get("diagnostics", [])[:10]:
+            print(f"  [{diag['invariant']}] stream {diag['stream']}: "
+                  f"{diag['message']}")
         return 1
     return 0
 
