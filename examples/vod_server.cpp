@@ -16,18 +16,25 @@
 // percentiles, admission counters) prints as the run progresses — the
 // queries the legacy end-of-run engine could not answer.
 //
-// Session churn (policy path only): --abandon-rate / --pause-rate /
-// --seek-rate switch the core onto the session-lifecycle path — live
-// session counts join the stats line, and the end-of-run table reports
-// the in-place plan repairs (truncations, re-roots, retracted cost) the
-// churn caused.
+// Session churn (policy path only): --sessions plus --abandon-rate /
+// --pause-rate / --seek-rate switch the core onto the
+// session-lifecycle path — live session counts join the stats line,
+// and the end-of-run table reports the in-place plan repairs
+// (truncations, re-roots, retracted cost) the churn caused.
+//
+// Fault injection (policy path only): --fault=crash@K[,torn=N]
+// [,corrupt=I][,drop=P] runs the workload through the deterministic
+// crash/recovery harness (sim/fault.h) — the run is killed after WAL
+// record K, recovered from the surviving checkpoint + WAL tail, and
+// finished; the recovery report prints before the usual tables.
 //
 // Run: ./vod_server --objects=64 --policy=greedy-batched --gap=0.002
 //        --delay=0.01 --horizon=20 [--shards=4] [--seed=42]
 //      ./vod_server --objects=64 --capacity=32 --mode=defer --gap=0.04
 //        --delay=0.02 --horizon=20
-//      ./vod_server --objects=64 --policy=greedy --abandon-rate=0.2
-//        --pause-rate=0.1 --seek-rate=0.05 --horizon=20
+//      ./vod_server --objects=64 --policy=greedy --sessions
+//        --abandon-rate=0.2 --pause-rate=0.1 --seek-rate=0.05 --horizon=20
+//      ./vod_server --objects=64 --fault=crash@200,torn=9 --horizon=20
 #include <algorithm>
 #include <cstdlib>
 #include <iostream>
@@ -39,6 +46,7 @@
 #include "online/policy.h"
 #include "server/server_core.h"
 #include "sim/engine.h"
+#include "sim/fault.h"
 #include "sim/workload.h"
 #include "util/cli.h"
 #include "util/table.h"
@@ -46,6 +54,20 @@
 namespace {
 
 using namespace smerge;
+
+std::unique_ptr<OnlinePolicy> make_policy(const std::string& name) {
+  if (name == "dg") return std::make_unique<DelayGuaranteedPolicy>();
+  if (name == "batching") return std::make_unique<BatchingPolicy>();
+  if (name == "greedy") {
+    return std::make_unique<GreedyMergePolicy>(merging::DyadicParams{},
+                                               /*batched=*/false);
+  }
+  if (name == "greedy-batched") {
+    return std::make_unique<GreedyMergePolicy>(merging::DyadicParams{},
+                                               /*batched=*/true);
+  }
+  throw std::invalid_argument("unknown --policy: " + name);
+}
 
 void print_live(const server::LiveStats& live, double now, bool sessions) {
   std::cout << "t=" << now << ": arrivals " << live.arrivals << ", admitted "
@@ -87,12 +109,18 @@ int main(int argc, char** argv) {
                   "admission mode with --capacity: observe | reject | defer | "
                   "degrade");
   args.add_bool("constant", false, "constant-rate arrivals instead of Poisson");
+  args.add_bool("sessions", false,
+                "enable the session-lifecycle path (required by the churn "
+                "rates; policy path only)");
   args.add_double("abandon-rate", 0.0,
-                  "P(session departs mid-play); policy path only");
-  args.add_double("pause-rate", 0.0, "P(session pauses once); policy path only");
-  args.add_double("seek-rate", 0.0, "P(session seeks once); policy path only");
+                  "P(session departs mid-play); needs --sessions");
+  args.add_double("pause-rate", 0.0, "P(session pauses once); needs --sessions");
+  args.add_double("seek-rate", 0.0, "P(session seeks once); needs --sessions");
   args.add_int("seed", 42, "workload RNG seed");
   args.add_int("live-every", 4, "live stats printouts per run");
+  args.add_string("fault", "none",
+                  "fault spec crash@K[,torn=N][,corrupt=I][,drop=P]: run the "
+                  "deterministic crash/recovery harness (policy path only)");
   try {
     if (!args.parse(argc, argv)) {
       std::cout << args.help();
@@ -108,15 +136,113 @@ int main(int argc, char** argv) {
     validate(workload);
     const double delay = args.get_double("delay");
     const Index capacity = args.get_int("capacity");
-    const int checkpoints = std::max(1, static_cast<int>(args.get_int("live-every")));
     SessionChurnConfig churn;
     churn.abandon_rate = args.get_double("abandon-rate");
     churn.pause_rate = args.get_double("pause-rate");
     churn.seek_rate = args.get_double("seek-rate");
     validate(churn);
+
+    // Contradictory flag combinations are usage errors, never silent
+    // reinterpretations: a clamped shard count or an ignored churn rate
+    // would run a different experiment than the one asked for.
+    if (args.get_int("shards") < 1) {
+      throw std::invalid_argument("--shards must be >= 1");
+    }
+    if (args.get_int("live-every") < 1) {
+      throw std::invalid_argument("--live-every must be >= 1");
+    }
+    if (churn.enabled() && !args.get_bool("sessions")) {
+      throw std::invalid_argument(
+          "session churn rates need --sessions (the session-lifecycle path "
+          "must be opted into, not inferred)");
+    }
+    if (args.get_bool("sessions") && !churn.enabled()) {
+      throw std::invalid_argument(
+          "--sessions needs at least one positive churn rate "
+          "(--abandon-rate / --pause-rate / --seek-rate)");
+    }
+    if (args.provided("mode") && capacity <= 0) {
+      throw std::invalid_argument(
+          "--mode selects the capacity-admission behaviour; it needs "
+          "--capacity > 0");
+    }
+    if (capacity > 0 && args.provided("shards")) {
+      throw std::invalid_argument(
+          "the capacity path is serial (admission order is decision "
+          "order); drop --shards");
+    }
     if (churn.enabled() && capacity > 0) {
       throw std::invalid_argument(
           "session churn runs on the policy path; drop --capacity");
+    }
+    if (args.provided("fault") && capacity > 0) {
+      throw std::invalid_argument(
+          "--fault drives the policy path through the crash/recovery "
+          "harness; drop --capacity");
+    }
+    const int checkpoints = static_cast<int>(args.get_int("live-every"));
+    const unsigned shards = static_cast<unsigned>(args.get_int("shards"));
+
+    if (args.provided("fault")) {
+      // Crash/recovery harness: the whole workload through
+      // run_engine_with_faults, recovery report included.
+      const sim::FaultPlan plan = parse_fault_plan(args.get_string("fault"));
+      EngineConfig engine;
+      engine.workload = workload;
+      engine.delay = delay;
+      engine.threads = shards;
+      engine.churn = churn;
+      std::unique_ptr<OnlinePolicy> policy =
+          make_policy(args.get_string("policy"));
+      std::cout << "fault harness: " << policy->name() << ", "
+                << workload.objects << " objects over " << shards
+                << " shards, fault '" << args.get_string("fault") << "'\n\n";
+      const FaultRunResult run = run_engine_with_faults(engine, *policy, plan);
+      const FaultReport& report = run.report;
+      if (report.crashed) {
+        std::cout << "crashed at WAL record " << report.crash_record << " ("
+                  << report.checkpoints_written << " checkpoints written)\n"
+                  << "recovery: "
+                  << (report.recovery.used_checkpoint
+                          ? "checkpoint #" +
+                                std::to_string(report.recovery.checkpoint_index)
+                          : std::string("cold start"))
+                  << ", " << report.recovery.rejected_checkpoints.size()
+                  << " candidates rejected, "
+                  << report.recovery.wal_records_replayed
+                  << " WAL records replayed"
+                  << (report.recovery.wal_torn
+                          ? ", torn tail of " +
+                                std::to_string(
+                                    report.recovery.wal_dropped_bytes) +
+                                " bytes dropped"
+                          : std::string())
+                  << "\nre-fed " << report.refed_batches
+                  << " per-object remainders\n";
+      } else {
+        std::cout << "fault never fired (crash point past the run)\n";
+      }
+      if (report.dropped_deliveries > 0) {
+        std::cout << "mailbox faults: " << report.dropped_deliveries
+                  << " deliveries dropped, " << report.lost_batches
+                  << " batches lost after retries\n";
+      }
+      const EngineResult& r = run.result;
+      std::cout << "\n";
+      util::TextTable table({"arrivals", "streams", "streams served",
+                             "peak channels", "p99 wait", "max wait",
+                             "violations"});
+      table.add_row(r.total_arrivals, r.total_streams, r.streams_served,
+                    r.peak_concurrency, util::format_fixed(r.wait.p99, 5),
+                    util::format_fixed(r.wait.max, 5), r.guarantee_violations);
+      std::cout << table.to_string();
+      if (r.total_sessions > 0) {
+        std::cout << "\nsession lifecycle: " << r.total_sessions
+                  << " sessions, " << r.session_pauses << " pauses, "
+                  << r.session_seeks << " seeks, " << r.session_abandons
+                  << " abandons\n";
+      }
+      return EXIT_SUCCESS;
     }
 
     const std::vector<double> weights =
@@ -175,25 +301,12 @@ int main(int argc, char** argv) {
     } else {
       // Policy path: mailbox ingest in horizon chunks with live stats
       // between drains.
-      const std::string name = args.get_string("policy");
-      if (name == "dg") {
-        policy = std::make_unique<DelayGuaranteedPolicy>();
-      } else if (name == "batching") {
-        policy = std::make_unique<BatchingPolicy>();
-      } else if (name == "greedy") {
-        policy = std::make_unique<GreedyMergePolicy>(merging::DyadicParams{},
-                                                     /*batched=*/false);
-      } else if (name == "greedy-batched") {
-        policy = std::make_unique<GreedyMergePolicy>(merging::DyadicParams{},
-                                                     /*batched=*/true);
-      } else {
-        throw std::invalid_argument("unknown --policy: " + name);
-      }
+      policy = make_policy(args.get_string("policy"));
       server::ServerCoreConfig config;
       config.objects = workload.objects;
       config.delay = delay;
       config.horizon = workload.horizon;
-      config.shards = static_cast<unsigned>(std::max<Index>(1, args.get_int("shards")));
+      config.shards = shards;
       config.enable_sessions = churn.enabled();
       core = std::make_unique<server::ServerCore>(config, *policy);
       std::cout << "policy path: " << policy->name() << ", " << workload.objects

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/snapshot.h"
+
 namespace smerge::merging {
 
 namespace {
@@ -77,6 +79,55 @@ Index DyadicMerger::arrive(double time) {
   const Index id = forest_.add_stream(time, top.stream);
   stack_.push_back(Frame{id, sub.hi});
   return id;
+}
+
+void DyadicMerger::save(util::SnapshotWriter& writer) const {
+  writer.f64(media_length_);
+  writer.u64(static_cast<std::uint64_t>(forest_.size()));
+  for (Index i = 0; i < forest_.size(); ++i) {
+    const GeneralStream& s = forest_.stream(i);
+    writer.f64(s.time);
+    writer.i64(s.parent);
+  }
+  writer.u64(stack_.size());
+  for (const Frame& f : stack_) {
+    writer.i64(f.stream);
+    writer.f64(f.window_end);
+  }
+}
+
+void DyadicMerger::restore(util::SnapshotReader& reader) {
+  const double media_length = reader.f64();
+  if (media_length != media_length_) {
+    throw util::SnapshotError("dyadic: media length mismatch on restore");
+  }
+  const std::uint64_t n = reader.u64();
+  if (n > reader.remaining() / 16) {
+    throw util::SnapshotError("dyadic: stream count exceeds remaining bytes");
+  }
+  GeneralMergeForest forest(media_length_);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const double time = reader.f64();
+    const Index parent = reader.i64();
+    (void)forest.add_stream(time, parent);
+  }
+  const std::uint64_t depth = reader.u64();
+  if (depth > reader.remaining() / 16) {
+    throw util::SnapshotError("dyadic: stack depth exceeds remaining bytes");
+  }
+  std::vector<Frame> stack;
+  stack.reserve(static_cast<std::size_t>(depth));
+  for (std::uint64_t i = 0; i < depth; ++i) {
+    Frame f{};
+    f.stream = reader.i64();
+    f.window_end = reader.f64();
+    if (f.stream < 0 || f.stream >= forest.size()) {
+      throw util::SnapshotError("dyadic: stack frame references a bad stream");
+    }
+    stack.push_back(f);
+  }
+  forest_ = std::move(forest);
+  stack_ = std::move(stack);
 }
 
 GeneralMergeForest dyadic_forest_recursive(double media_length,

@@ -22,6 +22,11 @@
 
 #include "merging/general_forest.h"
 
+namespace smerge::util {
+class SnapshotReader;
+class SnapshotWriter;
+}  // namespace smerge::util
+
 namespace smerge::merging {
 
 /// Tunables of the (alpha,beta)-dyadic algorithm.
@@ -48,6 +53,18 @@ class DyadicMerger {
   [[nodiscard]] const DyadicParams& params() const noexcept { return params_; }
   /// Total bandwidth consumed so far (continuous Fcost).
   [[nodiscard]] double total_cost() const { return forest_.total_cost(); }
+
+  /// Appends the merger's full state (forest structure + rightmost-path
+  /// stack) to a checkpoint payload.
+  void save(util::SnapshotWriter& writer) const;
+
+  /// Restores state written by `save` into this merger (which must have
+  /// the same media length and params). The forest is rebuilt by
+  /// replaying `add_stream`, so its incrementally maintained subtree
+  /// summaries — and therefore every future `arrive` decision — are
+  /// bit-identical to the saved merger's. Throws util::SnapshotError on
+  /// malformed bytes.
+  void restore(util::SnapshotReader& reader);
 
  private:
   struct Frame {

@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "util/snapshot.h"
+
 namespace smerge {
 
 Index dg_slot_of(double arrival_time, double slot_duration) {
@@ -84,6 +86,14 @@ class BatchingObjectPolicy final : public ObjectPolicy {
 
   void finish(double, PolicySink&) override {}
 
+  void save_state(util::SnapshotWriter& writer) const override {
+    writer.f64(last_start_);
+  }
+
+  void load_state(util::SnapshotReader& reader) override {
+    last_start_ = reader.f64();
+  }
+
  private:
   double delay_;
   double last_start_ = -std::numeric_limits<double>::infinity();
@@ -121,6 +131,16 @@ class GreedyObjectPolicy final : public ObjectPolicy {
     }
   }
 
+  void save_state(util::SnapshotWriter& writer) const override {
+    merger_.save(writer);
+    writer.f64(last_start_);
+  }
+
+  void load_state(util::SnapshotReader& reader) override {
+    merger_.restore(reader);
+    last_start_ = reader.f64();
+  }
+
  private:
   merging::DyadicMerger merger_;
   bool batched_;
@@ -135,6 +155,10 @@ void PolicySink::retract_stream(Index /*index*/, double /*new_end*/) {}
 void ObjectPolicy::on_session_event(double /*time*/, double /*arrival*/,
                                     const SessionEvent& /*event*/,
                                     PolicySink& /*sink*/) {}
+
+void ObjectPolicy::save_state(util::SnapshotWriter& /*writer*/) const {}
+
+void ObjectPolicy::load_state(util::SnapshotReader& /*reader*/) {}
 
 void OnlinePolicy::prepare(double delay, double horizon) {
   check_delay(delay);

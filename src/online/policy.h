@@ -30,6 +30,11 @@
 #include "merging/dyadic.h"
 #include "online/delay_guaranteed.h"
 
+namespace smerge::util {
+class SnapshotReader;
+class SnapshotWriter;
+}  // namespace smerge::util
+
 namespace smerge {
 
 /// The slot whose stream serves a client arriving at `arrival_time`
@@ -79,6 +84,16 @@ class ObjectPolicy {
   /// interleaved with on_arrival in wall-time order.
   virtual void on_session_event(double time, double arrival,
                                 const SessionEvent& event, PolicySink& sink);
+  /// Appends this policy's mutable decision state (batching cursors,
+  /// merge-forest structure) to a checkpoint payload. Stateless policies
+  /// write nothing (the default). A `load_state` of the written bytes
+  /// into a freshly made policy must reproduce future decisions
+  /// bit-identically — the contract ServerCore::restore_state builds on.
+  virtual void save_state(util::SnapshotWriter& writer) const;
+  /// Restores state written by `save_state` on a policy freshly created
+  /// by the same OnlinePolicy with the same (delay, horizon). Throws
+  /// util::SnapshotError on malformed bytes. Default: reads nothing.
+  virtual void load_state(util::SnapshotReader& reader);
 };
 
 /// A policy family: a name plus a factory for per-object state.

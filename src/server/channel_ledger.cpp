@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "util/snapshot.h"
+
 namespace smerge::server {
 
 namespace {
@@ -212,6 +214,93 @@ Index ChannelLedger::max_over(double a, double b) {
     }
   }
   return static_cast<Index>(best);
+}
+
+void ChannelLedger::save(util::SnapshotWriter& writer) const {
+  writer.f64(width_);
+  writer.u64(buckets_.size());
+  writer.i64(events_);
+  for (const Bucket& bucket : buckets_) {
+    writer.u64(bucket.events.size());
+    for (const LedgerEvent& e : bucket.events) {
+      writer.f64(e.time);
+      writer.i64(e.object);
+      writer.i64(e.delta);
+      writer.boolean(e.stream_start);
+    }
+    writer.u64(bucket.sorted);
+  }
+  std::vector<std::int64_t> dirty(dirty_.begin(), dirty_.end());
+  writer.i64_vec(dirty);
+}
+
+void ChannelLedger::restore(util::SnapshotReader& reader) {
+  const double width = reader.f64();
+  const std::uint64_t bucket_count = reader.u64();
+  if (width != width_ || bucket_count != buckets_.size()) {
+    throw util::SnapshotError(
+        "ChannelLedger: restore geometry mismatch (span/bucket width differ "
+        "from the constructed ledger)");
+  }
+  const std::int64_t events = reader.i64();
+  std::vector<Bucket> buckets(buckets_.size());
+  std::int64_t counted = 0;
+  for (Bucket& bucket : buckets) {
+    const std::uint64_t n = reader.u64();
+    // time + object + delta + stream_start byte per event.
+    if (n > reader.remaining() / 25) {
+      throw util::SnapshotError(
+          "ChannelLedger: event count exceeds remaining bytes");
+    }
+    bucket.events.resize(static_cast<std::size_t>(n));
+    for (LedgerEvent& e : bucket.events) {
+      e.time = reader.f64();
+      e.object = reader.i64();
+      const std::int64_t delta = reader.i64();
+      if (delta != 1 && delta != -1) {
+        throw util::SnapshotError("ChannelLedger: bad event delta");
+      }
+      e.delta = static_cast<std::int32_t>(delta);
+      e.stream_start = reader.boolean();
+      bucket.net += e.delta;
+    }
+    const std::uint64_t sorted = reader.u64();
+    if (sorted > n) {
+      throw util::SnapshotError("ChannelLedger: sorted prefix exceeds bucket");
+    }
+    bucket.sorted = static_cast<std::size_t>(sorted);
+    // The stored max_prefix is not serialized: recompute it over the
+    // *sorted prefix interleaved with the tail in insertion order*, the
+    // same value push_event maintained. For a clean bucket that is just
+    // the running max; a dirty bucket's summary is stale anyway (its
+    // tree path replays on the next ensure_sorted), so the running max
+    // over insertion order reproduces the saved ledger's answers.
+    std::int64_t running = 0;
+    std::int64_t maxp = 0;
+    for (std::size_t i = 0; i < bucket.sorted; ++i) {
+      running += bucket.events[i].delta;
+      maxp = std::max(maxp, running);
+    }
+    bucket.max_prefix = maxp;
+    counted += static_cast<std::int64_t>(n);
+  }
+  if (counted != events) {
+    throw util::SnapshotError("ChannelLedger: event total disagrees");
+  }
+  const std::vector<std::int64_t> dirty = reader.i64_vec();
+  std::vector<std::uint32_t> dirty32;
+  dirty32.reserve(dirty.size());
+  for (const std::int64_t b : dirty) {
+    if (b < 0 || static_cast<std::uint64_t>(b) >= bucket_count) {
+      throw util::SnapshotError("ChannelLedger: dirty list references a bad "
+                                "bucket");
+    }
+    dirty32.push_back(static_cast<std::uint32_t>(b));
+  }
+  buckets_ = std::move(buckets);
+  dirty_ = std::move(dirty32);
+  events_ = events;
+  for (std::size_t b = 0; b < buckets_.size(); ++b) tree_update(b);
 }
 
 Index ChannelLedger::capacity_violations(Index capacity) {

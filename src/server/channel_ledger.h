@@ -36,6 +36,11 @@
 
 #include "fib/fibonacci.h"
 
+namespace smerge::util {
+class SnapshotReader;
+class SnapshotWriter;
+}  // namespace smerge::util
+
 namespace smerge::server {
 
 /// One +-1 occupancy edge, tagged with the emitting object so ties
@@ -89,6 +94,21 @@ class ChannelLedger {
   /// starting — the legacy engine's end-of-run accounting, now one
   /// O(events) sweep over the sorted buckets. Requires capacity >= 1.
   [[nodiscard]] Index capacity_violations(Index capacity);
+
+  /// Appends the ledger's full state — every event in insertion order
+  /// per bucket, each bucket's sorted-prefix cursor, and the dirty list
+  /// — to a checkpoint payload. The insertion-order arrays are what
+  /// make the restore exact: the staged sort (sorted tail + stable
+  /// merge) is a deterministic function of (array, prefix), so a
+  /// restored ledger answers every future query bit-identically.
+  void save(util::SnapshotWriter& writer) const;
+
+  /// Restores state written by `save` into this ledger, which must have
+  /// been constructed with the same span/bucket width (the bucket count
+  /// and width are validated). Segment-tree summaries are rebuilt from
+  /// the restored buckets. Throws util::SnapshotError on mismatch or
+  /// malformed bytes.
+  void restore(util::SnapshotReader& reader);
 
  private:
   struct Bucket {

@@ -4,9 +4,12 @@
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <string_view>
 #include <utility>
 
+#include "core/plan_io.h"
 #include "util/parallel.h"
+#include "util/snapshot.h"
 
 namespace smerge::server {
 
@@ -1006,6 +1009,346 @@ Index ServerCore::object_last_slot(Index object) const {
     throw std::out_of_range("ServerCore::object_last_slot");
   }
   return impl_->objects[index_of(object)]->last_slot;
+}
+
+// --- Crash consistency ------------------------------------------------------
+
+namespace {
+
+constexpr std::string_view kCheckpointSchema = "smerge-ckpt-v1";
+
+void save_p2(util::SnapshotWriter& w, const util::P2State& s) {
+  w.f64(s.q);
+  w.i64(s.n);
+  for (const double x : s.heights) w.f64(x);
+  for (const double x : s.positions) w.f64(x);
+  for (const double x : s.desired) w.f64(x);
+  for (const double x : s.increments) w.f64(x);
+}
+
+[[nodiscard]] util::P2State load_p2(util::SnapshotReader& r) {
+  util::P2State s;
+  s.q = r.f64();
+  s.n = r.i64();
+  for (double& x : s.heights) x = r.f64();
+  for (double& x : s.positions) x = r.f64();
+  for (double& x : s.desired) x = r.f64();
+  for (double& x : s.increments) x = r.f64();
+  return s;
+}
+
+void save_config(util::SnapshotWriter& w, const ServerCoreConfig& c) {
+  w.i64(c.objects);
+  w.f64(c.delay);
+  w.f64(c.horizon);
+  w.u64(c.shards);
+  w.u8(static_cast<std::uint8_t>(c.serve));
+  w.i64(c.channel_capacity);
+  w.u8(static_cast<std::uint8_t>(c.admission));
+  w.i64(c.max_defer_slots);
+  w.f64(c.ledger_bucket);
+  w.i64(c.dg_media_slots);
+  w.boolean(c.collect_stream_intervals);
+  w.boolean(c.collect_plans);
+  w.boolean(c.enable_sessions);
+  w.f64(c.chunking.base);
+  w.f64(c.chunking.growth);
+  w.f64(c.chunking.cap);
+  w.i64(c.chunking.min_start_chunks);
+}
+
+/// Validates the checkpoint's config echo against the live config.
+/// Shards (and the admission mode, which degrade_admissions may have
+/// flipped on the *saved* core) must still agree: results are
+/// shard-invariant but the per-shard dirty lists are rebuilt, so only
+/// the fan-out width itself may differ.
+void check_config(util::SnapshotReader& r, const ServerCoreConfig& c) {
+  const auto mismatch = [](const char* field) {
+    throw util::SnapshotError(std::string("checkpoint: config mismatch: ") +
+                              field);
+  };
+  if (r.i64() != c.objects) mismatch("objects");
+  if (r.f64() != c.delay) mismatch("delay");
+  if (r.f64() != c.horizon) mismatch("horizon");
+  (void)r.u64();  // shards: restore is shard-width independent
+  if (r.u8() != static_cast<std::uint8_t>(c.serve)) mismatch("serve");
+  if (r.i64() != c.channel_capacity) mismatch("channel_capacity");
+  if (r.u8() != static_cast<std::uint8_t>(c.admission)) mismatch("admission");
+  if (r.i64() != c.max_defer_slots) mismatch("max_defer_slots");
+  if (r.f64() != c.ledger_bucket) mismatch("ledger_bucket");
+  if (r.i64() != c.dg_media_slots) mismatch("dg_media_slots");
+  if (r.boolean() != c.collect_stream_intervals) {
+    mismatch("collect_stream_intervals");
+  }
+  if (r.boolean() != c.collect_plans) mismatch("collect_plans");
+  if (r.boolean() != c.enable_sessions) mismatch("enable_sessions");
+  if (r.f64() != c.chunking.base) mismatch("chunking.base");
+  if (r.f64() != c.chunking.growth) mismatch("chunking.growth");
+  if (r.f64() != c.chunking.cap) mismatch("chunking.cap");
+  if (r.i64() != c.chunking.min_start_chunks) {
+    mismatch("chunking.min_start_chunks");
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> ServerCore::checkpoint(
+    std::uint64_t wal_records, std::span<const std::uint8_t> driver_blob) const {
+  if (impl_->finished) {
+    throw std::logic_error("ServerCore::checkpoint: core already finished");
+  }
+  util::SnapshotWriter w;
+  save_config(w, config_);
+  w.u64(wal_records);
+  w.blob(driver_blob);
+
+  w.i64(impl_->arrivals);
+  w.i64(impl_->admitted);
+  w.i64(impl_->rejected);
+  w.i64(impl_->deferrals);
+  w.i64(impl_->degraded);
+  w.i64(impl_->streams);
+  w.f64(impl_->cost);
+  w.f64(impl_->clock);
+  save_p2(w, impl_->p50.state());
+  save_p2(w, impl_->p95.state());
+  save_p2(w, impl_->p99.state());
+  w.f64(impl_->wait_sum);
+  w.f64(impl_->wait_max);
+  w.i64(impl_->wait_count);
+  impl_->ledger.save(w);
+
+  w.u64(impl_->objects.size());
+  for (const auto& state_ptr : impl_->objects) {
+    const ObjectState& s = *state_ptr;
+    w.i64(s.outcome.arrivals);
+    w.i64(s.outcome.streams);
+    w.f64(s.outcome.cost);
+    w.f64(s.outcome.max_wait);
+    w.i64(s.outcome.peak_concurrency);
+    w.i64(s.outcome.violations);
+    w.i64(s.outcome.sessions);
+    w.i64(s.outcome.session_pauses);
+    w.i64(s.outcome.session_seeks);
+    w.i64(s.outcome.session_abandons);
+    w.i64(s.outcome.plan_truncations);
+    w.i64(s.outcome.plan_reroots);
+    w.f64(s.outcome.retracted_cost);
+    w.f64(s.outcome.extended_cost);
+
+    w.u64(s.events.size());
+    for (const ChannelEvent& e : s.events) {
+      w.f64(e.time);
+      w.i64(e.delta);
+    }
+    w.u64(s.intervals.size());
+    for (const StreamInterval& iv : s.intervals) {
+      w.f64(iv.start);
+      w.f64(iv.end);
+    }
+    w.f64_vec(s.waits);
+    w.f64(s.wait_sum);
+    w.f64_vec(s.stream_starts);
+    w.f64_vec(s.stream_durations);
+    w.i64_vec(s.stream_parents);
+    w.u64(s.admissions.size());
+    for (const auto& [playback, wait] : s.admissions) {
+      w.f64(playback);
+      w.f64(wait);
+    }
+    plan::save_plan(w, s.plan);
+    w.f64_vec(s.pending);
+    w.u64(s.flushed_events);
+    w.u64(s.flushed_waits);
+    w.boolean(s.dirty);
+
+    plan::save_session_traces(w, s.sessions);
+    w.u64(s.resolved_sessions);
+    w.f64_vec(s.session_playbacks);
+    w.f64_vec(s.session_ends);
+    w.boolean(s.session_ends_sorted);
+    w.u64(s.plan_events.size());
+    for (const ObjectState::PlanEvent& e : s.plan_events) {
+      w.f64(e.wall);
+      w.f64(e.playback);
+      w.i64(e.session);
+      w.boolean(e.is_seek);
+    }
+    plan::save_edits(w, s.session_edits);
+    plan::save_repair_stats(w, s.repair);
+
+    w.f64(s.last_time);
+    w.f64(s.last_playback);
+    w.i64(s.last_slot);
+    w.i64(s.dg_emitted);
+    w.u64(s.slot_has_stream.size());
+    for (const std::uint8_t b : s.slot_has_stream) w.u8(b);
+
+    util::SnapshotWriter policy_state;
+    if (s.policy != nullptr) s.policy->save_state(policy_state);
+    w.blob(policy_state.payload());
+  }
+  return w.frame(kCheckpointSchema);
+}
+
+RestoreInfo ServerCore::restore_state(std::span<const std::uint8_t> frame) {
+  if (impl_->finished || impl_->arrivals != 0 || impl_->streams != 0) {
+    throw std::logic_error(
+        "ServerCore::restore_state: requires a freshly constructed core");
+  }
+  util::SnapshotReader r = util::SnapshotReader::open(frame, kCheckpointSchema);
+  check_config(r, config_);
+  RestoreInfo info;
+  info.wal_records = r.u64();
+  const auto blob = r.blob();
+  info.driver_blob.assign(blob.begin(), blob.end());
+
+  impl_->arrivals = r.i64();
+  impl_->admitted = r.i64();
+  impl_->rejected = r.i64();
+  impl_->deferrals = r.i64();
+  impl_->degraded = r.i64();
+  impl_->streams = r.i64();
+  impl_->cost = r.f64();
+  impl_->clock = r.f64();
+  impl_->p50 = util::P2Quantile(load_p2(r));
+  impl_->p95 = util::P2Quantile(load_p2(r));
+  impl_->p99 = util::P2Quantile(load_p2(r));
+  impl_->wait_sum = r.f64();
+  impl_->wait_max = r.f64();
+  impl_->wait_count = r.i64();
+  impl_->ledger.restore(r);
+
+  const std::uint64_t object_count = r.u64();
+  if (object_count != impl_->objects.size()) {
+    throw util::SnapshotError("checkpoint: object count mismatch");
+  }
+  for (auto& state_ptr : impl_->objects) {
+    ObjectState& s = *state_ptr;
+    s.outcome.arrivals = r.i64();
+    s.outcome.streams = r.i64();
+    s.outcome.cost = r.f64();
+    s.outcome.max_wait = r.f64();
+    s.outcome.peak_concurrency = r.i64();
+    s.outcome.violations = r.i64();
+    s.outcome.sessions = r.i64();
+    s.outcome.session_pauses = r.i64();
+    s.outcome.session_seeks = r.i64();
+    s.outcome.session_abandons = r.i64();
+    s.outcome.plan_truncations = r.i64();
+    s.outcome.plan_reroots = r.i64();
+    s.outcome.retracted_cost = r.f64();
+    s.outcome.extended_cost = r.f64();
+
+    const std::uint64_t event_count = r.u64();
+    if (event_count > r.remaining() / 16) {
+      throw util::SnapshotError("checkpoint: event count exceeds remaining");
+    }
+    s.events.resize(static_cast<std::size_t>(event_count));
+    for (ChannelEvent& e : s.events) {
+      e.time = r.f64();
+      e.delta = static_cast<int>(r.i64());
+    }
+    const std::uint64_t interval_count = r.u64();
+    if (interval_count > r.remaining() / 16) {
+      throw util::SnapshotError("checkpoint: interval count exceeds remaining");
+    }
+    s.intervals.resize(static_cast<std::size_t>(interval_count));
+    for (StreamInterval& iv : s.intervals) {
+      iv.start = r.f64();
+      iv.end = r.f64();
+    }
+    s.waits = r.f64_vec();
+    s.wait_sum = r.f64();
+    s.stream_starts = r.f64_vec();
+    s.stream_durations = r.f64_vec();
+    s.stream_parents = r.i64_vec();
+    const std::uint64_t admission_count = r.u64();
+    if (admission_count > r.remaining() / 16) {
+      throw util::SnapshotError(
+          "checkpoint: admission count exceeds remaining");
+    }
+    s.admissions.resize(static_cast<std::size_t>(admission_count));
+    for (auto& [playback, wait] : s.admissions) {
+      playback = r.f64();
+      wait = r.f64();
+    }
+    s.plan = plan::load_plan(r);
+    s.pending = r.f64_vec();
+    const std::uint64_t flushed_events = r.u64();
+    const std::uint64_t flushed_waits = r.u64();
+    if (flushed_events > s.events.size() || (flushed_events % 2) != 0 ||
+        flushed_waits > s.waits.size()) {
+      throw util::SnapshotError("checkpoint: flush cursor out of range");
+    }
+    s.flushed_events = static_cast<std::size_t>(flushed_events);
+    s.flushed_waits = static_cast<std::size_t>(flushed_waits);
+    s.dirty = r.boolean();
+
+    s.sessions = plan::load_session_traces(r);
+    const std::uint64_t resolved = r.u64();
+    if (resolved > s.sessions.size()) {
+      throw util::SnapshotError("checkpoint: resolved cursor out of range");
+    }
+    s.resolved_sessions = static_cast<std::size_t>(resolved);
+    s.session_playbacks = r.f64_vec();
+    s.session_ends = r.f64_vec();
+    s.session_ends_sorted = r.boolean();
+    const std::uint64_t plan_event_count = r.u64();
+    if (plan_event_count > r.remaining() / 25) {
+      throw util::SnapshotError(
+          "checkpoint: plan-event count exceeds remaining");
+    }
+    s.plan_events.resize(static_cast<std::size_t>(plan_event_count));
+    for (ObjectState::PlanEvent& e : s.plan_events) {
+      e.wall = r.f64();
+      e.playback = r.f64();
+      e.session = r.i64();
+      e.is_seek = r.boolean();
+    }
+    s.session_edits = plan::load_edits(r);
+    s.repair = plan::load_repair_stats(r);
+
+    s.last_time = r.f64();
+    s.last_playback = r.f64();
+    s.last_slot = r.i64();
+    s.dg_emitted = r.i64();
+    const std::uint64_t slot_count = r.u64();
+    if (slot_count > r.remaining()) {
+      throw util::SnapshotError("checkpoint: slot flags exceed remaining");
+    }
+    s.slot_has_stream.resize(static_cast<std::size_t>(slot_count));
+    for (std::uint8_t& b : s.slot_has_stream) b = r.u8();
+
+    const auto policy_blob = r.blob();
+    if (s.policy != nullptr) {
+      util::SnapshotReader policy_reader(policy_blob);
+      s.policy->load_state(policy_reader);
+      policy_reader.expect_end();
+    } else if (!policy_blob.empty()) {
+      throw util::SnapshotError(
+          "checkpoint: policy state present on a slotted core");
+    }
+  }
+  r.expect_end();
+
+  // Rebuild the per-shard mailbox index for *this* core's shard width —
+  // the one field the config echo lets differ.
+  for (auto& list : impl_->shard_dirty) list.clear();
+  for (const auto& state_ptr : impl_->objects) {
+    if (state_ptr->dirty) {
+      impl_->shard_dirty[index_of(state_ptr->id) % config_.shards].push_back(
+          state_ptr->id);
+    }
+  }
+  return info;
+}
+
+void ServerCore::degrade_admissions() noexcept {
+  if (config_.admission == AdmissionMode::kReject ||
+      config_.admission == AdmissionMode::kDefer) {
+    config_.admission = AdmissionMode::kDegrade;
+  }
 }
 
 const DelayGuaranteedOnline& ServerCore::dg_policy() const {

@@ -35,7 +35,9 @@
 #ifndef SMERGE_SERVER_SERVER_CORE_H
 #define SMERGE_SERVER_SERVER_CORE_H
 
+#include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/plan.h"
@@ -196,6 +198,15 @@ struct Snapshot {
 /// the core, the engine, the benches and the tests.
 [[nodiscard]] bool violates_guarantee(double wait, double delay) noexcept;
 
+/// What `restore_state` hands back alongside the restored core state:
+/// the recovery cursor (how many WAL records the checkpoint already
+/// covers) and the driver's opaque extension payload (resume cursors,
+/// chunk indices — whatever the driver stored at checkpoint time).
+struct RestoreInfo {
+  std::uint64_t wal_records = 0;
+  std::vector<std::uint8_t> driver_blob;
+};
+
 /// The serving runtime. Not thread-safe for concurrent external calls:
 /// drain() parallelizes internally; everything else is called from one
 /// driver thread.
@@ -289,6 +300,37 @@ class ServerCore {
   /// it and stays valid for the core's lifetime (entries are built once
   /// at construction and never reallocated afterwards).
   [[nodiscard]] const ProgramTable& programs() const;
+
+  // --- Crash consistency --------------------------------------------------
+
+  /// Serializes the core's complete state — configuration echo, running
+  /// counters, P² percentile markers, the channel ledger (difference
+  /// counters + sorted-prefix cursors), and every object's recorder,
+  /// mailbox, session log and policy state — into a checksummed
+  /// `smerge-ckpt-v1` frame. Valid at any quiescent pre-finish point
+  /// (between drains / admits). `wal_records` is the number of admission
+  /// WAL records this state already covers (the replay cursor);
+  /// `driver_blob` is an opaque extension the driver gets back verbatim
+  /// from `restore_state`.
+  [[nodiscard]] std::vector<std::uint8_t> checkpoint(
+      std::uint64_t wal_records = 0,
+      std::span<const std::uint8_t> driver_blob = {}) const;
+
+  /// Restores state from a `checkpoint` frame into this freshly
+  /// constructed core (nothing ingested yet; same config as the saved
+  /// core except the shard width, which results never depend on).
+  /// After it returns, every future ingest/drain/finish produces
+  /// results bit-identical to the saved core's continuation. Throws
+  /// util::SnapshotError on corruption, schema/config mismatch, or
+  /// structurally inconsistent state; std::logic_error when this core
+  /// already served traffic.
+  RestoreInfo restore_state(std::span<const std::uint8_t> frame);
+
+  /// Graceful degradation for recovery under capacity pressure: flips a
+  /// reject/defer admission core to the degrade path (never refuse
+  /// service; late batches count as guarantee violations instead).
+  /// No-op in observe or degrade mode.
+  void degrade_admissions() noexcept;
 
   // --- End of run ---------------------------------------------------------
 

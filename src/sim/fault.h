@@ -1,0 +1,106 @@
+// Deterministic fault injection for the crash-recovery stack.
+//
+// `run_engine_with_faults` is `run_engine` rebuilt as a crash-aware
+// driver: arrivals (or session traces) are generated up front exactly
+// as the engine generates them, then ingested chunk by chunk with an
+// admission WAL logged *before* every delivery and a checkpoint taken
+// on a drain cadence. A `FaultPlan` injects failures at exact,
+// reproducible points — crash after WAL record k, a torn byte suffix on
+// the durable log, a flipped byte in the newest checkpoint, mailbox
+// deliveries dropped from a seeded substream with bounded retries —
+// and the harness then runs the real recovery path
+// (`server::recover`), derives per-object resume cursors from the
+// checkpoint's driver blob plus the replayed WAL tail, re-feeds the
+// untouched remainder of each trace, and finishes the run.
+//
+// The oracle the tests lean on: with no lost deliveries, the result of
+// a crashed-and-recovered run is bit-identical to the uninterrupted
+// `run_engine` result for the same config — at any crash record, any
+// torn-tail length, any shard width. Dropped deliveries are the one
+// fault that is allowed to change the outcome (the batch is genuinely
+// lost if every retry fails), and the report says exactly how many
+// were lost.
+#ifndef SMERGE_SIM_FAULT_H
+#define SMERGE_SIM_FAULT_H
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "server/checkpoint.h"
+#include "sim/engine.h"
+
+namespace smerge::sim {
+
+/// Where and how a run fails. Every field is exact and seeded — the
+/// same plan on the same config reproduces the same failure.
+struct FaultPlan {
+  /// Crash once the WAL holds this many records (the crash lands after
+  /// the record is logged but before its delivery is applied — the
+  /// WAL-ahead-of-state window). Negative: never crash.
+  std::int64_t crash_at_record = -1;
+  /// Ingest is split into this many equal horizon chunks, each ended by
+  /// a logged drain (the group-commit boundary).
+  int ingest_chunks = 8;
+  /// A checkpoint is taken after every this-many drains.
+  int checkpoint_every_drains = 2;
+  /// Checkpoints retained, newest first (older ones age out).
+  int keep_checkpoints = 2;
+  /// Bytes torn off the durable WAL tail at the crash (simulates a
+  /// partial final write; the file header always survives).
+  std::size_t wal_torn_bytes = 0;
+  /// Flip one byte of the newest checkpoint at this offset (modulo its
+  /// size) — recovery must detect it and fall back. Negative: none.
+  std::int64_t corrupt_checkpoint_byte = -1;
+  /// Probability a mailbox delivery attempt is dropped.
+  double mailbox_drop_rate = 0.0;
+  /// Redelivery attempts after a drop before the batch is declared lost.
+  int max_delivery_retries = 3;
+  /// Seed of the drop substream (independent of the workload seed).
+  std::uint64_t fault_seed = 0x5eedfa017ULL;
+};
+
+/// Validates a fault plan; throws std::invalid_argument with the
+/// offending field on failure.
+void validate(const FaultPlan& plan);
+
+/// Thrown at the injected crash point. Internal to the harness (it is
+/// caught inside `run_engine_with_faults`), exposed so direct drivers
+/// of the chunked loop can reuse the same signal.
+struct InjectedCrash : std::runtime_error {
+  InjectedCrash() : std::runtime_error("injected crash") {}
+};
+
+/// What the harness observed: the failure, the recovery, the losses.
+struct FaultReport {
+  bool crashed = false;                ///< the crash point was reached
+  std::uint64_t crash_record = 0;      ///< WAL records at the crash
+  std::size_t checkpoints_written = 0; ///< taken before the crash
+  server::RecoveryReport recovery;     ///< meaningful when `crashed`
+  std::uint64_t refed_batches = 0;     ///< per-object remainders re-fed
+  std::uint64_t dropped_deliveries = 0; ///< individual attempts dropped
+  std::uint64_t lost_batches = 0;      ///< batches lost after all retries
+};
+
+/// A faulted run's outcome: the engine result plus the fault report.
+struct FaultRunResult {
+  EngineResult result;
+  FaultReport report;
+};
+
+/// Runs the engine workload under `plan`, crashing and recovering as
+/// planned. Throws std::invalid_argument on a bad config or plan.
+[[nodiscard]] FaultRunResult run_engine_with_faults(const EngineConfig& config,
+                                                    OnlinePolicy& policy,
+                                                    const FaultPlan& plan);
+
+/// Parses a `--fault=` spec: `crash@K` plus optional comma-separated
+/// knobs `torn=N`, `corrupt=I`, `drop=P`, `retries=R`, `chunks=C`,
+/// `ckpt=D`, `keep=K`, `seed=S` (e.g. `crash@120,torn=7,corrupt=0`).
+/// `none` yields the default (fault-free) plan. Throws
+/// std::invalid_argument on a malformed spec.
+[[nodiscard]] FaultPlan parse_fault_plan(const std::string& spec);
+
+}  // namespace smerge::sim
+
+#endif  // SMERGE_SIM_FAULT_H

@@ -73,8 +73,13 @@ bool ArgParser::parse(int argc, const char* const* argv) {
       }
     }
     f.value = *value;
+    f.provided = true;
   }
   return true;
+}
+
+bool ArgParser::provided(const std::string& name) const {
+  return flag(name).provided;
 }
 
 const ArgParser::Flag& ArgParser::flag(const std::string& name) const {

@@ -39,6 +39,11 @@ class ArgParser {
   [[nodiscard]] std::string get_string(const std::string& name) const;
   [[nodiscard]] bool get_bool(const std::string& name) const;
 
+  /// True when the flag appeared on the parsed command line (as opposed
+  /// to holding its registered default) — the hook for rejecting
+  /// contradictory combinations like `--mode` without `--capacity`.
+  [[nodiscard]] bool provided(const std::string& name) const;
+
   /// Positional (non-flag) arguments in order of appearance.
   [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
     return positional_;
@@ -54,6 +59,7 @@ class ArgParser {
     std::string value;  // textual representation
     std::string help;
     std::string default_text;
+    bool provided = false;  // appeared on the command line
   };
 
   void add_flag(const std::string& name, Kind kind, std::string def, const std::string& help);

@@ -51,6 +51,20 @@ class SplitMix64 {
   /// The seed this generator was constructed with.
   [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
 
+  /// Current stream position — with `seed()`, the complete generator
+  /// state, so a checkpoint can resume a substream mid-stream.
+  [[nodiscard]] std::uint64_t state() const noexcept { return state_; }
+
+  /// Reconstructs a generator at an exact (seed, state) position, as
+  /// captured by `seed()`/`state()`: the resumed generator's draw
+  /// sequence and `split` substreams are bit-identical to the original.
+  [[nodiscard]] static SplitMix64 resume(std::uint64_t seed,
+                                         std::uint64_t state) noexcept {
+    SplitMix64 rng(seed);
+    rng.state_ = state;
+    return rng;
+  }
+
  private:
   std::uint64_t seed_;
   std::uint64_t state_;

@@ -1,0 +1,270 @@
+#include "util/snapshot.h"
+
+#include <bit>
+#include <cstdio>
+#include <limits>
+
+#ifdef __unix__
+#include <unistd.h>
+#endif
+
+namespace smerge::util {
+
+namespace {
+
+// "SMSN" little-endian — snapshot frame magic.
+constexpr std::uint32_t kMagic = 0x4e534d53u;
+constexpr std::uint32_t kFormatVersion = 1;
+constexpr std::size_t kMaxSchemaLength = 64;
+
+void append_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void append_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+[[nodiscard]] std::uint32_t load_u32(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+[[nodiscard]] std::uint64_t load_u64(const std::uint8_t* p) noexcept {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes) noexcept {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const std::uint8_t b : bytes) {
+    hash ^= b;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+void SnapshotWriter::u8(std::uint8_t v) { buffer_.push_back(v); }
+
+void SnapshotWriter::u32(std::uint32_t v) { append_u32(buffer_, v); }
+
+void SnapshotWriter::u64(std::uint64_t v) { append_u64(buffer_, v); }
+
+void SnapshotWriter::i64(std::int64_t v) {
+  append_u64(buffer_, static_cast<std::uint64_t>(v));
+}
+
+void SnapshotWriter::f64(double v) {
+  append_u64(buffer_, std::bit_cast<std::uint64_t>(v));
+}
+
+void SnapshotWriter::boolean(bool v) { buffer_.push_back(v ? 1 : 0); }
+
+void SnapshotWriter::str(std::string_view s) {
+  if (s.size() > std::numeric_limits<std::uint32_t>::max()) {
+    throw SnapshotError("snapshot: string too long");
+  }
+  append_u32(buffer_, static_cast<std::uint32_t>(s.size()));
+  buffer_.insert(buffer_.end(), s.begin(), s.end());
+}
+
+void SnapshotWriter::raw(std::span<const std::uint8_t> bytes) {
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+void SnapshotWriter::blob(std::span<const std::uint8_t> bytes) {
+  append_u64(buffer_, bytes.size());
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+void SnapshotWriter::f64_vec(std::span<const double> v) {
+  append_u64(buffer_, v.size());
+  for (const double x : v) f64(x);
+}
+
+void SnapshotWriter::i64_vec(std::span<const std::int64_t> v) {
+  append_u64(buffer_, v.size());
+  for (const std::int64_t x : v) i64(x);
+}
+
+std::vector<std::uint8_t> SnapshotWriter::frame(std::string_view schema) const {
+  if (schema.empty() || schema.size() > kMaxSchemaLength) {
+    throw SnapshotError("snapshot: schema must be 1..64 bytes");
+  }
+  std::vector<std::uint8_t> out;
+  out.reserve(buffer_.size() + schema.size() + 32);
+  append_u32(out, kMagic);
+  append_u32(out, kFormatVersion);
+  append_u32(out, static_cast<std::uint32_t>(schema.size()));
+  out.insert(out.end(), schema.begin(), schema.end());
+  append_u64(out, buffer_.size());
+  out.insert(out.end(), buffer_.begin(), buffer_.end());
+  append_u64(out, fnv1a64({out.data(), out.size()}));
+  return out;
+}
+
+SnapshotReader SnapshotReader::open(std::span<const std::uint8_t> frame,
+                                    std::string_view expected_schema) {
+  SnapshotReader header(frame);
+  if (header.remaining() < 12) {
+    throw SnapshotError("snapshot: frame truncated before header");
+  }
+  if (header.u32() != kMagic) {
+    throw SnapshotError("snapshot: bad magic");
+  }
+  if (const std::uint32_t version = header.u32(); version != kFormatVersion) {
+    throw SnapshotError("snapshot: unsupported format version " +
+                        std::to_string(version));
+  }
+  const std::uint32_t schema_len = header.u32();
+  if (schema_len > kMaxSchemaLength || schema_len > header.remaining()) {
+    throw SnapshotError("snapshot: bad schema length");
+  }
+  const std::span<const std::uint8_t> schema_bytes = header.raw(schema_len);
+  const std::string_view schema(
+      reinterpret_cast<const char*>(schema_bytes.data()), schema_bytes.size());
+  if (schema != expected_schema) {
+    throw SnapshotError("snapshot: schema mismatch: expected '" +
+                        std::string(expected_schema) + "', found '" +
+                        std::string(schema) + "'");
+  }
+  if (header.remaining() < 8) {
+    throw SnapshotError("snapshot: frame truncated before payload length");
+  }
+  const std::uint64_t payload_len = header.u64();
+  if (payload_len + 8 != header.remaining()) {
+    throw SnapshotError("snapshot: payload length disagrees with frame size");
+  }
+  const std::size_t checksummed = frame.size() - 8;
+  const std::uint64_t stored = load_u64(frame.data() + checksummed);
+  const std::uint64_t computed = fnv1a64(frame.first(checksummed));
+  if (stored != computed) {
+    throw SnapshotError("snapshot: checksum mismatch (corrupted frame)");
+  }
+  return SnapshotReader(
+      frame.subspan(checksummed - static_cast<std::size_t>(payload_len),
+                    static_cast<std::size_t>(payload_len)));
+}
+
+const std::uint8_t* SnapshotReader::take(std::size_t n) {
+  if (n > remaining()) {
+    throw SnapshotError("snapshot: read past end (" + std::to_string(n) +
+                        " bytes wanted, " + std::to_string(remaining()) +
+                        " remain)");
+  }
+  const std::uint8_t* p = data_.data() + pos_;
+  pos_ += n;
+  return p;
+}
+
+std::uint8_t SnapshotReader::u8() { return *take(1); }
+
+std::uint32_t SnapshotReader::u32() { return load_u32(take(4)); }
+
+std::uint64_t SnapshotReader::u64() { return load_u64(take(8)); }
+
+std::int64_t SnapshotReader::i64() { return static_cast<std::int64_t>(u64()); }
+
+double SnapshotReader::f64() { return std::bit_cast<double>(u64()); }
+
+bool SnapshotReader::boolean() {
+  const std::uint8_t v = u8();
+  if (v > 1) throw SnapshotError("snapshot: bad boolean");
+  return v != 0;
+}
+
+std::string SnapshotReader::str() {
+  const std::uint32_t n = u32();
+  const std::uint8_t* p = take(n);
+  return {reinterpret_cast<const char*>(p), n};
+}
+
+std::span<const std::uint8_t> SnapshotReader::raw(std::size_t n) {
+  return {take(n), n};
+}
+
+std::span<const std::uint8_t> SnapshotReader::blob() {
+  const std::uint64_t n = u64();
+  if (n > remaining()) {
+    throw SnapshotError("snapshot: blob length exceeds remaining bytes");
+  }
+  return raw(static_cast<std::size_t>(n));
+}
+
+std::vector<double> SnapshotReader::f64_vec() {
+  const std::uint64_t n = u64();
+  if (n > remaining() / 8) {
+    throw SnapshotError("snapshot: vector count exceeds remaining bytes");
+  }
+  std::vector<double> v(static_cast<std::size_t>(n));
+  for (double& x : v) x = f64();
+  return v;
+}
+
+std::vector<std::int64_t> SnapshotReader::i64_vec() {
+  const std::uint64_t n = u64();
+  if (n > remaining() / 8) {
+    throw SnapshotError("snapshot: vector count exceeds remaining bytes");
+  }
+  std::vector<std::int64_t> v(static_cast<std::size_t>(n));
+  for (std::int64_t& x : v) x = i64();
+  return v;
+}
+
+void SnapshotReader::expect_end() const {
+  if (remaining() != 0) {
+    throw SnapshotError("snapshot: " + std::to_string(remaining()) +
+                        " unread trailing bytes");
+  }
+}
+
+void write_bytes_file(const std::string& path,
+                      std::span<const std::uint8_t> bytes, bool fsync) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    throw std::runtime_error("snapshot: cannot open '" + path + "' for writing");
+  }
+  bool ok = bytes.empty() ||
+            std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  ok = std::fflush(f) == 0 && ok;
+#ifdef __unix__
+  if (ok && fsync) ok = ::fsync(fileno(f)) == 0;
+#else
+  (void)fsync;
+#endif
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) {
+    throw std::runtime_error("snapshot: write to '" + path + "' failed");
+  }
+}
+
+std::vector<std::uint8_t> read_bytes_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    throw std::runtime_error("snapshot: cannot open '" + path + "'");
+  }
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t chunk[65536];
+  std::size_t got;
+  while ((got = std::fread(chunk, 1, sizeof chunk, f)) > 0) {
+    bytes.insert(bytes.end(), chunk, chunk + got);
+  }
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  if (!ok) {
+    throw std::runtime_error("snapshot: read from '" + path + "' failed");
+  }
+  return bytes;
+}
+
+}  // namespace smerge::util

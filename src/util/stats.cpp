@@ -47,6 +47,27 @@ P2Quantile::P2Quantile(double q) : q_(q) {
   }
 }
 
+P2Quantile::P2Quantile(const P2State& state) : q_(state.q), n_(state.n) {
+  if (!(state.q > 0.0) || !(state.q < 1.0)) {
+    throw std::invalid_argument("P2Quantile: q must lie in (0, 1)");
+  }
+  std::copy(state.heights, state.heights + 5, heights_);
+  std::copy(state.positions, state.positions + 5, positions_);
+  std::copy(state.desired, state.desired + 5, desired_);
+  std::copy(state.increments, state.increments + 5, increments_);
+}
+
+P2State P2Quantile::state() const noexcept {
+  P2State s;
+  s.q = q_;
+  s.n = n_;
+  std::copy(heights_, heights_ + 5, s.heights);
+  std::copy(positions_, positions_ + 5, s.positions);
+  std::copy(desired_, desired_ + 5, s.desired);
+  std::copy(increments_, increments_ + 5, s.increments);
+  return s;
+}
+
 void P2Quantile::add(double x) noexcept {
   if (n_ < 5) {
     heights_[n_] = x;

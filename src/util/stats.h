@@ -48,6 +48,22 @@ class RunningStats {
 /// requires q in [0, 1].
 [[nodiscard]] double quantile_sorted(const std::vector<double>& sorted, double q);
 
+/// The complete state of a `P2Quantile` estimator — every marker, so a
+/// restored estimator continues bit-identically from where the saved
+/// one stopped. Two states compare equal iff every field (including
+/// each marker array element) is bitwise-equal, which is exactly the
+/// oracle the checkpoint round-trip tests assert.
+struct P2State {
+  double q = 0.0;
+  std::int64_t n = 0;
+  double heights[5] = {};
+  double positions[5] = {};
+  double desired[5] = {};
+  double increments[5] = {};
+
+  friend bool operator==(const P2State&, const P2State&) = default;
+};
+
 /// Running quantile estimator (the P-squared algorithm of Jain &
 /// Chlamtac, 1985): five markers track the q-quantile of a stream in
 /// O(1) memory and O(1) per observation, without retaining samples.
@@ -60,6 +76,11 @@ class P2Quantile {
   /// Tracks the q-quantile; requires q in (0, 1).
   explicit P2Quantile(double q);
 
+  /// Resumes from a previously captured state; requires state.q in
+  /// (0, 1). A resumed estimator produces the same estimates as the
+  /// original would for any continuation of the stream.
+  explicit P2Quantile(const P2State& state);
+
   /// Adds one observation.
   void add(double x) noexcept;
 
@@ -70,6 +91,9 @@ class P2Quantile {
 
   /// Number of observations so far.
   [[nodiscard]] std::int64_t count() const noexcept { return n_; }
+
+  /// The full marker state, suitable for checkpointing.
+  [[nodiscard]] P2State state() const noexcept;
 
  private:
   double q_;

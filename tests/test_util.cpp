@@ -220,6 +220,38 @@ TEST(SplitMix64, ExponentialHasConfiguredMean) {
   EXPECT_NEAR(sum / kDraws, 2.5, 0.1);
 }
 
+TEST(P2Quantile, StateRoundTripContinuesBitIdentically) {
+  // Kill the estimator at every prefix of a stream: the restored copy
+  // must equal the original on every future observation, bit for bit.
+  SplitMix64 rng(314159);
+  std::vector<double> stream(257);
+  for (double& x : stream) x = rng.next_exponential(0.05);
+  for (const double q : {0.5, 0.95, 0.99}) {
+    for (const std::size_t kill : {0UL, 1UL, 3UL, 4UL, 5UL, 17UL, 200UL}) {
+      P2Quantile original(q);
+      for (std::size_t i = 0; i < kill; ++i) original.add(stream[i]);
+      const P2State saved = original.state();
+      P2Quantile restored(saved);
+      EXPECT_EQ(restored.state(), saved);
+      EXPECT_EQ(restored.estimate(), original.estimate());
+      for (std::size_t i = kill; i < stream.size(); ++i) {
+        original.add(stream[i]);
+        restored.add(stream[i]);
+        ASSERT_EQ(restored.estimate(), original.estimate())
+            << "q=" << q << " kill=" << kill << " i=" << i;
+      }
+      EXPECT_EQ(restored.state(), original.state());
+      EXPECT_EQ(restored.count(), original.count());
+    }
+  }
+  // States of different streams (or positions) compare unequal.
+  P2Quantile a(0.5);
+  P2Quantile b(0.5);
+  a.add(1.0);
+  EXPECT_FALSE(a.state() == b.state());
+  EXPECT_THROW(P2Quantile bad(P2State{}), std::invalid_argument);
+}
+
 TEST(QuantileSorted, NearestRankConventions) {
   std::vector<double> values{5.0, 1.0, 4.0, 2.0, 3.0};
   std::sort(values.begin(), values.end());
