@@ -23,6 +23,17 @@ bool event_less(const LedgerEvent& a, const LedgerEvent& b) noexcept {
   return a.object < b.object;
 }
 
+/// Branch-free max for the summary recompute loops: with d = a - b,
+/// (d & ~(d >> 63)) is d when a >= b and 0 otherwise, so the expression
+/// evaluates max(a, b) as a straight sub/shift/mask/add chain with no
+/// data-dependent branch — the hot inner loop of batched summary
+/// recomputation stays mispredict-free on the ±1 sawtooth the occupancy
+/// prefix sums produce.
+constexpr std::int64_t bmax(std::int64_t a, std::int64_t b) noexcept {
+  const std::int64_t d = a - b;
+  return b + (d & ~(d >> 63));
+}
+
 }  // namespace
 
 ChannelLedger::ChannelLedger(double span, double bucket_width) : width_(bucket_width) {
@@ -91,6 +102,41 @@ void ChannelLedger::add_interval(double start, double end, Index object) {
   push_event({end, object, -1, false});
 }
 
+void ChannelLedger::apply_batch(std::span<const LedgerEvent> batch) {
+  if (batch.empty()) return;
+  touched_.clear();
+  for (const LedgerEvent& e : batch) {
+    // Byte-for-byte the push_event append: same bucket contents in the
+    // same insertion order, same sorted cursor, same dirty-list order —
+    // a checkpoint taken after apply_batch equals one taken after the
+    // equivalent push_event sequence. Only the tree replay is deferred.
+    const std::size_t b = bucket_of(e.time);
+    Bucket& bucket = buckets_[b];
+    const bool was_clean = bucket.sorted == bucket.events.size();
+    const bool in_order =
+        bucket.events.empty() || !event_less(e, bucket.events.back());
+    bucket.events.push_back(e);
+    bucket.net += e.delta;
+    if (was_clean && in_order) {
+      bucket.sorted = bucket.events.size();
+      bucket.max_prefix = bmax(bucket.max_prefix, bucket.net);
+    } else if (was_clean) {
+      dirty_.push_back(static_cast<std::uint32_t>(b));
+    }
+    if (touched_.empty() || touched_.back() != b) {
+      touched_.push_back(static_cast<std::uint32_t>(b));
+    }
+  }
+  events_ += static_cast<std::int64_t>(batch.size());
+  // One tree path per touched bucket. Consecutive events usually share
+  // a bucket (the batch is an object's time-ordered run), so touched_
+  // is tiny and nearly sorted already.
+  std::sort(touched_.begin(), touched_.end());
+  touched_.erase(std::unique(touched_.begin(), touched_.end()),
+                 touched_.end());
+  for (const std::uint32_t b : touched_) tree_update(b);
+}
+
 void ChannelLedger::move_end(double old_end, double new_end, Index object) {
   if (!(old_end >= 0.0) || !(new_end >= 0.0)) {
     throw std::invalid_argument("ChannelLedger: bad end move");
@@ -119,7 +165,7 @@ void ChannelLedger::ensure_sorted(std::size_t b) {
   std::int64_t maxp = 0;
   for (const LedgerEvent& e : bucket.events) {
     running += e.delta;
-    maxp = std::max(maxp, running);
+    maxp = bmax(maxp, running);
   }
   bucket.max_prefix = maxp;
   tree_update(b);
@@ -279,7 +325,7 @@ void ChannelLedger::restore(util::SnapshotReader& reader) {
     std::int64_t maxp = 0;
     for (std::size_t i = 0; i < bucket.sorted; ++i) {
       running += bucket.events[i].delta;
-      maxp = std::max(maxp, running);
+      maxp = bmax(maxp, running);
     }
     bucket.max_prefix = maxp;
     counted += static_cast<std::int64_t>(n);

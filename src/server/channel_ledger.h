@@ -32,6 +32,7 @@
 #define SMERGE_SERVER_CHANNEL_LEDGER_H
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "fib/fibonacci.h"
@@ -67,6 +68,15 @@ class ChannelLedger {
 
   /// Records one transmission interval [start, end). O(1) amortized.
   void add_interval(double start, double end, Index object);
+
+  /// Records a whole run of events in one step: every event is appended
+  /// exactly as the per-event path would (same bucket contents, same
+  /// insertion order, same dirty-list order — checkpoint bytes are
+  /// unchanged), but the segment-tree path replays once per *touched
+  /// bucket* instead of once per ±1 event. The batched admission drain
+  /// hands an object's whole difference run here, turning
+  /// O(events · log B) tree work into O(buckets_touched · log B).
+  void apply_batch(std::span<const LedgerEvent> batch);
 
   /// Moves a previously recorded interval's end (plan repair): appends
   /// the compensating difference pair — {new_end, -1}, {old_end, +1}
@@ -132,6 +142,7 @@ class ChannelLedger {
   double width_;
   std::vector<Bucket> buckets_;
   std::vector<std::uint32_t> dirty_;  ///< bucket ids with unsorted tails
+  std::vector<std::uint32_t> touched_;  ///< apply_batch scratch
   std::int64_t events_ = 0;
 
   // Flat segment tree over bucket summaries: leaves_ buckets rounded up

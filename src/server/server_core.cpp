@@ -1,6 +1,7 @@
 #include "server/server_core.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
@@ -8,6 +9,7 @@
 #include <utility>
 
 #include "core/plan_io.h"
+#include "util/mpsc_ring.h"
 #include "util/parallel.h"
 #include "util/snapshot.h"
 
@@ -33,6 +35,23 @@ const char* to_string(AdmissionMode mode) noexcept {
 namespace {
 
 std::size_t index_of(Index x) { return static_cast<std::size_t>(x); }
+
+/// One arrival published through the lock-free post() path. `seq` is
+/// the shard-wide ticket stamped at publication: ring and spill drains
+/// each preserve per-producer order but may interleave, so the
+/// collector re-sorts an object's batch by (time, seq) — which is
+/// exactly the order its single producer posted in (times are
+/// nondecreasing per object and the ticket breaks every tie).
+struct PostedArrival {
+  double time = 0.0;
+  Index object = 0;
+  std::uint64_t seq = 0;
+};
+
+bool posted_less(const PostedArrival& a, const PostedArrival& b) noexcept {
+  if (a.time != b.time) return a.time < b.time;
+  return a.seq < b.seq;
+}
 
 }  // namespace
 
@@ -157,6 +176,7 @@ struct ServerCore::ObjectState final : PolicySink {
 
   // Mailbox + incremental-fold cursors.
   std::vector<double> pending;     ///< time-ordered, unprocessed arrivals
+  std::vector<PostedArrival> posted_batch;  ///< this drain's post() claims
   std::size_t flushed_events = 0;  ///< events already in the global ledger
   std::size_t flushed_waits = 0;   ///< waits already in the P2 trackers
   bool dirty = false;              ///< queued in its shard's dirty list
@@ -189,10 +209,28 @@ struct ServerCore::ObjectState final : PolicySink {
 };
 
 struct ServerCore::Impl {
+  /// One shard's lock-free intake: the ring mailbox producers publish
+  /// to (`box`, `ticket`), plus consumer-side scratch touched only by
+  /// the shard's drain worker (one worker per shard per drain) or the
+  /// driver's serial fold — never by producers.
+  struct ShardMailbox {
+    explicit ShardMailbox(std::size_t ring_slots) : box(ring_slots) {}
+
+    util::MpscMailbox<PostedArrival> box;
+    alignas(64) std::atomic<std::uint64_t> ticket{0};  ///< post order stamp
+    std::vector<PostedArrival> scratch;  ///< one drain's claimed range
+    std::vector<Index> touched;          ///< objects seen in the claim
+    Index collected = 0;    ///< arrivals claimed, awaiting the serial fold
+    double max_time = 0.0;  ///< latest claimed arrival time
+  };
+
   Impl(double span, double bucket) : ledger(span, bucket) {}
 
   std::vector<std::unique_ptr<ObjectState>> objects;
   std::vector<std::vector<Index>> shard_dirty;  ///< per-shard mailbox index
+  std::vector<std::unique_ptr<ShardMailbox>> mailboxes;  ///< post() path only
+  std::atomic<bool> posted_out_of_order{false};  ///< set by drain workers
+  std::vector<LedgerEvent> ledger_batch;  ///< flush_object scratch (serial)
   ChannelLedger ledger;
 
   // Running counters (updated in deterministic fold order).
@@ -245,6 +283,9 @@ void ServerCore::validate() const {
   }
   if (!(config_.ledger_bucket >= 0.0)) {
     throw std::invalid_argument("ServerCore: ledger_bucket must be >= 0");
+  }
+  if (config_.mailbox_capacity < 0) {
+    throw std::invalid_argument("ServerCore: mailbox_capacity must be >= 0");
   }
   plan::validate(config_.chunking, 1.0);
   if (config_.enable_sessions && config_.serve != ServeMode::kPolicy) {
@@ -323,19 +364,44 @@ void ServerCore::build_objects(OnlinePolicy* policy) {
     impl_->objects.push_back(std::move(state));
   }
   impl_->shard_dirty.resize(config_.shards);
+
+  // Ring mailboxes exist only where post() is legal (generic-policy,
+  // non-session serving); slotted and session cores never pay for them.
+  if (config_.serve == ServeMode::kPolicy && !config_.enable_sessions) {
+    const std::size_t ring_slots =
+        config_.mailbox_capacity > 0
+            ? static_cast<std::size_t>(config_.mailbox_capacity)
+            : std::size_t{1} << 16;
+    impl_->mailboxes.reserve(config_.shards);
+    for (unsigned s = 0; s < config_.shards; ++s) {
+      impl_->mailboxes.push_back(
+          std::make_unique<Impl::ShardMailbox>(ring_slots));
+    }
+  }
 }
 
 // --- Incremental folding ----------------------------------------------------
 
 void ServerCore::flush_object(Index m) {
   ObjectState& state = *impl_->objects[index_of(m)];
+  // Stage the object's whole ±1 run and hand it to the ledger in one
+  // apply_batch — one segment-tree path per touched bucket instead of
+  // one per event. The cost accumulation stays per-pair inside the loop
+  // so the float fold order (and thus every snapshot byte) is unchanged.
+  std::vector<LedgerEvent>& batch = impl_->ledger_batch;
+  batch.clear();
   for (std::size_t i = state.flushed_events; i + 1 < state.events.size(); i += 2) {
     const double start = state.events[i].time;
     const double end = state.events[i + 1].time;
-    impl_->ledger.add_interval(start, end, state.id);
+    if (!(start >= 0.0) || !(end >= start)) {
+      throw std::invalid_argument("ChannelLedger: bad interval");
+    }
+    batch.push_back({start, state.id, +1, true});
+    batch.push_back({end, state.id, -1, false});
     impl_->cost += end - start;
     ++impl_->streams;
   }
+  impl_->ledger.apply_batch(batch);
   state.flushed_events = state.events.size();
   for (std::size_t i = state.flushed_waits; i < state.waits.size(); ++i) {
     const double w = state.waits[i];
@@ -541,6 +607,73 @@ void ServerCore::ingest_trace(Index object, std::vector<double> times) {
   }
 }
 
+void ServerCore::post(Index object, double time) {
+  // Producer-side fast path: everything read here is immutable after
+  // construction (config, object count, mailbox array), everything
+  // written is the lock-free ring. Monotonicity is validated where the
+  // order is known — at collection, after the (time, seq) sort.
+  if (impl_->mailboxes.empty()) {
+    throw std::invalid_argument(
+        "ServerCore::post: generic-policy, non-session serving only");
+  }
+  if (impl_->finished) {
+    throw std::logic_error("ServerCore: already finished");
+  }
+  if (object < 0 || object >= config_.objects) {
+    throw std::out_of_range("ServerCore::post: object out of range");
+  }
+  if (!(time >= 0.0)) {
+    throw std::invalid_argument("ServerCore::post: negative arrival time");
+  }
+  Impl::ShardMailbox& mb =
+      *impl_->mailboxes[index_of(object) % config_.shards];
+  const std::uint64_t seq = mb.ticket.fetch_add(1, std::memory_order_relaxed);
+  mb.box.push({time, object, seq});
+}
+
+/// Claims shard `s`'s published ring range in one step and folds it
+/// into the per-object pending mailboxes: scatter by object, restore
+/// each object's (time, seq) post order, validate monotonicity against
+/// what the object already served, append. Runs on the shard's drain
+/// worker; touches only shard-owned state (plus per-object state this
+/// shard owns), so workers never contend.
+void ServerCore::collect_posted(unsigned s) {
+  Impl::ShardMailbox& mb = *impl_->mailboxes[s];
+  mb.scratch.clear();
+  if (mb.box.drain(mb.scratch) == 0) return;
+  mb.touched.clear();
+  for (const PostedArrival& a : mb.scratch) {
+    ObjectState& state = *impl_->objects[index_of(a.object)];
+    if (state.posted_batch.empty()) mb.touched.push_back(a.object);
+    state.posted_batch.push_back(a);
+  }
+  // Object-id order keeps the dirty-list append order (and therefore a
+  // restored core's rebuilt lists) independent of ring interleaving.
+  std::sort(mb.touched.begin(), mb.touched.end());
+  for (const Index m : mb.touched) {
+    ObjectState& state = *impl_->objects[index_of(m)];
+    std::vector<PostedArrival>& batch = state.posted_batch;
+    if (!std::is_sorted(batch.begin(), batch.end(), posted_less)) {
+      std::sort(batch.begin(), batch.end(), posted_less);
+    }
+    if (batch.front().time < state.last_time) {
+      impl_->posted_out_of_order.store(true, std::memory_order_relaxed);
+      batch.clear();
+      continue;
+    }
+    state.pending.reserve(state.pending.size() + batch.size());
+    for (const PostedArrival& a : batch) state.pending.push_back(a.time);
+    state.last_time = batch.back().time;
+    if (batch.back().time > mb.max_time) mb.max_time = batch.back().time;
+    mb.collected += static_cast<Index>(batch.size());
+    batch.clear();
+    if (!state.dirty) {
+      state.dirty = true;
+      impl_->shard_dirty[s].push_back(m);
+    }
+  }
+}
+
 void ServerCore::ingest_session_trace(Index object,
                                       std::vector<SessionTrace> sessions) {
   if (impl_->finished) throw std::logic_error("ServerCore: already finished");
@@ -580,15 +713,45 @@ void ServerCore::ingest_session_trace(Index object,
 
 void ServerCore::drain() {
   if (impl_->finished) return;
-  const auto shards = static_cast<std::int64_t>(config_.shards);
+  // Active-shard gather: a shard reaches the pool only when it has
+  // dirty objects or published posts, so idle-catalogue drains cost one
+  // scan instead of a full pool fan-out.
+  const bool posted = !impl_->mailboxes.empty();
+  std::vector<unsigned> active;
+  active.reserve(config_.shards);
+  for (unsigned s = 0; s < config_.shards; ++s) {
+    if (!impl_->shard_dirty[s].empty() ||
+        (posted && impl_->mailboxes[s]->box.has_items())) {
+      active.push_back(s);
+    }
+  }
+  if (active.empty()) return;
   util::parallel_for(
-      0, shards,
-      [&](std::int64_t s) {
-        for (const Index m : impl_->shard_dirty[static_cast<std::size_t>(s)]) {
+      0, static_cast<std::int64_t>(active.size()),
+      [&](std::int64_t i) {
+        const unsigned s = active[static_cast<std::size_t>(i)];
+        if (posted) collect_posted(s);
+        for (const Index m : impl_->shard_dirty[s]) {
           process_object(*impl_->objects[index_of(m)]);
         }
       },
       config_.shards);
+  if (posted) {
+    if (impl_->posted_out_of_order.load(std::memory_order_relaxed)) {
+      impl_->posted_out_of_order.store(false, std::memory_order_relaxed);
+      throw std::invalid_argument(
+          "ServerCore::post: arrivals must be nondecreasing per object");
+    }
+    // Serial fold of the claimed counts, shard order — the same totals
+    // the serial ingest paths maintain per call.
+    for (const auto& mb_ptr : impl_->mailboxes) {
+      Impl::ShardMailbox& mb = *mb_ptr;
+      impl_->arrivals += mb.collected;
+      if (mb.max_time > impl_->clock) impl_->clock = mb.max_time;
+      mb.collected = 0;
+      mb.max_time = 0.0;
+    }
+  }
   std::vector<Index> dirty;
   for (auto& list : impl_->shard_dirty) {
     dirty.insert(dirty.end(), list.begin(), list.end());
@@ -778,6 +941,12 @@ Ticket ServerCore::admit_slotted(Index object, double time) {
 void ServerCore::finish() {
   if (impl_->finished) return;
   drain();
+  for (const auto& mb : impl_->mailboxes) {
+    if (mb->box.has_items()) {
+      throw std::logic_error(
+          "ServerCore::finish: producers still posting — quiesce them first");
+    }
+  }
 
   const auto n = static_cast<std::int64_t>(config_.objects);
   if (config_.serve == ServeMode::kPolicy) {
@@ -1096,6 +1265,16 @@ std::vector<std::uint8_t> ServerCore::checkpoint(
     std::uint64_t wal_records, std::span<const std::uint8_t> driver_blob) const {
   if (impl_->finished) {
     throw std::logic_error("ServerCore::checkpoint: core already finished");
+  }
+  // Posted-but-undrained arrivals live only in the rings, which are not
+  // serialized (mailbox geometry, like the shard width, is a knob
+  // results never depend on) — losing them silently would break the
+  // continuation, so demand a drain first.
+  for (const auto& mb : impl_->mailboxes) {
+    if (mb->box.has_items()) {
+      throw std::logic_error(
+          "ServerCore::checkpoint: posted arrivals pending — drain() first");
+    }
   }
   util::SnapshotWriter w;
   save_config(w, config_);

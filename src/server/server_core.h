@@ -87,6 +87,11 @@ struct ServerCoreConfig {
   AdmissionMode admission = AdmissionMode::kObserve;
   Index max_defer_slots = 8;    ///< defer mode: slots probed before rejecting
   double ledger_bucket = 0.0;   ///< ledger bucket width; 0 = one slot (delay)
+  Index mailbox_capacity = 0;   ///< post() ring slots per shard, rounded up
+                                ///< to a power of two; 0 = 65536. Results
+                                ///< never depend on it (overflow spills,
+                                ///< nothing drops), so checkpoints ignore
+                                ///< it like the shard width.
   Index dg_media_slots = 0;     ///< SlottedDg: L in slots; 0 = round(1/delay)
   bool collect_stream_intervals = false;  ///< keep all intervals (O(streams))
   bool collect_plans = false;   ///< assemble per-object MergePlans (O(streams))
@@ -207,9 +212,9 @@ struct RestoreInfo {
   std::vector<std::uint8_t> driver_blob;
 };
 
-/// The serving runtime. Not thread-safe for concurrent external calls:
-/// drain() parallelizes internally; everything else is called from one
-/// driver thread.
+/// The serving runtime. One driver thread calls everything except
+/// `post()`, which any number of producer threads may call concurrently
+/// (lock-free ring mailboxes); drain() parallelizes internally.
 ///
 /// Memory: the core retains per-object events and waits for the whole
 /// run — that is what makes exact-on-demand percentiles, per-object
@@ -250,6 +255,22 @@ class ServerCore {
   /// when the object's mailbox is empty).
   void ingest_trace(Index object, std::vector<double> times);
 
+  /// Lock-free concurrent ingest: stamps the arrival with a per-shard
+  /// ticket and publishes it to the owning shard's bounded MPSC ring
+  /// (util/mpsc_ring.h); a full ring spills to a locked fallback
+  /// vector, so no arrival is ever dropped. The ONLY member safe to
+  /// call from other threads: any number of producers may post
+  /// concurrently, including while the driver thread runs `drain()` —
+  /// arrivals published before the drain claims the ring are folded in,
+  /// later ones wait for the next drain. Each object must be fed by at
+  /// most one producer at a time with nondecreasing times (the
+  /// per-object policy contract; violations are detected at the next
+  /// drain), and producers must quiesce before `finish()`,
+  /// `checkpoint()` or any query. Do not mix `post` and `admit` on the
+  /// same object without a `drain()` in between. Generic-policy,
+  /// non-session serving only.
+  void post(Index object, double time);
+
   /// Session-lifecycle ingest (`enable_sessions` only; plain
   /// ingest/ingest_trace then throw — a session core must know every
   /// client's lifecycle). Each trace is one client: its arrival feeds
@@ -259,9 +280,12 @@ class ServerCore {
   /// imply is applied at finish().
   void ingest_session_trace(Index object, std::vector<SessionTrace> sessions);
 
-  /// Processes all mailboxes: shards fan out over the thread pool, the
-  /// serial epilogue folds results in object-id order. Bit-identical
-  /// for any shard count.
+  /// Processes all mailboxes: each active shard claims its ring's
+  /// published range in one step, restores per-object ticket order, and
+  /// delivers the batch; shards with nothing pending never reach the
+  /// pool. The serial epilogue then folds results in object-id order,
+  /// applying each object's ledger run in bulk. Bit-identical for any
+  /// shard count, thread count or drain cadence.
   void drain();
 
   /// Ends the run at the configured horizon: drains pending arrivals,
@@ -344,6 +368,7 @@ class ServerCore {
 
   void validate() const;
   void build_objects(OnlinePolicy* policy);
+  void collect_posted(unsigned shard);
   Ticket admit_slotted(Index object, double time);
   Ticket admit_policy(Index object, double time);
   void process_object(ObjectState& state);

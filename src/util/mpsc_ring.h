@@ -1,0 +1,208 @@
+// Bounded lock-free MPSC ring buffer + never-drop mailbox wrapper — the
+// hot ingest path of the serving runtime (src/server/server_core.h).
+//
+// `MpscRing<T>` is a bounded multi-producer/single-consumer queue in the
+// style of Vyukov's bounded MPMC ring, specialized to one consumer:
+// each slot carries a sequence number; a producer claims a slot with one
+// `fetch_add`-free CAS on the head cursor and *publishes* it by storing
+// `pos + 1` into the slot's sequence with release ordering; the consumer
+// observes publication with an acquire load and recycles the slot by
+// storing `pos + capacity`. Capacity is a power of two so slot lookup is
+// one mask. A full ring never blocks and never drops: `try_push` simply
+// returns false and the caller takes a fallback path.
+//
+// `MpscMailbox<T>` is that fallback packaged with the ring: pushes that
+// find the ring full spill into a mutex-guarded vector (the slow path —
+// by construction it is only taken when producers outrun the consumer by
+// a whole ring), so no element is ever lost. The consumer's
+// `drain` claims the ring's published range and the spill in one call.
+// Cross-path ordering is the caller's affair: a drain returns ring
+// elements first, then spilled elements, so callers that need a total
+// order carry a ticket in T and re-sort (what the serving core does with
+// its per-shard post sequence).
+//
+// Concurrency contract:
+//  * any number of producers may call `push`/`try_push` concurrently,
+//    concurrently with one consumer in `drain`/`has_items`;
+//  * `drain`, `has_items` and `spilled` are single-consumer: at most one
+//    thread calls them at a time;
+//  * elements pushed by one producer are drained in that producer's
+//    push order within each path (ring or spill) — the FIFO-per-producer
+//    guarantee downstream determinism arguments build on.
+#ifndef SMERGE_UTIL_MPSC_RING_H
+#define SMERGE_UTIL_MPSC_RING_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <type_traits>
+#include <vector>
+
+namespace smerge::util {
+
+/// Bounded lock-free multi-producer/single-consumer ring. T must be
+/// trivially copyable (slots are raw storage republished across
+/// threads).
+template <typename T>
+class MpscRing {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "MpscRing payloads are copied across threads raw");
+
+ public:
+  /// Capacity is rounded up to a power of two (minimum 2). Throws
+  /// std::invalid_argument on zero or on a capacity that would not fit
+  /// the sequence arithmetic.
+  explicit MpscRing(std::size_t capacity) {
+    if (capacity == 0) {
+      throw std::invalid_argument("MpscRing: capacity must be positive");
+    }
+    std::size_t rounded = 2;
+    while (rounded < capacity) {
+      if (rounded > (std::size_t{1} << 62)) {
+        throw std::invalid_argument("MpscRing: capacity too large");
+      }
+      rounded *= 2;
+    }
+    slots_ = std::vector<Slot>(rounded);
+    mask_ = rounded - 1;
+    for (std::size_t i = 0; i < rounded; ++i) {
+      slots_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpscRing(const MpscRing&) = delete;
+  MpscRing& operator=(const MpscRing&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return mask_ + 1; }
+
+  /// Producer side. Returns false when the ring is full (the element is
+  /// NOT enqueued); lock-free, never blocks.
+  bool try_push(const T& item) noexcept {
+    std::uint64_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      Slot& slot = slots_[static_cast<std::size_t>(pos) & mask_];
+      const std::uint64_t seq = slot.seq.load(std::memory_order_acquire);
+      const auto diff =
+          static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos);
+      if (diff == 0) {
+        // The slot is free at this position: claim it by advancing the
+        // head, then publish.
+        if (head_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          slot.value = item;
+          slot.seq.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+      } else if (diff < 0) {
+        // The consumer has not recycled this slot yet: a full ring.
+        return false;
+      } else {
+        // Another producer claimed this position; reload and retry.
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Consumer side: appends every published element to `out` in
+  /// publication-slot order and recycles the slots. Stops at the first
+  /// claimed-but-unpublished slot. Returns the number drained.
+  std::size_t drain(std::vector<T>& out) {
+    std::size_t drained = 0;
+    for (;;) {
+      Slot& slot = slots_[static_cast<std::size_t>(tail_) & mask_];
+      const std::uint64_t seq = slot.seq.load(std::memory_order_acquire);
+      if (static_cast<std::int64_t>(seq) -
+              static_cast<std::int64_t>(tail_ + 1) <
+          0) {
+        break;  // not yet published
+      }
+      out.push_back(slot.value);
+      slot.seq.store(tail_ + capacity(), std::memory_order_release);
+      ++tail_;
+      ++drained;
+    }
+    return drained;
+  }
+
+  /// Consumer side: true when at least one published element awaits.
+  [[nodiscard]] bool has_published() const noexcept {
+    const Slot& slot = slots_[static_cast<std::size_t>(tail_) & mask_];
+    return slot.seq.load(std::memory_order_acquire) == tail_ + 1;
+  }
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> seq{0};
+    T value{};
+  };
+
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  /// Next position a producer claims. Padded away from the consumer
+  /// cursor so producers and the consumer do not false-share.
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+  /// Next position the consumer reads; consumer-owned, unsynchronized.
+  alignas(64) std::uint64_t tail_ = 0;
+};
+
+/// A ring plus a mutex-guarded overflow vector: `push` never fails and
+/// never drops. The fast path is the lock-free ring; the spill path is
+/// taken only while producers are a full ring ahead of the consumer.
+template <typename T>
+class MpscMailbox {
+ public:
+  explicit MpscMailbox(std::size_t ring_capacity) : ring_(ring_capacity) {}
+
+  [[nodiscard]] std::size_t ring_capacity() const noexcept {
+    return ring_.capacity();
+  }
+
+  /// Producer side; wait-free unless the ring is full (then one mutex).
+  void push(const T& item) {
+    if (ring_.try_push(item)) return;
+    const std::scoped_lock lock(spill_mutex_);
+    spill_.push_back(item);
+    spilled_.fetch_add(1, std::memory_order_relaxed);
+    spill_count_.store(spill_.size(), std::memory_order_release);
+  }
+
+  /// Consumer side: drains the ring's published range, then the spill.
+  /// Returns the number of elements appended to `out`.
+  std::size_t drain(std::vector<T>& out) {
+    std::size_t drained = ring_.drain(out);
+    if (spill_count_.load(std::memory_order_acquire) > 0) {
+      const std::scoped_lock lock(spill_mutex_);
+      drained += spill_.size();
+      out.insert(out.end(), spill_.begin(), spill_.end());
+      spill_.clear();
+      spill_count_.store(0, std::memory_order_release);
+    }
+    return drained;
+  }
+
+  /// Consumer side: true when a drain would return at least one element.
+  [[nodiscard]] bool has_items() const noexcept {
+    return ring_.has_published() ||
+           spill_count_.load(std::memory_order_acquire) > 0;
+  }
+
+  /// Total elements that ever took the spill path (monotone; an
+  /// overflow-pressure signal, not a loss count — spilled elements are
+  /// still delivered).
+  [[nodiscard]] std::uint64_t spilled() const noexcept {
+    return spilled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  MpscRing<T> ring_;
+  std::mutex spill_mutex_;
+  std::vector<T> spill_;                       ///< guarded by spill_mutex_
+  std::atomic<std::size_t> spill_count_{0};    ///< lock-free emptiness probe
+  std::atomic<std::uint64_t> spilled_{0};
+};
+
+}  // namespace smerge::util
+
+#endif  // SMERGE_UTIL_MPSC_RING_H

@@ -4,8 +4,9 @@
 Usage:
     tools/bench_compare.py BASELINE.json CANDIDATE.json [--tol 0.25]
         [--series-tol 1e-9] [--require-all] [--data-only]
+        [--threshold 0.15]
 
-Two kinds of checks, applied to every bench present in both files:
+Three kinds of checks, applied to every bench present in both files:
 
   * data checks (hard): the `ok` flag must not regress, and every
     non-timing series common to both runs must match elementwise within
@@ -17,7 +18,14 @@ Two kinds of checks, applied to every bench present in both files:
     derived ratio) may regress by at most --tol relative (default 25%).
     Timing checks only make sense between runs on the same machine; pass
     --data-only to skip them entirely (what CI does against the
-    committed seed, whose timings came from another host).
+    committed seed, whose timings came from another host);
+  * throughput floor (--threshold X, off by default): every `*_per_s`
+    series and metric of the `sim_*` ingest benches — higher is better —
+    must not drop more than X relative below the baseline. This is the
+    perf-trend gate CI runs against the committed seed with
+    --threshold 0.15; it applies even under --data-only because a
+    collapsed ingest rate is the one timing signal worth cross-host
+    noise.
 
 Exit status: 0 clean, 1 regressions found, 2 usage/schema errors.
 """
@@ -64,6 +72,17 @@ def rel_excess(old: float, new: float) -> float:
     return (new - old) / old if old > 0 else math.inf
 
 
+def rel_shortfall(old: float, new: float) -> float:
+    """How far `new` falls below `old`, relative to `old` (0 when new >= old)."""
+    if new >= old or old <= 0:
+        return 0.0
+    return (old - new) / old
+
+
+def is_throughput(name: str) -> bool:
+    return name.lower().endswith("_per_s")
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(
         description="diff two smerge-bench-v1 files, fail on regressions"
@@ -92,6 +111,15 @@ def main() -> int:
         action="store_true",
         help="skip all timing comparisons (use when baseline and candidate "
         "ran on different machines, e.g. CI vs the committed seed)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        metavar="X",
+        help="fail when any *_per_s throughput series/metric of a sim_* "
+        "bench drops more than X relative below the baseline (e.g. 0.15 "
+        "= 15%%); applies even with --data-only",
     )
     args = parser.parse_args()
 
@@ -136,6 +164,45 @@ def main() -> int:
                         f"(data drift > {args.series_tol})"
                     )
                     break
+
+        # Throughput floor: the perf-trend gate for the ingest benches.
+        # `*_per_s` names carry the "_s" timing suffix, so the data checks
+        # above skip them; this is the check that owns them. Higher is
+        # better — fail only on a drop past --threshold.
+        if args.threshold is not None and name.startswith("sim_"):
+            for sname, old_vals in old_series.items():
+                if not is_throughput(sname):
+                    continue
+                new_vals = new_series.get(sname)
+                if new_vals is None or len(new_vals) != len(old_vals):
+                    failures.append(
+                        f"{name}/{sname}: throughput series missing or "
+                        f"reshaped in candidate"
+                    )
+                    continue
+                for idx, (a, b) in enumerate(zip(old_vals, new_vals)):
+                    drop = rel_shortfall(float(a), float(b))
+                    if drop > args.threshold:
+                        failures.append(
+                            f"{name}/{sname}[{idx}]: {a:.0f} -> {b:.0f} "
+                            f"(-{100 * drop:.1f}% < -{100 * args.threshold:.0f}% "
+                            f"throughput floor)"
+                        )
+            for mname, old_val in old.get("metrics", {}).items():
+                if not is_throughput(mname) or not isinstance(
+                    old_val, (int, float)
+                ):
+                    continue
+                new_val = new.get("metrics", {}).get(mname)
+                if not isinstance(new_val, (int, float)):
+                    continue
+                drop = rel_shortfall(float(old_val), float(new_val))
+                if drop > args.threshold:
+                    failures.append(
+                        f"{name}/{mname}: {old_val:.0f} -> {new_val:.0f} "
+                        f"(-{100 * drop:.1f}% < -{100 * args.threshold:.0f}% "
+                        f"throughput floor)"
+                    )
 
         # Timing metrics: allow up to --tol relative regression.
         if args.data_only:
