@@ -49,7 +49,9 @@
 #include "sim/fault.h"
 #include "sim/workload.h"
 #include "util/cli.h"
+#include "util/simd.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -118,6 +120,12 @@ int main(int argc, char** argv) {
   args.add_double("seek-rate", 0.0, "P(session seeks once); needs --sessions");
   args.add_int("seed", 42, "workload RNG seed");
   args.add_int("live-every", 4, "live stats printouts per run");
+  args.add_bool("pin", false,
+                "pin the shard drain workers to cores (policy path only; "
+                "pure mechanism, results never change)");
+  args.add_bool("no-simd", false,
+                "force the scalar ledger kernels (disable the SIMD runtime "
+                "dispatch; pure mechanism, results never change)");
   args.add_string("fault", "none",
                   "fault spec crash@K[,torn=N][,corrupt=I][,drop=P]: run the "
                   "deterministic crash/recovery harness (policy path only)");
@@ -180,6 +188,13 @@ int main(int argc, char** argv) {
           "--fault drives the policy path through the crash/recovery "
           "harness; drop --capacity");
     }
+    if (args.get_bool("pin") && capacity > 0) {
+      throw std::invalid_argument(
+          "the capacity path is serial — there are no shard workers to "
+          "pin; drop --pin");
+    }
+    if (args.get_bool("no-simd")) util::simd::force_scalar(true);
+    const bool pin = args.get_bool("pin");
     const int checkpoints = static_cast<int>(args.get_int("live-every"));
     const unsigned shards = static_cast<unsigned>(args.get_int("shards"));
 
@@ -191,6 +206,7 @@ int main(int argc, char** argv) {
       engine.workload = workload;
       engine.delay = delay;
       engine.threads = shards;
+      engine.pin_workers = pin;
       engine.churn = churn;
       std::unique_ptr<OnlinePolicy> policy =
           make_policy(args.get_string("policy"));
@@ -307,11 +323,23 @@ int main(int argc, char** argv) {
       config.delay = delay;
       config.horizon = workload.horizon;
       config.shards = shards;
+      config.pin_workers = pin;
       config.enable_sessions = churn.enabled();
       core = std::make_unique<server::ServerCore>(config, *policy);
       std::cout << "policy path: " << policy->name() << ", " << workload.objects
                 << " objects over " << config.shards << " shards, delay "
                 << delay;
+      // The hot-path dispatch decisions, so a log line records which
+      // mechanisms this run actually exercised.
+      std::cout << "\nhot path: admit dispatch " << core->admit_dispatch()
+                << ", ledger kernel " << util::simd::active_kernel() << " ("
+                << util::simd::lanes() << " lanes)";
+      if (pin) {
+        std::cout << ", pinned("
+                  << util::ThreadPool::shared_pinned().pinned_workers() << ")";
+      } else {
+        std::cout << ", floating workers";
+      }
       if (churn.enabled()) {
         std::cout << ", churn abandon/pause/seek " << churn.abandon_rate << "/"
                   << churn.pause_rate << "/" << churn.seek_rate;

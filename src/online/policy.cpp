@@ -14,19 +14,16 @@ Index dg_slot_of(double arrival_time, double slot_duration) {
   return rounded == 0 ? Index{0} : rounded - 1;
 }
 
+double batch_start_of(double t, double delay) {
+  return std::ceil(t / delay) * delay;
+}
+
 namespace {
 
 void check_delay(double delay) {
   if (!(delay > 0.0) || delay > 1.0) {
     throw std::invalid_argument("policy: delay must be in (0, 1]");
   }
-}
-
-/// The batching interval end serving an arrival at `t`: intervals are
-/// ((k-1)D, kD] and an arrival exactly on a boundary is served by the
-/// stream starting there (matches merging::batch_arrivals).
-double batch_start_of(double t, double delay) {
-  return std::ceil(t / delay) * delay;
 }
 
 // --- Delay Guaranteed -----------------------------------------------------
@@ -64,6 +61,10 @@ class DgObjectPolicy final : public ObjectPolicy {
     }
   }
 
+  [[nodiscard]] FastSlotKind fast_slot_kind() const noexcept override {
+    return FastSlotKind::kDgSlot;
+  }
+
  private:
   std::shared_ptr<const DelayGuaranteedOnline> dg_;
   double delay_;
@@ -92,6 +93,18 @@ class BatchingObjectPolicy final : public ObjectPolicy {
 
   void load_state(util::SnapshotReader& reader) override {
     last_start_ = reader.f64();
+  }
+
+  [[nodiscard]] FastSlotKind fast_slot_kind() const noexcept override {
+    return FastSlotKind::kBatchSlot;
+  }
+
+  [[nodiscard]] double fast_slot_cursor() const noexcept override {
+    return last_start_;
+  }
+
+  void set_fast_slot_cursor(double cursor) noexcept override {
+    last_start_ = cursor;
   }
 
  private:
@@ -159,6 +172,14 @@ void ObjectPolicy::on_session_event(double /*time*/, double /*arrival*/,
 void ObjectPolicy::save_state(util::SnapshotWriter& /*writer*/) const {}
 
 void ObjectPolicy::load_state(util::SnapshotReader& /*reader*/) {}
+
+FastSlotKind ObjectPolicy::fast_slot_kind() const noexcept {
+  return FastSlotKind::kNone;
+}
+
+double ObjectPolicy::fast_slot_cursor() const noexcept { return 0.0; }
+
+void ObjectPolicy::set_fast_slot_cursor(double /*cursor*/) noexcept {}
 
 void OnlinePolicy::prepare(double delay, double horizon) {
   check_delay(delay);

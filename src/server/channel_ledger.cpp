@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
-#include <limits>
 #include <stdexcept>
 
+#include "util/simd.h"
 #include "util/snapshot.h"
 
 namespace smerge::server {
@@ -23,15 +23,30 @@ bool event_less(const LedgerEvent& a, const LedgerEvent& b) noexcept {
   return a.object < b.object;
 }
 
-/// Branch-free max for the summary recompute loops: with d = a - b,
-/// (d & ~(d >> 63)) is d when a >= b and 0 otherwise, so the expression
-/// evaluates max(a, b) as a straight sub/shift/mask/add chain with no
-/// data-dependent branch — the hot inner loop of batched summary
-/// recomputation stays mispredict-free on the ±1 sawtooth the occupancy
-/// prefix sums produce.
-constexpr std::int64_t bmax(std::int64_t a, std::int64_t b) noexcept {
-  const std::int64_t d = a - b;
-  return b + (d & ~(d >> 63));
+// Branch-free max of the scan loops, now shared with the vector kernels
+// it is the oracle for.
+using util::simd::bmax;
+
+/// First index in a *sorted* bucket whose event time exceeds `t`.
+std::size_t first_after(const std::vector<LedgerEvent>& events,
+                        double t) noexcept {
+  return static_cast<std::size_t>(
+      std::upper_bound(events.begin(), events.end(), t,
+                       [](double v, const LedgerEvent& e) {
+                         return v < e.time;
+                       }) -
+      events.begin());
+}
+
+/// First index in a *sorted* bucket whose event time is at least `t`.
+std::size_t first_at_or_after(const std::vector<LedgerEvent>& events,
+                              double t) noexcept {
+  return static_cast<std::size_t>(
+      std::lower_bound(events.begin(), events.end(), t,
+                       [](const LedgerEvent& e, double v) {
+                         return e.time < v;
+                       }) -
+      events.begin());
 }
 
 }  // namespace
@@ -81,6 +96,7 @@ void ChannelLedger::push_event(const LedgerEvent& e) {
   const bool in_order =
       bucket.events.empty() || !event_less(e, bucket.events.back());
   bucket.events.push_back(e);
+  bucket.deltas.push_back(e.delta);
   bucket.net += e.delta;
   if (was_clean && in_order) {
     // Common case (streams arrive roughly in time order): the bucket
@@ -116,6 +132,7 @@ void ChannelLedger::apply_batch(std::span<const LedgerEvent> batch) {
     const bool in_order =
         bucket.events.empty() || !event_less(e, bucket.events.back());
     bucket.events.push_back(e);
+    bucket.deltas.push_back(e.delta);
     bucket.net += e.delta;
     if (was_clean && in_order) {
       bucket.sorted = bucket.events.size();
@@ -161,13 +178,13 @@ void ChannelLedger::ensure_sorted(std::size_t b) {
   std::sort(mid, bucket.events.end(), event_less);
   std::inplace_merge(bucket.events.begin(), mid, bucket.events.end(), event_less);
   bucket.sorted = bucket.events.size();
-  std::int64_t running = 0;
-  std::int64_t maxp = 0;
-  for (const LedgerEvent& e : bucket.events) {
-    running += e.delta;
-    maxp = bmax(maxp, running);
+  for (std::size_t i = 0; i < bucket.events.size(); ++i) {
+    bucket.deltas[i] = bucket.events[i].delta;
   }
-  bucket.max_prefix = maxp;
+  bucket.max_prefix =
+      util::simd::prefix_scan(bucket.deltas.data(), bucket.deltas.size(),
+                              /*running=*/0, /*best=*/0)
+          .best;
   tree_update(b);
 }
 
@@ -213,11 +230,12 @@ Index ChannelLedger::peak() {
 Index ChannelLedger::occupancy_at(double t) {
   const std::size_t b = bucket_of(t);
   ensure_sorted(b);
-  std::int64_t depth = net_before(b);
-  for (const LedgerEvent& e : buckets_[b].events) {
-    if (e.time > t) break;
-    depth += e.delta;
-  }
+  const Bucket& bucket = buckets_[b];
+  // The bucket is sorted, so "everything at or before t" is a prefix:
+  // locate it by time and let the vector kernel sum the deltas.
+  const std::size_t k = first_after(bucket.events, t);
+  const std::int64_t depth =
+      net_before(b) + util::simd::sum(bucket.deltas.data(), k);
   return static_cast<Index>(depth);
 }
 
@@ -234,30 +252,27 @@ Index ChannelLedger::max_over(double a, double b) {
   std::int64_t best;
   {
     const Bucket& bucket = buckets_[ba];
-    std::size_t i = 0;
     // Everything at or before `a` contributes to the occupancy at the
-    // window's left edge — the first candidate.
-    while (i < bucket.events.size() && bucket.events[i].time <= a) {
-      depth += bucket.events[i].delta;
-      ++i;
-    }
+    // window's left edge — the first candidate. flush() left every
+    // bucket sorted, so both boundaries are binary searches and the
+    // scans between them run through the vector kernels.
+    const std::size_t i = first_after(bucket.events, a);
+    depth += util::simd::sum(bucket.deltas.data(), i);
     best = depth;
-    const double stop = ba == bb ? b : std::numeric_limits<double>::infinity();
-    while (i < bucket.events.size() && bucket.events[i].time < stop) {
-      depth += bucket.events[i].delta;
-      best = std::max(best, depth);
-      ++i;
-    }
+    const std::size_t stop = ba == bb ? first_at_or_after(bucket.events, b)
+                                      : bucket.events.size();
+    const auto scan = util::simd::prefix_scan(bucket.deltas.data() + i,
+                                              stop - i, depth, best);
+    depth = scan.running;
+    best = scan.best;
   }
   if (bb > ba) {
     const auto [mid_net, mid_max] = combine_range(ba + 1, bb);
     best = std::max(best, depth + mid_max);
     depth += mid_net;
-    for (const LedgerEvent& e : buckets_[bb].events) {
-      if (e.time >= b) break;
-      depth += e.delta;
-      best = std::max(best, depth);
-    }
+    const Bucket& last = buckets_[bb];
+    const std::size_t k = first_at_or_after(last.events, b);
+    best = util::simd::prefix_scan(last.deltas.data(), k, depth, best).best;
   }
   return static_cast<Index>(best);
 }
@@ -315,19 +330,20 @@ void ChannelLedger::restore(util::SnapshotReader& reader) {
       throw util::SnapshotError("ChannelLedger: sorted prefix exceeds bucket");
     }
     bucket.sorted = static_cast<std::size_t>(sorted);
+    bucket.deltas.resize(bucket.events.size());
+    for (std::size_t i = 0; i < bucket.events.size(); ++i) {
+      bucket.deltas[i] = bucket.events[i].delta;
+    }
     // The stored max_prefix is not serialized: recompute it over the
     // *sorted prefix interleaved with the tail in insertion order*, the
     // same value push_event maintained. For a clean bucket that is just
     // the running max; a dirty bucket's summary is stale anyway (its
     // tree path replays on the next ensure_sorted), so the running max
     // over insertion order reproduces the saved ledger's answers.
-    std::int64_t running = 0;
-    std::int64_t maxp = 0;
-    for (std::size_t i = 0; i < bucket.sorted; ++i) {
-      running += bucket.events[i].delta;
-      maxp = bmax(maxp, running);
-    }
-    bucket.max_prefix = maxp;
+    bucket.max_prefix = util::simd::prefix_scan(bucket.deltas.data(),
+                                                bucket.sorted, /*running=*/0,
+                                                /*best=*/0)
+                            .best;
     counted += static_cast<std::int64_t>(n);
   }
   if (counted != events) {

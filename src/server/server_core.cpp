@@ -9,9 +9,12 @@
 #include <utility>
 
 #include "core/plan_io.h"
+#include "util/arena.h"
 #include "util/mpsc_ring.h"
 #include "util/parallel.h"
+#include "util/simd.h"
 #include "util/snapshot.h"
+#include "util/thread_pool.h"
 
 namespace smerge::server {
 
@@ -161,6 +164,10 @@ struct ServerCore::ObjectState final : PolicySink {
   const plan::ChunkingConfig chunking;
 
   std::unique_ptr<ObjectPolicy> policy;  ///< generic path only
+  /// Sealed admit dispatch (set at build from the policy's
+  /// advertisement when config.fast_path; kNone = virtual on_arrival).
+  /// Derived state: never serialized, identical decisions either way.
+  FastSlotKind fast_kind = FastSlotKind::kNone;
 
   // Recorder (the legacy ShardSink fields).
   ObjectOutcome outcome;
@@ -220,6 +227,12 @@ struct ServerCore::Impl {
     alignas(64) std::atomic<std::uint64_t> ticket{0};  ///< post order stamp
     std::vector<PostedArrival> scratch;  ///< one drain's claimed range
     std::vector<Index> touched;          ///< objects seen in the claim
+    /// Claimed arrivals whose ticket lies past a gap: arrivals with
+    /// smaller tickets were still in flight in the ring when this
+    /// pass's claim swept it, so these wait here (consumer-owned) for
+    /// the pass that claims the gap.
+    std::vector<PostedArrival> held;
+    std::uint64_t next_seq = 0;  ///< next ticket the fold may consume
     Index collected = 0;    ///< arrivals claimed, awaiting the serial fold
     double max_time = 0.0;  ///< latest claimed arrival time
   };
@@ -360,6 +373,9 @@ void ServerCore::build_objects(OnlinePolicy* policy) {
         config_.collect_plans || config_.enable_sessions, config_.chunking);
     if (policy != nullptr) {
       state->policy = policy->make_object_policy(config_.delay, config_.horizon);
+      if (config_.fast_path) {
+        state->fast_kind = state->policy->fast_slot_kind();
+      }
     }
     impl_->objects.push_back(std::move(state));
   }
@@ -417,15 +433,63 @@ void ServerCore::flush_object(Index m) {
   state.dirty = false;
 }
 
-void ServerCore::epilogue(const std::vector<Index>& objects) {
+void ServerCore::epilogue(std::span<const Index> objects) {
   // The serial fold: object-id order, arrival order within an object —
   // never a function of the shard fan-out.
   for (const Index m : objects) flush_object(m);
 }
 
+/// Delivers a batch of arrivals to one object, dispatching once per
+/// batch instead of twice per arrival: slotted policies that advertised
+/// a FastSlotKind get their on_arrival arithmetic replayed inline
+/// (ObjectState is final, so the sink calls devirtualize too), all
+/// others take the generic virtual hop. The inline bodies are
+/// *transcriptions* of DgObjectPolicy::on_arrival and
+/// BatchingObjectPolicy::on_arrival — same floating-point expressions,
+/// same emission order, same recorder calls — which is what makes
+/// snapshots and checkpoint bytes identical on either path (asserted by
+/// tests/test_hotpath_variants.cpp).
+void ServerCore::deliver_arrivals(ObjectState& state, const double* times,
+                                  std::size_t count) {
+  switch (state.fast_kind) {
+    case FastSlotKind::kDgSlot:
+      // Stateless: admit at the end of the arrival's slot; the schedule
+      // itself is fixed and emitted at finish().
+      for (std::size_t i = 0; i < count; ++i) {
+        const double t = times[i];
+        const Index slot = dg_slot_of(t, config_.delay);
+        state.record_admission(
+            t, static_cast<double>(slot + 1) * config_.delay, t);
+      }
+      return;
+    case FastSlotKind::kBatchSlot: {
+      // One cursor: mirror it locally, replay the batch, sync it back
+      // with a single virtual round-trip so the policy's save_state
+      // bytes are exactly what the virtual path would have written.
+      double last_start = state.policy->fast_slot_cursor();
+      for (std::size_t i = 0; i < count; ++i) {
+        const double t = times[i];
+        const double start = batch_start_of(t, config_.delay);
+        if (start > last_start) {
+          state.start_stream(start, 1.0, -1);
+          last_start = start;
+        }
+        state.record_admission(t, start, t);
+      }
+      state.policy->set_fast_slot_cursor(last_start);
+      return;
+    }
+    case FastSlotKind::kNone:
+      break;
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    state.policy->on_arrival(times[i], state);
+  }
+}
+
 void ServerCore::process_object(ObjectState& state) {
   const std::size_t delivered = state.pending.size();
-  for (const double t : state.pending) state.policy->on_arrival(t, state);
+  deliver_arrivals(state, state.pending.data(), delivered);
   state.outcome.arrivals += static_cast<Index>(delivered);
   // Large one-shot traces (ingest_trace) release their memory here;
   // small mailboxes keep their capacity for the next drain.
@@ -640,20 +704,69 @@ void ServerCore::post(Index object, double time) {
 void ServerCore::collect_posted(unsigned s) {
   Impl::ShardMailbox& mb = *impl_->mailboxes[s];
   mb.scratch.clear();
-  if (mb.box.drain(mb.scratch) == 0) return;
+  mb.box.drain(mb.scratch);
+  // Rejoin arrivals a previous pass held back behind a ticket gap.
+  if (!mb.held.empty()) {
+    mb.scratch.insert(mb.scratch.end(), mb.held.begin(), mb.held.end());
+    mb.held.clear();
+  }
+  if (mb.scratch.empty()) return;
+  // The claim is seq-sorted runs (ring, then spill, then the held
+  // leftovers); restore shard-wide ticket order.
+  const auto seq_less = [](const PostedArrival& a,
+                           const PostedArrival& b) noexcept {
+    return a.seq < b.seq;
+  };
+  if (!std::is_sorted(mb.scratch.begin(), mb.scratch.end(), seq_less)) {
+    std::sort(mb.scratch.begin(), mb.scratch.end(), seq_less);
+  }
+  // Fold only the contiguous ticket prefix. The ring sweep stops at the
+  // first claimed-but-unpublished slot, and the producer may publish it
+  // and spill newer arrivals before this same pass claims the spill —
+  // so one claim can contain a later arrival while an earlier one (of
+  // the same object) still sits in the ring. Folding past the gap would
+  // deliver those out of order; post-gap arrivals wait in `held` for
+  // the pass that claims the gap.
+  std::size_t fold = 0;
+  while (fold < mb.scratch.size() &&
+         mb.scratch[fold].seq == mb.next_seq + fold) {
+    ++fold;
+  }
+  if (fold < mb.scratch.size()) {
+    mb.held.assign(mb.scratch.begin() + static_cast<std::ptrdiff_t>(fold),
+                   mb.scratch.end());
+    mb.scratch.resize(fold);
+  }
+  mb.next_seq += fold;
+  if (mb.scratch.empty()) return;
   mb.touched.clear();
   for (const PostedArrival& a : mb.scratch) {
     ObjectState& state = *impl_->objects[index_of(a.object)];
     if (state.posted_batch.empty()) mb.touched.push_back(a.object);
     state.posted_batch.push_back(a);
   }
+  // Time-key scratch for the re-sort check, on this worker's arena (the
+  // shard's drain worker is stable under pin_workers, so the buffer
+  // stays in its cache and is released by one pointer rewind).
+  util::MonotonicArena& arena = util::thread_arena();
+  const util::ArenaScope scope(arena);
+  util::ArenaVector<double> keys{util::ArenaAllocator<double>(arena)};
+  keys.reserve(mb.scratch.size());
   // Object-id order keeps the dirty-list append order (and therefore a
   // restored core's rebuilt lists) independent of ring interleaving.
   std::sort(mb.touched.begin(), mb.touched.end());
   for (const Index m : mb.touched) {
     ObjectState& state = *impl_->objects[index_of(m)];
     std::vector<PostedArrival>& batch = state.posted_batch;
-    if (!std::is_sorted(batch.begin(), batch.end(), posted_less)) {
+    // Strictly increasing times mean the batch is already in (time,
+    // seq) order with no tie that needs the ticket — the common
+    // single-producer case, checked by the lane-parallel kernel. Only
+    // on ties/reordering does the scalar comparator (and maybe the
+    // sort) run.
+    keys.resize(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) keys[i] = batch[i].time;
+    if (!util::simd::strictly_increasing(keys.data(), keys.size()) &&
+        !std::is_sorted(batch.begin(), batch.end(), posted_less)) {
       std::sort(batch.begin(), batch.end(), posted_less);
     }
     if (batch.front().time < state.last_time) {
@@ -713,29 +826,55 @@ void ServerCore::ingest_session_trace(Index object,
 
 void ServerCore::drain() {
   if (impl_->finished) return;
+  // Fan-out scratch (active list, merged dirty list) lives on the
+  // caller's arena for the duration of this drain: no heap traffic on
+  // the steady-state path, released by one pointer rewind.
+  util::MonotonicArena& arena = util::thread_arena();
+  const util::ArenaScope scope(arena);
   // Active-shard gather: a shard reaches the pool only when it has
   // dirty objects or published posts, so idle-catalogue drains cost one
   // scan instead of a full pool fan-out.
   const bool posted = !impl_->mailboxes.empty();
-  std::vector<unsigned> active;
+  util::ArenaVector<unsigned> active{util::ArenaAllocator<unsigned>(arena)};
   active.reserve(config_.shards);
   for (unsigned s = 0; s < config_.shards; ++s) {
     if (!impl_->shard_dirty[s].empty() ||
-        (posted && impl_->mailboxes[s]->box.has_items())) {
+        (posted && (impl_->mailboxes[s]->box.has_items() ||
+                    !impl_->mailboxes[s]->held.empty()))) {
       active.push_back(s);
     }
   }
   if (active.empty()) return;
-  util::parallel_for(
-      0, static_cast<std::int64_t>(active.size()),
-      [&](std::int64_t i) {
-        const unsigned s = active[static_cast<std::size_t>(i)];
-        if (posted) collect_posted(s);
-        for (const Index m : impl_->shard_dirty[s]) {
-          process_object(*impl_->objects[index_of(m)]);
-        }
-      },
-      config_.shards);
+  const auto drain_shard = [&](unsigned s) {
+    if (posted) collect_posted(s);
+    for (const Index m : impl_->shard_dirty[s]) {
+      process_object(*impl_->objects[index_of(m)]);
+    }
+  };
+  if (config_.pin_workers) {
+    // Static residue-class schedule on the pinned pool: shard s always
+    // lands on participant s % P, so a shard's mailbox ring, dirty
+    // list, and drain scratch stay hot in one core's cache across
+    // drains. Idle shards are skipped via the mask — the mapping must
+    // not depend on which shards happen to be active this round.
+    util::ArenaVector<std::uint8_t> is_active{
+        util::ArenaAllocator<std::uint8_t>(arena)};
+    is_active.assign(config_.shards, 0);
+    for (const unsigned s : active) is_active[s] = 1;
+    util::ThreadPool::shared_pinned().run_static(
+        config_.shards, config_.shards, [&](std::int64_t s) {
+          if (is_active[static_cast<std::size_t>(s)]) {
+            drain_shard(static_cast<unsigned>(s));
+          }
+        });
+  } else {
+    util::parallel_for(
+        0, static_cast<std::int64_t>(active.size()),
+        [&](std::int64_t i) {
+          drain_shard(active[static_cast<std::size_t>(i)]);
+        },
+        config_.shards);
+  }
   if (posted) {
     if (impl_->posted_out_of_order.load(std::memory_order_relaxed)) {
       impl_->posted_out_of_order.store(false, std::memory_order_relaxed);
@@ -752,13 +891,16 @@ void ServerCore::drain() {
       mb.max_time = 0.0;
     }
   }
-  std::vector<Index> dirty;
+  util::ArenaVector<Index> dirty{util::ArenaAllocator<Index>(arena)};
+  std::size_t dirty_total = 0;
+  for (const auto& list : impl_->shard_dirty) dirty_total += list.size();
+  dirty.reserve(dirty_total);
   for (auto& list : impl_->shard_dirty) {
     dirty.insert(dirty.end(), list.begin(), list.end());
     list.clear();
   }
   std::sort(dirty.begin(), dirty.end());
-  epilogue(dirty);
+  epilogue({dirty.data(), dirty.size()});
 }
 
 // --- The serial live path ---------------------------------------------------
@@ -793,7 +935,7 @@ Ticket ServerCore::admit_policy(Index object, double time) {
   // Preserve per-object time order if the driver mixed in mailbox
   // arrivals for this object.
   if (!state.pending.empty()) process_object(state);
-  state.policy->on_arrival(time, state);
+  deliver_arrivals(state, &time, 1);
   flush_object(object);
 
   Ticket ticket;
@@ -942,19 +1084,25 @@ void ServerCore::finish() {
   if (impl_->finished) return;
   drain();
   for (const auto& mb : impl_->mailboxes) {
-    if (mb->box.has_items()) {
+    if (mb->box.has_items() || !mb->held.empty()) {
       throw std::logic_error(
           "ServerCore::finish: producers still posting — quiesce them first");
     }
   }
 
+  // The finish fan-outs go to the pinned pool when the drains did, so
+  // an object's final flush runs on the core that owns its shard's
+  // cache lines.
+  util::ThreadPool& pool = config_.pin_workers
+                               ? util::ThreadPool::shared_pinned()
+                               : util::ThreadPool::shared();
   const auto n = static_cast<std::int64_t>(config_.objects);
   if (config_.serve == ServeMode::kPolicy) {
     // Horizon flush: fixed schedules (DG) and late-resolving
     // truncations (the greedy merger) emit here. Objects are
     // independent, so the flush fans out over the pool.
-    util::parallel_for(
-        0, n,
+    util::parallel_for_on(
+        pool, 0, n,
         [&](std::int64_t m) {
           ObjectState& state = *impl_->objects[static_cast<std::size_t>(m)];
           state.policy->finish(config_.horizon, state);
@@ -968,15 +1116,18 @@ void ServerCore::finish() {
     for (auto& state : impl_->objects) dg_emit_through(*state, slots - 1);
   }
 
-  std::vector<Index> all(index_of(config_.objects));
+  util::MonotonicArena& arena = util::thread_arena();
+  const util::ArenaScope scope(arena);
+  util::ArenaVector<Index> all{util::ArenaAllocator<Index>(arena)};
+  all.resize(index_of(config_.objects));
   for (Index m = 0; m < config_.objects; ++m) all[index_of(m)] = m;
-  epilogue(all);
+  epilogue({all.data(), all.size()});
 
   // Per-object finalization: the object's own channel peak (sorts its
   // events — safe now, the ledger has its own copy), the canonical
   // plan, and the interval ordering. Parallel: objects are independent.
-  util::parallel_for(
-      0, n,
+  util::parallel_for_on(
+      pool, 0, n,
       [&](std::int64_t m) {
         ObjectState& state = *impl_->objects[static_cast<std::size_t>(m)];
         if (state.collect_plan) state.plan = state.build_plan();
@@ -1271,7 +1422,7 @@ std::vector<std::uint8_t> ServerCore::checkpoint(
   // results never depend on) — losing them silently would break the
   // continuation, so demand a drain first.
   for (const auto& mb : impl_->mailboxes) {
-    if (mb->box.has_items()) {
+    if (mb->box.has_items() || !mb->held.empty()) {
       throw std::logic_error(
           "ServerCore::checkpoint: posted arrivals pending — drain() first");
     }
@@ -1521,6 +1672,22 @@ RestoreInfo ServerCore::restore_state(std::span<const std::uint8_t> frame) {
     }
   }
   return info;
+}
+
+const char* ServerCore::admit_dispatch() const noexcept {
+  if (config_.serve != ServeMode::kPolicy) return "native-slotted";
+  if (impl_->objects.empty()) return "generic";
+  // All objects share one policy family, so the first object's sealed
+  // kind is the catalogue's.
+  switch (impl_->objects.front()->fast_kind) {
+    case FastSlotKind::kDgSlot:
+      return "sealed:dg-slot";
+    case FastSlotKind::kBatchSlot:
+      return "sealed:batch-slot";
+    case FastSlotKind::kNone:
+      break;
+  }
+  return "generic";
 }
 
 void ServerCore::degrade_admissions() noexcept {

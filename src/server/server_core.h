@@ -96,6 +96,17 @@ struct ServerCoreConfig {
   bool collect_stream_intervals = false;  ///< keep all intervals (O(streams))
   bool collect_plans = false;   ///< assemble per-object MergePlans (O(streams))
 
+  // Hot-path execution knobs. Pure mechanism — results, snapshots and
+  // checkpoint bytes never depend on them, so (like the shard width and
+  // mailbox capacity) they are not serialized into checkpoints.
+  bool fast_path = true;   ///< seal slotted policies' on_arrival into the
+                           ///< core's inline slot computation (see
+                           ///< FastSlotKind); off = always the virtual hop
+  bool pin_workers = false;  ///< route drain/finish fan-outs through the
+                             ///< core-pinned pool with a stable
+                             ///< shard→worker map (Linux affinity;
+                             ///< elsewhere the pool just floats)
+
   // Session lifecycle (generic policy serving only). When enabled the
   // core takes `ingest_session_trace` instead of plain arrivals, tracks
   // live sessions, and repairs each object's plan in place at finish():
@@ -315,6 +326,13 @@ class ServerCore {
   /// The configuration the core was built with.
   [[nodiscard]] const ServerCoreConfig& config() const noexcept { return config_; }
 
+  /// How per-arrival admissions are dispatched on this core: a sealed
+  /// fast path ("sealed:dg-slot" / "sealed:batch-slot"), the generic
+  /// virtual path ("generic"), or the natively slotted serving modes
+  /// ("native-slotted"). Reflects the built state, not just the config
+  /// knob — a banner-friendly answer.
+  [[nodiscard]] const char* admit_dispatch() const noexcept;
+
   // --- Slotted-DG access (the DelayGuaranteedServer adapter) --------------
 
   /// The shared static DG policy; throws std::logic_error outside
@@ -371,11 +389,13 @@ class ServerCore {
   void collect_posted(unsigned shard);
   Ticket admit_slotted(Index object, double time);
   Ticket admit_policy(Index object, double time);
+  void deliver_arrivals(ObjectState& state, const double* times,
+                        std::size_t count);
   void process_object(ObjectState& state);
   void resolve_sessions(ObjectState& state);
   void repair_object_plan(ObjectState& state);
   void flush_object(Index object);
-  void epilogue(const std::vector<Index>& objects);
+  void epilogue(std::span<const Index> objects);
   void dg_emit_through(ObjectState& state, Index slot);
   bool slot_stream_fits(double start, double duration);
   void start_slot_stream(ObjectState& state, Index slot, double start,

@@ -1,0 +1,157 @@
+// Per-thread monotonic arenas backing the drain-time scratch
+// allocations of the serving hot path.
+//
+// Every ServerCore::drain() used to heap-allocate its active-shard list
+// and merged dirty list, and every posted-batch sort check needed a
+// fresh key buffer — small, short-lived vectors whose malloc/free pairs
+// show up at millions of arrivals per second. A MonotonicArena turns
+// each of those into a pointer bump: allocations only ever grow the
+// high-water mark, and an ArenaScope rewinds the mark wholesale when
+// the drain (or the per-shard collection step) leaves.
+//
+// Lifetime rules (the contract DESIGN.md documents):
+//  * `thread_arena()` is one arena per thread — the driver thread and
+//    every pool worker each own theirs, so a pinned shard's scratch is
+//    allocated, reused and rewound on the same core it is consumed on
+//    (no cross-thread traffic, no sharing, no locks);
+//  * arena memory is only valid while the ArenaScope that covers its
+//    allocation is alive; scopes nest (a worker-side scope inside the
+//    driver's drain scope rewinds independently because the arenas are
+//    distinct threads');
+//  * chunks are retained across rewinds, so steady-state drains do not
+//    touch the system allocator at all.
+#ifndef SMERGE_UTIL_ARENA_H
+#define SMERGE_UTIL_ARENA_H
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace smerge::util {
+
+/// Bump allocator over a chain of growing chunks. Not thread-safe: one
+/// arena belongs to one thread (see `thread_arena`).
+class MonotonicArena {
+ public:
+  /// A rewind point: everything allocated after `mark()` is released by
+  /// `rewind()` in O(chunks), with chunk storage retained for reuse.
+  struct Mark {
+    std::size_t chunk = 0;
+    std::size_t used = 0;
+  };
+
+  [[nodiscard]] void* allocate(std::size_t bytes, std::size_t align) {
+    if (align == 0) align = 1;
+    while (active_ < chunks_.size()) {
+      Chunk& c = chunks_[active_];
+      const std::size_t offset = (c.used + align - 1) & ~(align - 1);
+      if (offset + bytes <= c.size) {
+        c.used = offset + bytes;
+        return c.data.get() + offset;
+      }
+      ++active_;
+      if (active_ < chunks_.size()) chunks_[active_].used = 0;
+    }
+    const std::size_t grown =
+        chunks_.empty() ? kFirstChunk : chunks_.back().size * 2;
+    const std::size_t size = grown > bytes + align ? grown : bytes + align;
+    chunks_.push_back({std::make_unique<std::byte[]>(size), size, 0});
+    active_ = chunks_.size() - 1;
+    Chunk& c = chunks_.back();
+    const std::size_t offset = (align - 1) & ~(align - 1);
+    c.used = offset + bytes;
+    return c.data.get() + offset;
+  }
+
+  [[nodiscard]] Mark mark() const noexcept {
+    if (chunks_.empty()) return {};
+    return {active_, chunks_[active_].used};
+  }
+
+  void rewind(const Mark& m) noexcept {
+    if (chunks_.empty()) return;
+    active_ = m.chunk < chunks_.size() ? m.chunk : chunks_.size() - 1;
+    chunks_[active_].used = m.used;
+    for (std::size_t i = active_ + 1; i < chunks_.size(); ++i) {
+      chunks_[i].used = 0;
+    }
+  }
+
+  /// Total bytes reserved across all chunks (diagnostics).
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    std::size_t total = 0;
+    for (const Chunk& c : chunks_) total += c.size;
+    return total;
+  }
+
+ private:
+  static constexpr std::size_t kFirstChunk = std::size_t{1} << 16;
+
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+
+  std::vector<Chunk> chunks_;
+  std::size_t active_ = 0;
+};
+
+/// RAII rewind: declare the scope before any arena-backed container so
+/// the containers are destroyed first, then the scope releases their
+/// storage in one bump-pointer move.
+class ArenaScope {
+ public:
+  explicit ArenaScope(MonotonicArena& arena)
+      : arena_(arena), mark_(arena.mark()) {}
+  ~ArenaScope() { arena_.rewind(mark_); }
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+
+ private:
+  MonotonicArena& arena_;
+  MonotonicArena::Mark mark_;
+};
+
+/// Standard allocator over an arena; `deallocate` is a no-op (the
+/// covering ArenaScope releases everything at once).
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  explicit ArenaAllocator(MonotonicArena& arena) noexcept : arena_(&arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) noexcept
+      : arena_(other.arena()) {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    return static_cast<T*>(arena_->allocate(n * sizeof(T), alignof(T)));
+  }
+  void deallocate(T*, std::size_t) noexcept {}
+
+  [[nodiscard]] MonotonicArena* arena() const noexcept { return arena_; }
+
+  friend bool operator==(const ArenaAllocator& a,
+                         const ArenaAllocator& b) noexcept {
+    return a.arena_ == b.arena_;
+  }
+
+ private:
+  MonotonicArena* arena_;
+};
+
+template <typename T>
+using ArenaVector = std::vector<T, ArenaAllocator<T>>;
+
+/// This thread's arena (lazily created, lives for the thread). Pool
+/// workers each get their own, which is what makes drain scratch stay
+/// resident on the worker's core under `pin_workers`.
+[[nodiscard]] inline MonotonicArena& thread_arena() noexcept {
+  static thread_local MonotonicArena arena;
+  return arena;
+}
+
+}  // namespace smerge::util
+
+#endif  // SMERGE_UTIL_ARENA_H

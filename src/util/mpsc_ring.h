@@ -19,7 +19,14 @@
 // Cross-path ordering is the caller's affair: a drain returns ring
 // elements first, then spilled elements, so callers that need a total
 // order carry a ticket in T and re-sort (what the serving core does with
-// its per-shard post sequence).
+// its per-shard post sequence). Note that order must be restored ACROSS
+// drains, not just within one: the ring sweep stops at the first
+// claimed-but-unpublished slot, and a producer may publish that slot
+// and then spill newer elements before the same drain's spill claim —
+// so one drain can return an element while an earlier one (by ticket)
+// is still in the ring for the next drain. Callers fold a drain's
+// elements in ticket order and hold back anything past a ticket gap
+// (what ServerCore::collect_posted does).
 //
 // Concurrency contract:
 //  * any number of producers may call `push`/`try_push` concurrently,

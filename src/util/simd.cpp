@@ -1,0 +1,216 @@
+#include "util/simd.h"
+
+#include <atomic>
+
+namespace smerge::util::simd {
+
+namespace {
+
+std::atomic<bool> g_force_scalar{false};
+
+}  // namespace
+
+ScanResult prefix_scan_scalar(const std::int32_t* deltas, std::size_t n,
+                              std::int64_t running,
+                              std::int64_t best) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    running += deltas[i];
+    best = bmax(best, running);
+  }
+  return {running, best};
+}
+
+std::int64_t sum_scalar(const std::int32_t* deltas, std::size_t n) noexcept {
+  std::int64_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) total += deltas[i];
+  return total;
+}
+
+bool strictly_increasing_scalar(const double* x, std::size_t n) noexcept {
+  for (std::size_t i = 1; i < n; ++i) {
+    if (!(x[i - 1] < x[i])) return false;
+  }
+  return true;
+}
+
+#if defined(__GNUC__) || defined(__clang__)
+#define SMERGE_SIMD_VECTOR 1
+#endif
+
+#if defined(SMERGE_SIMD_VECTOR)
+
+namespace {
+
+typedef std::int64_t I64x4 __attribute__((vector_size(32)));
+typedef double F64x4 __attribute__((vector_size(32)));
+
+// One kernel body, stamped out once at the build baseline (the
+// compiler lowers the 256-bit vectors to whatever the target has —
+// SSE2 pairs on stock x86-64, NEON pairs on AArch64) and once more
+// with an AVX2 target attribute on x86-64 so the runtime dispatcher
+// can use full-width registers without raising the build baseline.
+//
+// Block step for the prefix scan: convert 4 deltas to int64 lanes,
+// form the in-block inclusive prefix sums with two shift-in-zero adds
+// (a log-step Hillis–Steele scan), take the horizontal max of the
+// four prefixes, then fold it into the running best. All integer, so
+// the result is exactly the scalar loop's.
+#define SMERGE_SIMD_DEFINE_KERNELS(SUFFIX, ATTRS)                            \
+  ATTRS ScanResult prefix_scan_##SUFFIX(                                     \
+      const std::int32_t* deltas, std::size_t n, std::int64_t running,       \
+      std::int64_t best) noexcept {                                          \
+    const I64x4 zero = {0, 0, 0, 0};                                         \
+    std::size_t i = 0;                                                       \
+    for (; i + 4 <= n; i += 4) {                                             \
+      I64x4 v = {deltas[i], deltas[i + 1], deltas[i + 2], deltas[i + 3]};    \
+      v += __builtin_shufflevector(v, zero, 4, 0, 1, 2);                     \
+      v += __builtin_shufflevector(v, zero, 4, 5, 0, 1);                     \
+      const I64x4 r1 = __builtin_shufflevector(v, v, 1, 0, 3, 2);            \
+      const I64x4 c1 = v > r1;                                               \
+      const I64x4 m1 = (v & c1) | (r1 & ~c1);                                \
+      const I64x4 r2 = __builtin_shufflevector(m1, m1, 2, 3, 0, 1);          \
+      const I64x4 c2 = m1 > r2;                                              \
+      const I64x4 m2 = (m1 & c2) | (r2 & ~c2);                               \
+      best = bmax(best, running + m2[0]);                                    \
+      running += v[3];                                                       \
+    }                                                                        \
+    for (; i < n; ++i) {                                                     \
+      running += deltas[i];                                                  \
+      best = bmax(best, running);                                            \
+    }                                                                        \
+    return {running, best};                                                  \
+  }                                                                          \
+                                                                             \
+  ATTRS std::int64_t sum_##SUFFIX(const std::int32_t* deltas,                \
+                                  std::size_t n) noexcept {                  \
+    I64x4 acc = {0, 0, 0, 0};                                                \
+    std::size_t i = 0;                                                       \
+    for (; i + 4 <= n; i += 4) {                                             \
+      const I64x4 v = {deltas[i], deltas[i + 1], deltas[i + 2],              \
+                       deltas[i + 3]};                                       \
+      acc += v;                                                              \
+    }                                                                        \
+    std::int64_t total = acc[0] + acc[1] + acc[2] + acc[3];                  \
+    for (; i < n; ++i) total += deltas[i];                                   \
+    return total;                                                            \
+  }                                                                          \
+                                                                             \
+  ATTRS bool strictly_increasing_##SUFFIX(const double* x,                   \
+                                          std::size_t n) noexcept {          \
+    std::size_t i = 0;                                                       \
+    if (n >= 5) {                                                            \
+      for (; i + 5 <= n; i += 4) {                                           \
+        const F64x4 a = {x[i], x[i + 1], x[i + 2], x[i + 3]};                \
+        const F64x4 b = {x[i + 1], x[i + 2], x[i + 3], x[i + 4]};            \
+        const auto lt = a < b;                                               \
+        if ((lt[0] & lt[1] & lt[2] & lt[3]) != -1) return false;             \
+      }                                                                      \
+    }                                                                        \
+    for (; i + 1 < n; ++i) {                                                 \
+      if (!(x[i] < x[i + 1])) return false;                                  \
+    }                                                                        \
+    return true;                                                             \
+  }
+
+SMERGE_SIMD_DEFINE_KERNELS(v128, )
+
+#if defined(__x86_64__) && !defined(__AVX2__)
+#define SMERGE_SIMD_AVX2_CLONE 1
+SMERGE_SIMD_DEFINE_KERNELS(avx2, __attribute__((target("avx2"))))
+#endif
+
+#undef SMERGE_SIMD_DEFINE_KERNELS
+
+using ScanFn = ScanResult (*)(const std::int32_t*, std::size_t, std::int64_t,
+                              std::int64_t) noexcept;
+using SumFn = std::int64_t (*)(const std::int32_t*, std::size_t) noexcept;
+using IncFn = bool (*)(const double*, std::size_t) noexcept;
+
+struct Dispatch {
+  ScanFn scan;
+  SumFn sum;
+  IncFn increasing;
+  const char* name;
+  unsigned lanes;
+};
+
+Dispatch pick_dispatch() noexcept {
+#if defined(SMERGE_SIMD_AVX2_CLONE)
+  if (__builtin_cpu_supports("avx2")) {
+    return {&prefix_scan_avx2, &sum_avx2, &strictly_increasing_avx2, "avx2",
+            4};
+  }
+#elif defined(__AVX2__)
+  // Built with -march=x86-64-v3 or wider: the baseline kernel already
+  // lowers to full AVX2 registers, no clone needed.
+  return {&prefix_scan_v128, &sum_v128, &strictly_increasing_v128, "avx2", 4};
+#endif
+  return {&prefix_scan_v128, &sum_v128, &strictly_increasing_v128, "v128", 2};
+}
+
+const Dispatch g_dispatch = pick_dispatch();
+
+}  // namespace
+
+ScanResult prefix_scan(const std::int32_t* deltas, std::size_t n,
+                       std::int64_t running, std::int64_t best) noexcept {
+  if (g_force_scalar.load(std::memory_order_relaxed)) {
+    return prefix_scan_scalar(deltas, n, running, best);
+  }
+  return g_dispatch.scan(deltas, n, running, best);
+}
+
+std::int64_t sum(const std::int32_t* deltas, std::size_t n) noexcept {
+  if (g_force_scalar.load(std::memory_order_relaxed)) {
+    return sum_scalar(deltas, n);
+  }
+  return g_dispatch.sum(deltas, n);
+}
+
+bool strictly_increasing(const double* x, std::size_t n) noexcept {
+  if (g_force_scalar.load(std::memory_order_relaxed)) {
+    return strictly_increasing_scalar(x, n);
+  }
+  return g_dispatch.increasing(x, n);
+}
+
+const char* active_kernel() noexcept {
+  if (g_force_scalar.load(std::memory_order_relaxed)) return "scalar";
+  return g_dispatch.name;
+}
+
+unsigned lanes() noexcept {
+  if (g_force_scalar.load(std::memory_order_relaxed)) return 1;
+  return g_dispatch.lanes;
+}
+
+#else  // !SMERGE_SIMD_VECTOR
+
+ScanResult prefix_scan(const std::int32_t* deltas, std::size_t n,
+                       std::int64_t running, std::int64_t best) noexcept {
+  return prefix_scan_scalar(deltas, n, running, best);
+}
+
+std::int64_t sum(const std::int32_t* deltas, std::size_t n) noexcept {
+  return sum_scalar(deltas, n);
+}
+
+bool strictly_increasing(const double* x, std::size_t n) noexcept {
+  return strictly_increasing_scalar(x, n);
+}
+
+const char* active_kernel() noexcept { return "scalar"; }
+
+unsigned lanes() noexcept { return 1; }
+
+#endif  // SMERGE_SIMD_VECTOR
+
+void force_scalar(bool on) noexcept {
+  g_force_scalar.store(on, std::memory_order_relaxed);
+}
+
+bool scalar_forced() noexcept {
+  return g_force_scalar.load(std::memory_order_relaxed);
+}
+
+}  // namespace smerge::util::simd

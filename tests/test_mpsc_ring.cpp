@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <cstdlib>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -212,6 +213,9 @@ sim::EngineConfig small_engine_config() {
   config.workload.horizon = 4.0;
   config.workload.seed = 20260728;
   config.delay = 0.05;
+  // SMERGE_PIN_WORKERS=1 (the CI TSan pinned re-run) drains on the
+  // core-pinned static pool; snapshots must not change.
+  config.pin_workers = std::getenv("SMERGE_PIN_WORKERS") != nullptr;
   return config;
 }
 
@@ -366,6 +370,40 @@ TEST(ServerCorePost, ConcurrentProducersMatchSerialBaseline) {
   core.drain();
   core.finish();
   expect_identical(core.take_snapshot(), baseline);
+}
+
+// Regression: one drain's spill claim can contain arrivals whose shard
+// tickets are NEWER than ring slots the same sweep left behind — the
+// ring sweep stops at a claimed-but-unpublished slot, and the producer
+// may publish it and then spill past it before the drain reaches the
+// spill. The collector must fold in contiguous ticket order and hold
+// the post-gap tail for a later pass; folding the claim as-is threw a
+// spurious "nondecreasing per object" here. A tiny ring and a spinning
+// drain loop maximize ring/spill boundary crossings.
+TEST(ServerCorePost, SpillRingInterleavingKeepsPerObjectOrder) {
+  constexpr std::size_t kArrivals = 200000;
+  BatchingPolicy policy;
+  server::ServerCoreConfig config;
+  config.objects = 1;
+  config.delay = 0.5;
+  config.horizon = kArrivals * 1e-5 + 1.0;
+  config.shards = 1;
+  config.mailbox_capacity = 16;
+  server::ServerCore core(config, policy);
+  std::atomic<bool> done{false};
+  std::thread producer([&] {
+    for (std::size_t i = 0; i < kArrivals; ++i) {
+      core.post(0, static_cast<double>(i) * 1e-5);
+    }
+    done.store(true, std::memory_order_release);
+  });
+  while (!done.load(std::memory_order_acquire)) {
+    ASSERT_NO_THROW(core.drain());
+  }
+  producer.join();
+  core.drain();
+  core.finish();
+  EXPECT_EQ(core.take_snapshot().total_arrivals, static_cast<Index>(kArrivals));
 }
 
 // --- post() contract edges --------------------------------------------------

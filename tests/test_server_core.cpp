@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <stdexcept>
 #include <vector>
 
@@ -214,6 +215,9 @@ sim::EngineConfig engine_config() {
   config.workload.horizon = 5.0;
   config.workload.seed = 17;
   config.delay = 0.02;
+  // The CI TSan leg re-runs the suite pinned (SMERGE_PIN_WORKERS=1);
+  // the snapshots compared below must be identical either way.
+  config.pin_workers = std::getenv("SMERGE_PIN_WORKERS") != nullptr;
   return config;
 }
 

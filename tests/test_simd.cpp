@@ -1,0 +1,167 @@
+// The SIMD kernels' one contract: bit-identical to the scalar oracles
+// on every input. Fuzzed over lengths that cover empty inputs, single
+// elements, odd tails around every lane multiple, and int64 prefix
+// extremes (large but non-overflowing: bmax is exact only while a - b
+// stays inside int64, which the ledger's bounded prefixes guarantee).
+#include "util/simd.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <random>
+#include <string_view>
+#include <vector>
+
+namespace smerge::util::simd {
+namespace {
+
+// Every length from empty through several vector blocks, so each lane
+// count (1/2/4) sees full blocks, partial tails, and the scalar ramp.
+std::vector<std::size_t> interesting_lengths() {
+  std::vector<std::size_t> lengths;
+  for (std::size_t n = 0; n <= 37; ++n) lengths.push_back(n);
+  lengths.insert(lengths.end(), {63, 64, 65, 127, 128, 129, 1000, 4096});
+  return lengths;
+}
+
+TEST(Simd, DispatchIsCoherent) {
+  ASSERT_FALSE(scalar_forced());
+  const char* kernel = active_kernel();
+  const unsigned width = lanes();
+  if (std::string_view(kernel) == "avx2") {
+    EXPECT_EQ(width, 4u);
+  } else if (std::string_view(kernel) == "v128") {
+    EXPECT_EQ(width, 2u);
+  } else {
+    EXPECT_STREQ(kernel, "scalar");
+    EXPECT_EQ(width, 1u);
+  }
+}
+
+TEST(Simd, ForceScalarRoutesToOracle) {
+  force_scalar(true);
+  EXPECT_TRUE(scalar_forced());
+  EXPECT_STREQ(active_kernel(), "scalar");
+  EXPECT_EQ(lanes(), 1u);
+  const std::int32_t deltas[] = {1, -1, 1, 1, -1};
+  const ScanResult forced = prefix_scan(deltas, 5, 0, 0);
+  force_scalar(false);
+  EXPECT_FALSE(scalar_forced());
+  const ScanResult oracle = prefix_scan_scalar(deltas, 5, 0, 0);
+  EXPECT_EQ(forced.running, oracle.running);
+  EXPECT_EQ(forced.best, oracle.best);
+}
+
+TEST(Simd, BmaxMatchesStdMax) {
+  std::mt19937_64 rng(20260807);
+  // |a|, |b| < 2^62 keeps a - b inside int64 — bmax's documented domain.
+  std::uniform_int_distribution<std::int64_t> dist(-(std::int64_t{1} << 62),
+                                                   std::int64_t{1} << 62);
+  for (int trial = 0; trial < 100000; ++trial) {
+    const std::int64_t a = dist(rng);
+    const std::int64_t b = dist(rng);
+    EXPECT_EQ(bmax(a, b), a > b ? a : b);
+  }
+  EXPECT_EQ(bmax(0, 0), 0);
+  EXPECT_EQ(bmax(-1, 1), 1);
+  EXPECT_EQ(bmax(1, -1), 1);
+}
+
+TEST(Simd, PrefixScanMatchesOracleOnLedgerDeltas) {
+  // The ledger's actual delta alphabet is ±1; seeds cover resumed scans
+  // (nonzero running/best, as max_over issues them).
+  std::mt19937_64 rng(101);
+  std::uniform_int_distribution<int> delta(0, 1);
+  std::uniform_int_distribution<std::int64_t> seed(-1000, 1000);
+  for (const std::size_t n : interesting_lengths()) {
+    std::vector<std::int32_t> deltas(n);
+    for (auto& d : deltas) d = delta(rng) == 0 ? -1 : 1;
+    for (int trial = 0; trial < 4; ++trial) {
+      const std::int64_t running = trial == 0 ? 0 : seed(rng);
+      const std::int64_t best = trial == 0 ? 0 : seed(rng);
+      const ScanResult got = prefix_scan(deltas.data(), n, running, best);
+      const ScanResult want =
+          prefix_scan_scalar(deltas.data(), n, running, best);
+      EXPECT_EQ(got.running, want.running) << "n=" << n;
+      EXPECT_EQ(got.best, want.best) << "n=" << n;
+    }
+  }
+}
+
+TEST(Simd, PrefixScanMatchesOracleOnFullInt32Range) {
+  std::mt19937_64 rng(202);
+  std::uniform_int_distribution<std::int32_t> delta(INT32_MIN, INT32_MAX);
+  for (const std::size_t n : interesting_lengths()) {
+    std::vector<std::int32_t> deltas(n);
+    for (auto& d : deltas) d = delta(rng);
+    // Seeds near the extremes: n * |delta| <= 4096 * 2^31 < 2^43, so a
+    // start inside ±2^62 keeps every intermediate off overflow.
+    for (const std::int64_t running :
+         {std::int64_t{0}, std::int64_t{1} << 62, -(std::int64_t{1} << 62)}) {
+      const ScanResult got = prefix_scan(deltas.data(), n, running, running);
+      const ScanResult want =
+          prefix_scan_scalar(deltas.data(), n, running, running);
+      EXPECT_EQ(got.running, want.running) << "n=" << n;
+      EXPECT_EQ(got.best, want.best) << "n=" << n;
+    }
+  }
+}
+
+TEST(Simd, SumMatchesOracle) {
+  std::mt19937_64 rng(303);
+  std::uniform_int_distribution<std::int32_t> delta(INT32_MIN, INT32_MAX);
+  for (const std::size_t n : interesting_lengths()) {
+    std::vector<std::int32_t> deltas(n);
+    for (auto& d : deltas) d = delta(rng);
+    EXPECT_EQ(sum(deltas.data(), n), sum_scalar(deltas.data(), n))
+        << "n=" << n;
+  }
+}
+
+TEST(Simd, StrictlyIncreasingMatchesOracle) {
+  std::mt19937_64 rng(404);
+  std::uniform_real_distribution<double> step(0.0, 1.0);
+  std::uniform_int_distribution<int> mutate(0, 3);
+  for (const std::size_t n : interesting_lengths()) {
+    std::vector<double> x(n);
+    double t = 0.0;
+    for (auto& v : x) {
+      t += step(rng);
+      v = t;
+    }
+    // As generated: strictly increasing (steps can be 0 with measure
+    // zero; the oracle is still the arbiter either way).
+    EXPECT_EQ(strictly_increasing(x.data(), n),
+              strictly_increasing_scalar(x.data(), n))
+        << "n=" << n;
+    if (n < 2) continue;
+    // Mutations: a tie, a decrease, each at a random position — the
+    // kernel must flag them wherever the tail/vector boundary falls.
+    std::uniform_int_distribution<std::size_t> pos(1, n - 1);
+    for (int trial = 0; trial < 8; ++trial) {
+      std::vector<double> y = x;
+      const std::size_t p = pos(rng);
+      y[p] = mutate(rng) == 0 ? y[p - 1] : y[p - 1] - step(rng);
+      const bool got = strictly_increasing(y.data(), n);
+      EXPECT_EQ(got, strictly_increasing_scalar(y.data(), n))
+          << "n=" << n << " p=" << p;
+      EXPECT_FALSE(got);
+    }
+  }
+}
+
+TEST(Simd, StrictlyIncreasingEdgeValues) {
+  EXPECT_TRUE(strictly_increasing(nullptr, 0));
+  const double one[] = {3.5};
+  EXPECT_TRUE(strictly_increasing(one, 1));
+  const double flat[] = {1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0};
+  EXPECT_FALSE(strictly_increasing(flat, 9));
+  const double tail_tie[] = {1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 8.0};
+  EXPECT_FALSE(strictly_increasing(tail_tie, 9));
+  EXPECT_EQ(strictly_increasing(tail_tie, 8),
+            strictly_increasing_scalar(tail_tie, 8));
+}
+
+}  // namespace
+}  // namespace smerge::util::simd
