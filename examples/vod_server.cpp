@@ -35,7 +35,15 @@
 //      ./vod_server --objects=64 --policy=greedy --sessions
 //        --abandon-rate=0.2 --pause-rate=0.1 --seek-rate=0.05 --horizon=20
 //      ./vod_server --objects=64 --fault=crash@200,torn=9 --horizon=20
+//      ./vod_server --listen --port=7070 --reactors=2 --objects=64
+//        (then: ./vod_loadgen --port=7070 --objects=64 ...)
+//
+// Network mode (--listen): arrivals come from clients over the binary
+// admission protocol (src/net/protocol.h) instead of a generated
+// workload; a client FINISH ends the run. HTTP GET /stats, /live and
+// /dispatch answer JSON on the same port.
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <iostream>
 #include <memory>
@@ -43,6 +51,7 @@
 #include <utility>
 #include <vector>
 
+#include "net/server.h"
 #include "online/policy.h"
 #include "server/server_core.h"
 #include "sim/engine.h"
@@ -129,6 +138,13 @@ int main(int argc, char** argv) {
   args.add_string("fault", "none",
                   "fault spec crash@K[,torn=N][,corrupt=I][,drop=P]: run the "
                   "deterministic crash/recovery harness (policy path only)");
+  args.add_bool("listen", false,
+                "serve the admission protocol over TCP (arrivals come from "
+                "clients, not a generated workload; see examples/vod_loadgen)");
+  args.add_string("bind", "127.0.0.1", "listen address; needs --listen");
+  args.add_int("port", 0, "listen port, 0 = ephemeral; needs --listen");
+  args.add_int("reactors", 1, "epoll reactor threads; needs --listen");
+  args.add_int("drain-us", 500, "drain cadence in microseconds; needs --listen");
   try {
     if (!args.parse(argc, argv)) {
       std::cout << args.help();
@@ -193,10 +209,112 @@ int main(int argc, char** argv) {
           "the capacity path is serial — there are no shard workers to "
           "pin; drop --pin");
     }
+    const bool listen = args.get_bool("listen");
+    for (const char* flag : {"bind", "port", "reactors", "drain-us"}) {
+      if (args.provided(flag) && !listen) {
+        throw std::invalid_argument(std::string("--") + flag +
+                                    " configures the network front end; it "
+                                    "needs --listen");
+      }
+    }
+    if (listen) {
+      if (args.provided("fault")) {
+        throw std::invalid_argument(
+            "--fault replays a generated workload through the crash "
+            "harness; --listen serves live arrivals — drop one");
+      }
+      if (capacity > 0 || args.provided("mode")) {
+        throw std::invalid_argument(
+            "the network front end runs the policy path; drop "
+            "--capacity/--mode");
+      }
+      if (args.get_bool("sessions")) {
+        throw std::invalid_argument(
+            "the wire protocol carries bare admissions, not session "
+            "lifecycles; drop --sessions");
+      }
+      for (const char* flag : {"gap", "constant", "seed", "live-every"}) {
+        if (args.provided(flag)) {
+          throw std::invalid_argument(
+              std::string("--listen takes arrivals from clients; --") + flag +
+              " would configure a generated workload and have no effect");
+        }
+      }
+      if (args.get_int("reactors") < 1) {
+        throw std::invalid_argument("--reactors must be >= 1");
+      }
+      if (args.get_int("drain-us") < 1) {
+        throw std::invalid_argument("--drain-us must be >= 1");
+      }
+      if (args.get_int("port") < 0 || args.get_int("port") > 65535) {
+        throw std::invalid_argument("--port must be in [0, 65535]");
+      }
+    }
     if (args.get_bool("no-simd")) util::simd::force_scalar(true);
     const bool pin = args.get_bool("pin");
     const int checkpoints = static_cast<int>(args.get_int("live-every"));
     const unsigned shards = static_cast<unsigned>(args.get_int("shards"));
+
+    if (listen) {
+      // Network front end: arrivals arrive over TCP, a client FINISH
+      // ends the run. EADDRINUSE (and any other bind failure) throws
+      // out of start() into the error handler below.
+      std::unique_ptr<OnlinePolicy> policy =
+          make_policy(args.get_string("policy"));
+      server::ServerCoreConfig config;
+      config.objects = workload.objects;
+      config.delay = delay;
+      config.horizon = workload.horizon;
+      config.shards = shards;
+      config.pin_workers = pin;
+      net::NetServerConfig net;
+      net.host = args.get_string("bind");
+      net.port = static_cast<std::uint16_t>(args.get_int("port"));
+      net.reactors = static_cast<unsigned>(args.get_int("reactors"));
+      net.drain_interval_us =
+          static_cast<std::uint64_t>(args.get_int("drain-us"));
+      net::NetServer server(net, config, *policy);
+      server.start();
+      std::cout << "listening on " << net.host << ":" << server.port() << " ("
+                << policy->name() << ", " << workload.objects << " objects over "
+                << shards << " shards, " << net.reactors
+                << " reactors, drain every " << net.drain_interval_us
+                << " us)\nadmission protocol SMN1; HTTP GET /stats /live "
+                   "/dispatch on the same port; a client FINISH ends the run\n"
+                << std::flush;
+      while (!server.wait_finished(std::chrono::seconds(1))) {
+        const net::NetCounters c = server.counters();
+        const server::LiveStats live = server.live();
+        std::cout << "conns " << c.accepted - c.closed << " open / "
+                  << c.accepted << " accepted | admits " << c.admits
+                  << ", tickets " << c.tickets << ", drains " << c.drains
+                  << " | arrivals " << live.arrivals << ", wait p99 "
+                  << live.wait.p99 << " | bytes " << c.bytes_in << " in / "
+                  << c.bytes_out << " out\n"
+                  << std::flush;
+      }
+      if (!server.error().empty()) {
+        std::cerr << "error: " << server.error() << '\n';
+        return EXIT_FAILURE;
+      }
+      const server::WireSummary& sum = server.summary();
+      const server::Snapshot& snap = server.snapshot();
+      std::cout << "\n";
+      util::TextTable table({"arrivals", "streams", "streams served",
+                             "peak channels", "p99 wait", "max wait",
+                             "violations"});
+      table.add_row(snap.total_arrivals, snap.total_streams,
+                    snap.streams_served, snap.peak_concurrency,
+                    util::format_fixed(snap.wait.p99, 5),
+                    util::format_fixed(snap.wait.max, 5),
+                    snap.guarantee_violations);
+      std::cout << table.to_string() << "\nsnapshot digest " << std::hex
+                << sum.digest << std::dec
+                << " (compare against a trace-fed run or vod_loadgen "
+                   "--verify)\n";
+      server.stop();
+      return EXIT_SUCCESS;
+    }
 
     if (args.provided("fault")) {
       // Crash/recovery harness: the whole workload through

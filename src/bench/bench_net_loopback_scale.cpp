@@ -1,0 +1,324 @@
+// Network front end — aggregate admission throughput and client-observed
+// ticket latency over loopback (ROADMAP item 1).
+//
+// The same Poisson/Zipf catalogue the hotpath bench drives in-process is
+// here sent over TCP: N client threads (one connection each, objects
+// partitioned round-robin, per-connection streams merged into
+// nondecreasing time order) batch ADMIT records at the socket, the
+// NetServer's reactors decode and post() into the per-shard MPSC
+// mailboxes, and a timerfd-cadenced driver drains. Reported per
+// connection count:
+//
+//  * aggregate admissions/s (wall clock from first send to last ticket
+//    — the closed-loop wire rate, which on a single-core host is
+//    server+clients sharing one CPU, so the recorded numbers are
+//    floor-of-the-floor; the >= 1M admissions/s target is a multi-core
+//    loopback run), and
+//  * client-observed p50/p95/p99 ticket latency in ns (admit() call to
+//    TICKET decode; dominated by the drain cadence by design — tickets
+//    certify a completed drain).
+//
+// Asserted invariants (never wall-clock):
+//  * every wire run's FINISHED digest equals the serial ingest_trace
+//    baseline's snapshot_digest — same workload, same results, whether
+//    arrivals came over the wire or in-process;
+//  * the full snapshot matches field-by-field at shard widths 1, 2 and
+//    4 (the acceptance identity for the wire path);
+//  * every client's ticket count equals its admit count.
+#include "bench/registry.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "online/policy.h"
+#include "server/wire.h"
+#include "sim/engine.h"
+#include "util/parallel.h"
+#include "util/table.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace {
+
+using namespace smerge;
+using namespace smerge::sim;
+
+constexpr double kDelay = 0.01;
+
+EngineConfig loopback_config(const bench::BenchContext& ctx) {
+  EngineConfig config;
+  config.workload.process = ArrivalProcess::kPoisson;
+  config.workload.objects = ctx.quick ? 32 : 256;
+  config.workload.zipf_exponent = 1.0;
+  // Quick: ~40k aggregate arrivals — enough wire traffic to dwarf
+  // connection setup, small enough for the CI soak. Full: ~1M.
+  config.workload.mean_gap = ctx.quick ? 2.5e-4 : 4e-5;
+  config.workload.horizon = ctx.quick ? 10.0 : 40.0;
+  config.workload.seed = ctx.seed;
+  config.delay = kDelay;
+  return config;
+}
+
+std::vector<std::vector<double>> make_traces(const EngineConfig& config,
+                                             unsigned threads) {
+  const std::vector<double> weights =
+      zipf_weights(config.workload.objects, config.workload.zipf_exponent);
+  const auto n = static_cast<std::size_t>(config.workload.objects);
+  std::vector<std::vector<double>> traces(n);
+  util::parallel_for(
+      0, static_cast<std::int64_t>(n),
+      [&](std::int64_t i) {
+        traces[static_cast<std::size_t>(i)] = generate_arrivals(
+            config.workload, static_cast<Index>(i),
+            weights[static_cast<std::size_t>(i)]);
+      },
+      threads);
+  return traces;
+}
+
+bool snapshots_match(const server::Snapshot& a, const server::Snapshot& b) {
+  return a.total_arrivals == b.total_arrivals &&
+         a.total_streams == b.total_streams &&
+         a.streams_served == b.streams_served &&
+         a.peak_concurrency == b.peak_concurrency &&
+         a.guarantee_violations == b.guarantee_violations &&
+         a.wait.mean == b.wait.mean && a.wait.max == b.wait.max &&
+         a.wait.p50 == b.wait.p50 && a.wait.p95 == b.wait.p95 &&
+         a.wait.p99 == b.wait.p99 && a.per_object == b.per_object;
+}
+
+/// One connection's send order: its objects' traces merged to
+/// nondecreasing time (stable, so each object keeps its arrival order —
+/// the wire contract and the core's per-object contract in one move).
+std::vector<std::pair<double, Index>> merged_sends(
+    const std::vector<std::vector<double>>& traces, std::size_t client,
+    std::size_t clients) {
+  std::vector<std::pair<double, Index>> sends;
+  for (std::size_t m = client; m < traces.size(); m += clients) {
+    for (const double t : traces[m]) sends.emplace_back(t, static_cast<Index>(m));
+  }
+  std::stable_sort(sends.begin(), sends.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  return sends;
+}
+
+struct ClientOutcome {
+  std::uint64_t sent = 0;
+  std::uint64_t ticketed = 0;
+  std::vector<double> latencies_ns;
+};
+
+/// Closed-loop client: at most `window` admissions outstanding, ticket
+/// latency sampled admit()-call to TICKET-decode.
+ClientOutcome run_client(const std::string& host, std::uint16_t port,
+                         const std::vector<std::pair<double, Index>>& sends) {
+  using clock = std::chrono::steady_clock;
+  constexpr std::uint64_t kWindow = 8192;
+  ClientOutcome out;
+  out.latencies_ns.reserve(sends.size());
+  std::vector<clock::time_point> sent_at(sends.size());
+  net::BlockingClient client;
+  client.connect(host, port);
+  std::uint64_t acked = 0;
+  const auto on_ticket = [&](const net::TicketReply& reply) {
+    const auto idx = static_cast<std::size_t>(reply.request_id - 1);
+    out.latencies_ns.push_back(
+        std::chrono::duration<double, std::nano>(clock::now() - sent_at[idx])
+            .count());
+    ++out.ticketed;
+  };
+  for (const auto& [time, object] : sends) {
+    while (out.sent - acked >= kWindow) {
+      client.flush();
+      acked += client.poll_tickets(on_ticket, true);
+    }
+    const std::uint64_t id = client.admit(object, time);
+    sent_at[static_cast<std::size_t>(id - 1)] = clock::now();
+    ++out.sent;
+  }
+  client.flush();
+  while (acked < out.sent) acked += client.poll_tickets(on_ticket, true);
+  client.close();
+  return out;
+}
+
+double percentile_ns(std::vector<double>& values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(values.size() - 1));
+  return values[rank];
+}
+
+struct WireRun {
+  std::uint64_t admissions = 0;
+  double elapsed_s = 0.0;
+  double p50_ns = 0.0, p95_ns = 0.0, p99_ns = 0.0;
+  bool tickets_complete = true;
+  bool snapshot_matches = false;
+  server::WireSummary summary;
+};
+
+WireRun run_wire(const EngineConfig& config,
+                 const std::vector<std::vector<double>>& traces,
+                 unsigned clients, unsigned shards, unsigned reactors,
+                 const server::Snapshot& reference) {
+  BatchingPolicy policy;
+  auto core_cfg = core_config(config);
+  core_cfg.shards = shards;
+  net::NetServerConfig net_cfg;
+  net_cfg.reactors = reactors;
+  net_cfg.drain_interval_us = 200;
+  net::NetServer server(net_cfg, core_cfg, policy);
+  server.start();
+
+  std::vector<std::vector<std::pair<double, Index>>> sends(clients);
+  for (unsigned c = 0; c < clients; ++c) {
+    sends[c] = merged_sends(traces, c, clients);
+  }
+  std::vector<ClientOutcome> outcomes(clients);
+  const auto start = std::chrono::steady_clock::now();
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (unsigned c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        outcomes[c] = run_client(net_cfg.host, server.port(), sends[c]);
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  const auto end = std::chrono::steady_clock::now();
+
+  WireRun run;
+  run.elapsed_s = std::chrono::duration<double>(end - start).count();
+  std::vector<double> all_latencies;
+  for (const ClientOutcome& o : outcomes) {
+    run.admissions += o.sent;
+    run.tickets_complete = run.tickets_complete && o.ticketed == o.sent;
+    all_latencies.insert(all_latencies.end(), o.latencies_ns.begin(),
+                         o.latencies_ns.end());
+  }
+  run.p50_ns = percentile_ns(all_latencies, 0.50);
+  run.p95_ns = percentile_ns(all_latencies, 0.95);
+  run.p99_ns = percentile_ns(all_latencies, 0.99);
+
+  // Certify the run: one control connection drives the FINISH handshake
+  // after every producer quiesced (all tickets collected above).
+  net::BlockingClient control;
+  control.connect(net_cfg.host, server.port());
+  run.summary = control.finish();
+  control.close();
+  server.wait_finished(std::chrono::seconds(30));
+  run.snapshot_matches = snapshots_match(server.snapshot(), reference);
+  server.stop();
+  return run;
+}
+
+}  // namespace
+
+SMERGE_BENCH(net_loopback_scale,
+             "Wire ingest over loopback: admissions/s + ticket latency per "
+             "connection count; FINISHED digest vs trace-fed baseline at "
+             "shard widths 1/2/4",
+             "connections", "admissions", "admissions_per_s", "ticket_p50_ns",
+             "ticket_p95_ns", "ticket_p99_ns") {
+  bench::BenchResult result;
+  const EngineConfig config = loopback_config(ctx);
+  const auto traces = make_traces(config, ctx.threads);
+
+  // Serial trace-fed reference: the digest every wire run must hit.
+  BatchingPolicy baseline_policy;
+  auto baseline_cfg = core_config(config);
+  baseline_cfg.shards = 2;
+  server::ServerCore baseline(baseline_cfg, baseline_policy);
+  for (std::size_t m = 0; m < traces.size(); ++m) {
+    baseline.ingest_trace(static_cast<Index>(m),
+                          std::vector<double>(traces[m]));
+  }
+  baseline.finish();
+  server::Snapshot reference = baseline.take_snapshot();
+  const std::uint64_t reference_digest = server::snapshot_digest(reference);
+
+  const std::vector<unsigned> conn_sweep =
+      ctx.quick ? std::vector<unsigned>{1, 2} : std::vector<unsigned>{1, 2, 4, 8};
+
+  auto& s_conns = result.add_series("connections");
+  auto& s_admissions = result.add_series("admissions");
+  auto& s_rate = result.add_series("admissions_per_s");
+  auto& s_p50 = result.add_series("ticket_p50_ns");
+  auto& s_p95 = result.add_series("ticket_p95_ns");
+  auto& s_p99 = result.add_series("ticket_p99_ns");
+
+  util::TextTable table({"connections", "admissions", "admissions/s",
+                         "ticket p50 ms", "ticket p99 ms", "digest ok"});
+  // Closed-loop throughput over loopback is scheduler-noise-dominated on
+  // shared hosts (single runs swing >20% on a 1-core box), so each
+  // connection count reports its best of kReps runs; every rep must still
+  // hash to the trace-fed reference.
+  constexpr int kReps = 3;
+  double best_rate = 0.0;
+  for (const unsigned clients : conn_sweep) {
+    const unsigned reactors = std::min(clients, 2u);
+    WireRun run{};
+    double rate = -1.0;
+    bool digest_ok = true;
+    for (int rep = 0; rep < kReps; ++rep) {
+      WireRun attempt =
+          run_wire(config, traces, clients, 2, reactors, reference);
+      digest_ok = digest_ok && attempt.summary.ok &&
+                  attempt.summary.digest == reference_digest &&
+                  attempt.tickets_complete && attempt.snapshot_matches;
+      const double attempt_rate =
+          attempt.elapsed_s > 0.0
+              ? static_cast<double>(attempt.admissions) / attempt.elapsed_s
+              : 0.0;
+      if (attempt_rate > rate) {
+        rate = attempt_rate;
+        run = std::move(attempt);
+      }
+    }
+    best_rate = std::max(best_rate, rate);
+    result.ok = result.ok && digest_ok;
+    s_conns.values.push_back(clients);
+    s_admissions.values.push_back(static_cast<double>(run.admissions));
+    s_rate.values.push_back(rate);
+    s_p50.values.push_back(run.p50_ns);
+    s_p95.values.push_back(run.p95_ns);
+    s_p99.values.push_back(run.p99_ns);
+    table.add_row(std::to_string(clients), std::to_string(run.admissions),
+                  util::format_fixed(rate, 0),
+                  util::format_fixed(run.p50_ns / 1e6, 3),
+                  util::format_fixed(run.p99_ns / 1e6, 3),
+                  digest_ok ? "yes" : "NO");
+  }
+  result.tables.push_back(std::move(table));
+
+  // Shard-width identity: wire-fed results are a pure function of each
+  // object's arrival sequence — widths 1, 2 and 4 all hash to the
+  // trace-fed reference.
+  for (const unsigned shards : {1u, 2u, 4u}) {
+    WireRun run = run_wire(config, traces, 2, shards, 2, reference);
+    const bool identical = run.summary.ok &&
+                           run.summary.digest == reference_digest &&
+                           run.snapshot_matches;
+    result.ok = result.ok && identical;
+    result.notes.push_back("shards=" + std::to_string(shards) +
+                           " wire vs trace snapshot: " +
+                           (identical ? "identical" : "MISMATCH"));
+  }
+
+  result.add_metric("peak_admissions_per_s", best_rate);
+  result.add_metric("reference_arrivals",
+                    static_cast<double>(reference.total_arrivals));
+  result.notes.push_back(
+      "throughput is closed-loop over loopback: clients and server share "
+      "the host, so single-core machines report contention, not capacity "
+      "(each connection count reports best-of-" +
+      std::to_string(kReps) + " runs)");
+  return result;
+}

@@ -1,0 +1,54 @@
+#include "net/connection.h"
+
+#include <sys/socket.h>
+
+#include <cerrno>
+
+namespace smerge::net {
+
+Connection::IoResult Connection::fill_from_socket(std::size_t chunk,
+                                                  std::uint64_t& bytes_in) {
+  while (!read_paused) {
+    auto span = decoder_.writable(chunk);
+    const auto n = ::recv(fd_.get(), span.data(), span.size(), 0);
+    if (n > 0) {
+      decoder_.commit(static_cast<std::size_t>(n));
+      bytes_in += static_cast<std::uint64_t>(n);
+      if (static_cast<std::size_t>(n) < span.size()) return IoResult::kOk;
+      continue;  // full chunk: the socket may hold more (edge-triggered)
+    }
+    decoder_.commit(0);
+    if (n == 0) return IoResult::kClosed;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoResult::kOk;
+    if (errno == EINTR) continue;
+    return IoResult::kClosed;
+  }
+  return IoResult::kOk;
+}
+
+Connection::IoResult Connection::flush(std::uint64_t& bytes_out) {
+  while (out_pos_ < out_.size()) {
+    const auto n = ::send(fd_.get(), out_.data() + out_pos_,
+                          out_.size() - out_pos_, MSG_NOSIGNAL);
+    if (n > 0) {
+      out_pos_ += static_cast<std::size_t>(n);
+      bytes_out += static_cast<std::uint64_t>(n);
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    return IoResult::kClosed;
+  }
+  if (out_pos_ == out_.size()) {
+    out_.clear();
+    out_pos_ = 0;
+  } else if (out_pos_ > (std::size_t{64} << 10)) {
+    // Keep the unsent suffix compact so a slow peer cannot pin the
+    // whole history of the buffer.
+    out_.erase(out_.begin(), out_.begin() + static_cast<std::ptrdiff_t>(out_pos_));
+    out_pos_ = 0;
+  }
+  return IoResult::kOk;
+}
+
+}  // namespace smerge::net

@@ -1,0 +1,185 @@
+#include "net/protocol.h"
+
+#include <bit>
+#include <cstring>
+
+#include "util/snapshot.h"
+
+namespace smerge::net {
+
+namespace {
+
+void put_u32(std::uint8_t* p, std::uint32_t v) noexcept {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+void put_u64(std::uint8_t* p, std::uint64_t v) noexcept {
+  put_u32(p, static_cast<std::uint32_t>(v));
+  put_u32(p + 4, static_cast<std::uint32_t>(v >> 32));
+}
+
+[[nodiscard]] std::uint32_t get_u32(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+[[nodiscard]] std::uint32_t header_checksum(const std::uint8_t* header) noexcept {
+  return static_cast<std::uint32_t>(
+      util::fnv1a64({header, kHeaderSize - 4}));
+}
+
+}  // namespace
+
+bool valid_record_type(std::uint8_t type) noexcept {
+  return type >= static_cast<std::uint8_t>(RecordType::kAdmit) &&
+         type <= static_cast<std::uint8_t>(RecordType::kFinished);
+}
+
+void append_frame(std::vector<std::uint8_t>& out, RecordType type,
+                  std::span<const std::uint8_t> payload) {
+  if (payload.size() > kMaxPayload) {
+    throw ProtocolError("net: frame payload exceeds kMaxPayload");
+  }
+  const std::size_t base = out.size();
+  out.resize(base + kHeaderSize + payload.size());
+  std::uint8_t* h = out.data() + base;
+  put_u32(h, kMagic);
+  h[4] = kProtocolVersion;
+  h[5] = static_cast<std::uint8_t>(type);
+  h[6] = 0;
+  h[7] = 0;
+  put_u32(h + 8, static_cast<std::uint32_t>(payload.size()));
+  put_u32(h + 12, header_checksum(h));
+  if (!payload.empty()) {
+    std::memcpy(h + kHeaderSize, payload.data(), payload.size());
+  }
+}
+
+void append_admit(std::vector<std::uint8_t>& out, std::uint64_t request_id,
+                  std::int64_t object, double time) {
+  constexpr std::size_t kPayload = 24;
+  const std::size_t base = out.size();
+  out.resize(base + kHeaderSize + kPayload);
+  std::uint8_t* h = out.data() + base;
+  put_u32(h, kMagic);
+  h[4] = kProtocolVersion;
+  h[5] = static_cast<std::uint8_t>(RecordType::kAdmit);
+  h[6] = 0;
+  h[7] = 0;
+  put_u32(h + 8, kPayload);
+  put_u32(h + 12, header_checksum(h));
+  put_u64(h + kHeaderSize, request_id);
+  put_u64(h + kHeaderSize + 8, static_cast<std::uint64_t>(object));
+  put_u64(h + kHeaderSize + 16, std::bit_cast<std::uint64_t>(time));
+}
+
+namespace {
+
+[[nodiscard]] std::uint64_t get_u64(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint64_t>(get_u32(p)) |
+         (static_cast<std::uint64_t>(get_u32(p + 4)) << 32);
+}
+
+}  // namespace
+
+AdmitRecord parse_admit(std::span<const std::uint8_t> payload) {
+  if (payload.size() != 24) {
+    throw ProtocolError("net: ADMIT payload must be 24 bytes");
+  }
+  AdmitRecord r;
+  r.request_id = get_u64(payload.data());
+  r.object = static_cast<std::int64_t>(get_u64(payload.data() + 8));
+  r.time = std::bit_cast<double>(get_u64(payload.data() + 16));
+  return r;
+}
+
+void append_u64_frame(std::vector<std::uint8_t>& out, RecordType type,
+                      std::uint64_t value) {
+  std::uint8_t payload[8];
+  put_u64(payload, value);
+  append_frame(out, type, payload);
+}
+
+std::uint64_t parse_u64(std::span<const std::uint8_t> payload) {
+  if (payload.size() != 8) {
+    throw ProtocolError("net: payload must be a single u64");
+  }
+  return get_u64(payload.data());
+}
+
+std::span<std::uint8_t> FrameDecoder::writable(std::size_t n) {
+  if (poisoned_) throw ProtocolError("net: decoder poisoned by earlier error");
+  compact();
+  const std::size_t base = buffer_.size();
+  buffer_.resize(base + n);
+  reserved_ = n;
+  return {buffer_.data() + base, n};
+}
+
+void FrameDecoder::commit(std::size_t n) noexcept {
+  // writable() grew the buffer by the full reservation; shrink back to
+  // what the socket actually delivered.
+  if (n > reserved_) n = reserved_;
+  buffer_.resize(buffer_.size() - (reserved_ - n));
+  reserved_ = 0;
+}
+
+void FrameDecoder::feed(std::span<const std::uint8_t> bytes) {
+  if (poisoned_) throw ProtocolError("net: decoder poisoned by earlier error");
+  compact();
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+bool FrameDecoder::next_frame(Frame& frame) {
+  if (poisoned_) throw ProtocolError("net: decoder poisoned by earlier error");
+  if (buffer_.size() - pos_ < kHeaderSize) return false;
+  const std::uint8_t* h = buffer_.data() + pos_;
+  if (get_u32(h) != kMagic) {
+    poisoned_ = true;
+    throw ProtocolError("net: bad frame magic");
+  }
+  if (h[4] != kProtocolVersion) {
+    poisoned_ = true;
+    throw ProtocolError("net: unsupported protocol version");
+  }
+  if (!valid_record_type(h[5])) {
+    poisoned_ = true;
+    throw ProtocolError("net: unknown record type");
+  }
+  if (h[6] != 0 || h[7] != 0) {
+    poisoned_ = true;
+    throw ProtocolError("net: nonzero reserved header bits");
+  }
+  const std::uint32_t len = get_u32(h + 8);
+  if (len > max_payload_) {
+    poisoned_ = true;
+    throw ProtocolError("net: frame payload exceeds the size bound");
+  }
+  if (get_u32(h + 12) != header_checksum(h)) {
+    poisoned_ = true;
+    throw ProtocolError("net: header checksum mismatch");
+  }
+  if (buffer_.size() - pos_ < kHeaderSize + len) return false;
+  frame.type = static_cast<RecordType>(h[5]);
+  frame.payload = {buffer_.data() + pos_ + kHeaderSize, len};
+  pos_ += kHeaderSize + len;
+  return true;
+}
+
+void FrameDecoder::compact() {
+  if (pos_ == 0) return;
+  if (pos_ == buffer_.size()) {
+    buffer_.clear();
+  } else {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(pos_));
+  }
+  pos_ = 0;
+}
+
+}  // namespace smerge::net

@@ -1,0 +1,166 @@
+// The admission wire protocol: a minimal length-prefixed binary framing
+// carrying ADMIT / TICKET / STATS / PING records between vod_loadgen
+// (or any client) and the NetServer front end.
+//
+// Every frame is a fixed 16-byte little-endian header followed by a
+// typed payload:
+//
+//   offset  size  field
+//        0     4  magic "SMN1" (0x314E4D53 LE)
+//        4     1  version (kProtocolVersion)
+//        5     1  record type (RecordType)
+//        6     2  reserved, must be zero
+//        8     4  payload length (<= kMaxPayload)
+//       12     4  header checksum: FNV-1a 64 over bytes [0, 12), low 32
+//
+// The checksum makes a desynchronized or corrupted stream fail loudly
+// at the first bad header instead of mis-framing everything after it.
+// Payload encodings reuse the typed little-endian substrate of
+// util/snapshot.h (bit-exact doubles), so ticket and stats bytes are
+// shared with the crash-consistency codec via server/wire.h.
+//
+// `FrameDecoder` is the incremental receive side: bytes arrive in
+// arbitrary splits (non-blocking sockets tear frames at every byte
+// boundary), the decoder buffers the torn prefix and yields each
+// complete frame exactly once. Malformed input — bad magic, unknown
+// version or type, nonzero reserved bits, checksum mismatch, oversized
+// payload — throws a structured `ProtocolError`; the connection owner
+// closes the stream (there is no resynchronization by design: the
+// transport is a reliable byte stream, so a framing error means a buggy
+// or hostile peer, not noise).
+//
+// The first magic byte 0x53 ('S') differs from 'G'/'P'/'H', which is
+// what lets the server sniff plain-text HTTP ("GET /stats ...") on the
+// same listening port and route it to the debug surface.
+#ifndef SMERGE_NET_PROTOCOL_H
+#define SMERGE_NET_PROTOCOL_H
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace smerge::net {
+
+inline constexpr std::uint32_t kMagic = 0x314E4D53;  // "SMN1" little-endian
+inline constexpr std::uint8_t kProtocolVersion = 1;
+inline constexpr std::size_t kHeaderSize = 16;
+/// Upper bound on a payload: large enough for any stats/summary record,
+/// small enough that a corrupted length cannot balloon the buffer.
+inline constexpr std::size_t kMaxPayload = std::size_t{1} << 20;
+
+/// Record types. Client-to-server: kAdmit, kStatsRequest, kPing,
+/// kFinish. Server-to-client: kTicket, kStats, kPong, kFinished.
+enum class RecordType : std::uint8_t {
+  kAdmit = 1,        ///< u64 request_id, i64 object, f64 time
+  kTicket = 2,       ///< u64 request_id, server::Ticket (server/wire.h)
+  kStatsRequest = 3, ///< empty
+  kStats = 4,        ///< server::LiveStats (server/wire.h)
+  kPing = 5,         ///< u64 nonce
+  kPong = 6,         ///< u64 nonce echoed
+  kFinish = 7,       ///< empty: drain, finish(), certify the run
+  kFinished = 8,     ///< server::WireSummary (server/wire.h)
+};
+
+/// True for the types this protocol version defines.
+[[nodiscard]] bool valid_record_type(std::uint8_t type) noexcept;
+
+/// Structured framing failure; the message names the violated field.
+class ProtocolError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One complete frame, viewing the decoder's buffer. Valid until the
+/// next next_frame()/feed() call on the decoder that produced it.
+struct Frame {
+  RecordType type = RecordType::kPing;
+  std::span<const std::uint8_t> payload;
+};
+
+/// Appends a framed record (header + payload) to `out`.
+void append_frame(std::vector<std::uint8_t>& out, RecordType type,
+                  std::span<const std::uint8_t> payload);
+
+/// Appends an ADMIT record to `out` — the hot-path encoder, one append,
+/// no intermediate writer.
+void append_admit(std::vector<std::uint8_t>& out, std::uint64_t request_id,
+                  std::int64_t object, double time);
+
+/// Decoded ADMIT payload.
+struct AdmitRecord {
+  std::uint64_t request_id = 0;
+  std::int64_t object = 0;
+  double time = 0.0;
+};
+
+/// Parses an ADMIT payload — the hot-path decoder. Throws ProtocolError
+/// on a size mismatch.
+[[nodiscard]] AdmitRecord parse_admit(std::span<const std::uint8_t> payload);
+
+/// Appends a frame whose payload is a single u64 (PING/PONG nonces).
+void append_u64_frame(std::vector<std::uint8_t>& out, RecordType type,
+                      std::uint64_t value);
+
+/// Parses a single-u64 payload. Throws ProtocolError on a size mismatch.
+[[nodiscard]] std::uint64_t parse_u64(std::span<const std::uint8_t> payload);
+
+/// Incremental frame decoder over an arbitrarily torn byte stream.
+///
+///   auto span = decoder.writable(64 << 10);
+///   ssize_t n = read(fd, span.data(), span.size());
+///   decoder.commit(size_t(n));
+///   while (auto frame = decoder.next_frame()) { ... }
+///
+/// `feed` is the copying convenience for tests and blocking clients.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::size_t max_payload = kMaxPayload)
+      : max_payload_(max_payload) {}
+
+  /// Reserves `n` writable bytes at the buffer tail for a direct socket
+  /// read, compacting consumed bytes first. commit() the bytes actually
+  /// read. The span is invalidated by any other decoder call.
+  [[nodiscard]] std::span<std::uint8_t> writable(std::size_t n);
+  void commit(std::size_t n) noexcept;
+
+  /// Copying append (equivalent to writable+memcpy+commit).
+  void feed(std::span<const std::uint8_t> bytes);
+
+  /// Yields the next complete frame, or false when only a torn prefix
+  /// remains buffered. Throws ProtocolError on a malformed header; the
+  /// decoder is then poisoned (every later call throws) — close the
+  /// connection.
+  [[nodiscard]] bool next_frame(Frame& frame);
+
+  /// Bytes buffered but not yet consumed as frames (the torn prefix
+  /// plus any complete frames not yet pulled).
+  [[nodiscard]] std::size_t buffered() const noexcept {
+    return buffer_.size() - pos_;
+  }
+
+  /// The buffered bytes, unconsumed — what the server's HTTP sniffer
+  /// classifies before any frame parsing. Invalidated like `Frame`.
+  [[nodiscard]] std::span<const std::uint8_t> peek() const noexcept {
+    return {buffer_.data() + pos_, buffer_.size() - pos_};
+  }
+  /// Drops up to `n` buffered bytes without frame parsing (the HTTP
+  /// path drains the raw bytes it consumed).
+  void consume(std::size_t n) noexcept {
+    pos_ += n < buffered() ? n : buffered();
+  }
+
+ private:
+  void compact();
+
+  std::size_t max_payload_;
+  std::vector<std::uint8_t> buffer_;
+  std::size_t pos_ = 0;        ///< first unconsumed byte
+  std::size_t reserved_ = 0;   ///< last writable() reservation
+  bool poisoned_ = false;
+};
+
+}  // namespace smerge::net
+
+#endif  // SMERGE_NET_PROTOCOL_H

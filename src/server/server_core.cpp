@@ -269,6 +269,10 @@ struct ServerCore::Impl {
   std::unique_ptr<ProgramTable> table;
 
   OnlinePolicy* policy = nullptr;  ///< generic path only
+  /// Slot arithmetic for preview_admission: the policy's advertised
+  /// FastSlotKind (or the slotted serve mode's), fixed at construction
+  /// and independent of the fast_path execution knob.
+  FastSlotKind preview_kind = FastSlotKind::kNone;
   bool finished = false;
   Snapshot snapshot;  ///< assembled by finish()
 };
@@ -378,6 +382,13 @@ void ServerCore::build_objects(OnlinePolicy* policy) {
       }
     }
     impl_->objects.push_back(std::move(state));
+  }
+  if (policy != nullptr) {
+    impl_->preview_kind = impl_->objects.front()->policy->fast_slot_kind();
+  } else {
+    impl_->preview_kind = config_.serve == ServeMode::kSlottedDg
+                              ? FastSlotKind::kDgSlot
+                              : FastSlotKind::kBatchSlot;
   }
   impl_->shard_dirty.resize(config_.shards);
 
@@ -1688,6 +1699,46 @@ const char* ServerCore::admit_dispatch() const noexcept {
       break;
   }
   return "generic";
+}
+
+Ticket ServerCore::preview_admission(Index object, double time) const {
+  if (object < 0 || object >= config_.objects) {
+    throw std::out_of_range("ServerCore::preview_admission: bad object id");
+  }
+  if (!(time >= 0.0)) {
+    throw std::invalid_argument(
+        "ServerCore::preview_admission: time must be nonnegative");
+  }
+  Ticket t;
+  t.admitted = true;
+  t.object = object;
+  t.arrival = time;
+  t.decision_time = time;
+  switch (impl_->preview_kind) {
+    case FastSlotKind::kDgSlot: {
+      const Index slot = dg_slot_of(time, config_.delay);
+      t.slot = slot;
+      t.playback_start = static_cast<double>(slot + 1) * config_.delay;
+      t.wait = t.playback_start - time;
+      t.guarantee_wait = t.wait;
+      return t;
+    }
+    case FastSlotKind::kBatchSlot: {
+      const double start = batch_start_of(time, config_.delay);
+      t.playback_start = start;
+      t.wait = start - time;
+      t.guarantee_wait = t.wait;
+      return t;
+    }
+    case FastSlotKind::kNone:
+      break;
+  }
+  // Generic policies decide at drain; the preview can only certify the
+  // admission itself. Negative fields mean "not known at preview time".
+  t.playback_start = -1.0;
+  t.wait = -1.0;
+  t.guarantee_wait = -1.0;
+  return t;
 }
 
 void ServerCore::degrade_admissions() noexcept {

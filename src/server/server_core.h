@@ -306,7 +306,12 @@ class ServerCore {
 
   // --- Live queries -------------------------------------------------------
 
-  /// Callable mid-run (between drains / after any admit).
+  /// Callable mid-run (between drains / after any admit). Reflects only
+  /// drained state, and every field it reads is written exclusively by
+  /// the driver thread's drain/admit — so the *driver thread* may call
+  /// it while producers are still post()ing (the network front end's
+  /// stats surface does exactly that); arrivals still in the rings are
+  /// simply not visible yet. Other threads must not call it.
   [[nodiscard]] LiveStats live_stats();
   /// Channels busy at time `t`.
   [[nodiscard]] Index current_channels(double t);
@@ -325,6 +330,18 @@ class ServerCore {
 
   /// The configuration the core was built with.
   [[nodiscard]] const ServerCoreConfig& config() const noexcept { return config_; }
+
+  /// A thread-safe admission preview: the Ticket a client arriving at
+  /// `time` will receive, computed from construction-time slot
+  /// arithmetic alone (dg_slot_of / batch_start_of — the same
+  /// closed-form mappings the sealed fast path replays), without
+  /// touching any mutable core state. For policies with no sealed form
+  /// the playback/wait fields come back negative ("decided at the next
+  /// drain") and only the admission itself is certified. This is what
+  /// the network front end stamps TICKET replies from: any reactor
+  /// thread may call it concurrently with post() and drain(). Throws on
+  /// a bad object id or negative time.
+  [[nodiscard]] Ticket preview_admission(Index object, double time) const;
 
   /// How per-arrival admissions are dispatched on this core: a sealed
   /// fast path ("sealed:dg-slot" / "sealed:batch-slot"), the generic

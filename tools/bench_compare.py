@@ -20,8 +20,9 @@ Three kinds of checks, applied to every bench present in both files:
     --data-only to skip them entirely (what CI does against the
     committed seed, whose timings came from another host);
   * throughput floor (--threshold X, off by default): every `*_per_s`
-    series and metric of the `sim_*` ingest benches — higher is better —
-    must not drop more than X relative below the baseline. This is the
+    series and metric of the `sim_*` ingest and `net_*` wire benches —
+    higher is better — must not drop more than X relative below the
+    baseline. This is the
     perf-trend gate CI runs against the committed seed with
     --threshold 0.15; it applies even under --data-only because a
     collapsed ingest rate is the one timing signal worth cross-host
@@ -32,6 +33,10 @@ Three kinds of checks, applied to every bench present in both files:
     against a 2-core candidate is a machine change, not a regression.
     The floor is enforced only when both headers agree (or both
     predate the header, where nothing can be told apart).
+
+Benches present only in the candidate (a bench added since the committed
+baseline) are reported as notes, never failures: the baseline simply
+predates them — regenerate BENCH_seed.json to put them under the gates.
 
 Exit status: 0 clean, 1 regressions found, 2 usage/schema errors.
 """
@@ -123,9 +128,9 @@ def main() -> int:
         type=float,
         default=None,
         metavar="X",
-        help="fail when any *_per_s throughput series/metric of a sim_* "
-        "bench drops more than X relative below the baseline (e.g. 0.15 "
-        "= 15%%); applies even with --data-only",
+        help="fail when any *_per_s throughput series/metric of a sim_*/"
+        "net_* bench drops more than X relative below the baseline (e.g. "
+        "0.15 = 15%%); applies even with --data-only",
     )
     args = parser.parse_args()
 
@@ -190,7 +195,7 @@ def main() -> int:
         # `*_per_s` names carry the "_s" timing suffix, so the data checks
         # above skip them; this is the check that owns them. Higher is
         # better — fail only on a drop past --threshold.
-        if args.threshold is not None and name.startswith("sim_"):
+        if args.threshold is not None and name.startswith(("sim_", "net_")):
             # Breaches bind only between comparable hosts; on a core-count
             # change they are informational. Shape mismatches stay hard
             # failures either way — a vanished series is a data change.
@@ -257,6 +262,14 @@ def main() -> int:
                     f"{new['elapsed_ms']:.1f} (+{100 * excess:.1f}% > "
                     f"{100 * args.tol:.0f}%)"
                 )
+
+    # Benches the baseline predates: informational only — the next seed
+    # regeneration brings them under the data/floor gates.
+    for name in sorted(set(cand_benches) - set(base_benches)):
+        notes.append(
+            f"{name}: new bench, absent from baseline — regenerate "
+            "BENCH_seed.json to gate it"
+        )
 
     for msg in notes:
         print(f"note: {msg}")
